@@ -1,0 +1,442 @@
+package treedoc
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 5), plus the CPU-cost claim, baseline comparisons and
+// ablations of the design choices called out in DESIGN.md §5. Regenerate
+// everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The table benchmarks report their headline quantity through
+// b.ReportMetric so `go test -bench` output doubles as the experiment
+// record; cmd/treedoc-bench prints the full formatted tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/bench"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/trace"
+)
+
+func mustTrace(b *testing.B, name string) *trace.Trace {
+	b.Helper()
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTable1Measurements regenerates Table 1: overheads per document
+// and flatten setting. Reported metric: mean memory overhead ratio across
+// all rows.
+func BenchmarkTable1Measurements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mem float64
+		for _, r := range rows {
+			mem += r.MemOvhd
+		}
+		b.ReportMetric(mem/float64(len(rows)), "memovhd/doc")
+	}
+}
+
+// BenchmarkTable2Workloads regenerates Table 2: the workload statistics.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Revisions), "avg-revisions")
+	}
+}
+
+// BenchmarkTable3Tombstones regenerates Table 3: tombstone fraction under
+// flatten and balancing. Reported metric: flatten-2 tombstone percentage
+// without balancing (paper: 15.8%).
+func BenchmarkTable3Tombstones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[2].NoBalance, "flatten2-tomb-%")
+	}
+}
+
+// BenchmarkTable4SDISvsUDIS regenerates Table 4. Reported metric: the
+// no-flatten SDIS/UDIS overhead ratio (paper: 570/140 ≈ 4).
+func BenchmarkTable4SDISvsUDIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sdis, udis float64
+		for _, c := range cells {
+			if c.Flatten == "no-flatten" && !c.Balanced {
+				if c.Scheme == ident.SDIS {
+					sdis = c.OverheadPerAtom
+				} else {
+					udis = c.OverheadPerAtom
+				}
+			}
+		}
+		if udis > 0 {
+			b.ReportMetric(sdis/udis, "sdis/udis-ovhd")
+		}
+	}
+}
+
+// BenchmarkTable5VsLogoot regenerates Table 5. Reported metric: the mean
+// Logoot/Treedoc identifier-size ratio (paper: 1.8–3.9).
+func BenchmarkTable5VsLogoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratio float64
+		for _, r := range rows {
+			ratio += r.Ratio
+		}
+		b.ReportMetric(ratio/float64(len(rows)), "logoot/treedoc")
+	}
+}
+
+// BenchmarkFigure6NodeEvolution regenerates Figure 6's two series. Reported
+// metric: the peak node count of the acf.tex lifetime.
+func BenchmarkFigure6NodeEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := 0
+		for _, pt := range series {
+			if pt.Nodes > peak {
+				peak = pt.Nodes
+			}
+		}
+		b.ReportMetric(float64(peak), "peak-nodes")
+	}
+}
+
+// BenchmarkReplayDistributedComputing is the Section 5.2 CPU claim: the
+// full 870-revision Wikipedia history replays in well under the paper's
+// 1.44 seconds.
+func BenchmarkReplayDistributedComputing(b *testing.B) {
+	tr := mustTrace(b, "Distributed Computing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.SDIS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayLatex compares the three sequence CRDTs on the same LaTeX
+// history (extended baseline comparison beyond the paper's Table 5).
+func BenchmarkReplayLatex(b *testing.B) {
+	tr := mustTrace(b, "acf.tex")
+	b.Run("treedoc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.UDIS})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.Tree.AvgIDBits(), "bits/id")
+		}
+	})
+	b.Run("logoot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.ReplayLogoot(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.AvgIDBits(), "bits/id")
+		}
+	})
+	b.Run("woot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.ReplayWoot(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.LiveAtoms > 0 {
+				b.ReportMetric(float64(res.Stats.TotalIDBits)/float64(res.Stats.LiveAtoms), "bits/id")
+			}
+		}
+	})
+}
+
+// BenchmarkLocalEdits measures single-replica edit throughput at steady
+// state: a fixed 10k-atom document, each iteration inserting and deleting
+// so the document size (and with it the tree shape) stays constant.
+// Growing the document with b.N would measure ever-larger documents
+// instead of per-operation cost.
+func BenchmarkLocalEdits(b *testing.B) {
+	const steadySize = 10_000
+	build := func(b *testing.B) *Doc {
+		b.Helper()
+		d, err := New(WithSite(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		atoms := make([]string, steadySize)
+		for i := range atoms {
+			atoms[i] = "atom"
+		}
+		if _, err := d.InsertRunAt(0, atoms); err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	b.Run("append-delete", func(b *testing.B) {
+		d := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Append("atom"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.DeleteAt(d.Len() - 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert-delete-front", func(b *testing.B) {
+		d := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.InsertAt(0, "atom"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.DeleteAt(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert-delete-middle", func(b *testing.B) {
+		d := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mid := d.Len() / 2
+			if _, err := d.InsertAt(mid, "atom"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.DeleteAt(mid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("apply-remote", func(b *testing.B) {
+		// Pre-build a bounded op batch and replay it round-robin against
+		// fresh replicas so state cannot grow with b.N.
+		const batch = 2_000
+		src, err := New(WithSite(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := make([]Op, 0, batch)
+		for i := 0; i < batch; i++ {
+			op, err := src.Append("atom")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops = append(ops, op)
+		}
+		dst, err := New(WithSite(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dst.Apply(ops[i%batch]); err != nil {
+				b.Fatal(err)
+			}
+			if i%batch == batch-1 {
+				b.StopTimer()
+				dst, err = New(WithSite(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// BenchmarkAblationStrategy isolates the balancing heuristic (DESIGN.md
+// ablation 1): identifier growth under pure appends.
+func BenchmarkAblationStrategy(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"naive", WithNaiveAllocation()},
+		{"balanced", WithBalancedAllocation()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := New(WithSite(1), tc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 1000; j++ {
+					if _, err := d.Append("x"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(d.Stats().Tree.AvgIDBits(), "bits/id")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDisWidth compares disambiguator widths (DESIGN.md
+// ablation 2): UDIS 10 B, SDIS 6 B, compact SDIS 2 B.
+func BenchmarkAblationDisWidth(b *testing.B) {
+	tr := mustTrace(b, "algorithms.tex")
+	run := func(b *testing.B, rc bench.ReplayConfig) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.ReplayTreedoc(tr, rc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Stats.Tree.OverheadBitsPerAtom(), "ovhd-bits/atom")
+		}
+	}
+	b.Run("udis-10B", func(b *testing.B) { run(b, bench.ReplayConfig{Mode: ident.UDIS}) })
+	b.Run("sdis-6B", func(b *testing.B) { run(b, bench.ReplayConfig{Mode: ident.SDIS}) })
+	// The compact 2-byte variant reuses the SDIS replay with the
+	// known-membership cost model applied at measurement time.
+	b.Run("sdis-2B", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := New(WithSite(1), WithCompactSiteIDs())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 500; j++ {
+				if _, err := d.Append("x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(d.Stats().Tree.AvgIDBits(), "bits/id")
+		}
+	})
+}
+
+// BenchmarkAblationFlattenInterval sweeps the flatten heuristic interval
+// (DESIGN.md ablation 3) on acf.tex.
+func BenchmarkAblationFlattenInterval(b *testing.B) {
+	tr := mustTrace(b, "acf.tex")
+	for _, iv := range []int{0, 1, 2, 4, 8} {
+		name := "never"
+		if iv > 0 {
+			name = fmt.Sprintf("every-%d", iv)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.SDIS, FlattenInterval: iv})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.Tree.Nodes), "final-nodes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGranularity varies atom granularity (Section 5 studies
+// line vs paragraph; characters added for completeness).
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		atoms int
+		bytes int
+	}{
+		{"char", 2000, 8},
+		{"line", 400, 40},
+		{"paragraph", 100, 140},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := trace.Profile{
+				Name: tc.name, Granularity: trace.Granularity(tc.name), Seed: 7,
+				InitialAtoms: tc.atoms / 4, FinalAtoms: tc.atoms, Revisions: 40,
+				AtomBytes: tc.bytes, EditsPerRevision: 8, ModifyFraction: 0.6, HotSpots: 2,
+				RunLength: 6,
+			}
+			tr, err := trace.Generate(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.SDIS})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.Tree.MemOverheadRatio(), "memovhd")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterConvergence measures end-to-end distributed editing: 4
+// replicas, random latency, 200 edits, to quiescence.
+func BenchmarkClusterConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(4, WithLatency(1, 20), WithSeed(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < 200; e++ {
+			r, err := c.Replica(SiteID(e%4 + 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.InsertAt(r.Len(), "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Run(0)
+		if !c.Converged() {
+			b.Fatal("cluster did not converge")
+		}
+	}
+}
+
+// BenchmarkStorageCodec measures the Section 5.2 on-disk codec through the
+// public snapshot API.
+func BenchmarkStorageCodec(b *testing.B) {
+	d, err := New(WithSite(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := d.Append(fmt.Sprintf("line-%04d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := d.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Open(data); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}

@@ -1,0 +1,191 @@
+package treedoc
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/cluster"
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/simnet"
+)
+
+// ClusterOption configures a simulated replica group.
+type ClusterOption func(*clusterConfig) error
+
+type clusterConfig struct {
+	net  simnet.Config
+	doc  func(SiteID) core.Config
+	mode Mode
+}
+
+// WithLatency bounds the simulated network's uniform random message delay
+// in virtual milliseconds (default 5..50).
+func WithLatency(min, max int64) ClusterOption {
+	return func(c *clusterConfig) error {
+		if min < 0 || max < min {
+			return fmt.Errorf("treedoc: invalid latency bounds [%d,%d]", min, max)
+		}
+		c.net.MinLatency, c.net.MaxLatency = min, max
+		return nil
+	}
+}
+
+// WithSeed fixes the network randomness for reproducible runs.
+func WithSeed(seed int64) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.net.Seed = seed
+		return nil
+	}
+}
+
+// WithLoss makes the simulated network drop each operation broadcast with
+// the given probability (0..1). Lost operations are recovered by
+// anti-entropy: see Replica.SyncWith. Commitment-protocol traffic models a
+// reliable channel and is never dropped.
+func WithLoss(p float64) ClusterOption {
+	return func(c *clusterConfig) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("treedoc: loss probability %v out of [0,1]", p)
+		}
+		c.net.Loss = p
+		return nil
+	}
+}
+
+// WithClusterMode sets every replica's disambiguator scheme.
+func WithClusterMode(m Mode) ClusterOption {
+	return func(c *clusterConfig) error {
+		switch m {
+		case SDIS, UDIS:
+			c.mode = m
+			return nil
+		default:
+			return fmt.Errorf("treedoc: invalid mode %v", m)
+		}
+	}
+}
+
+// Cluster is a simulated cooperative-editing group: n replicas exchanging
+// operations through causal broadcast over a deterministic discrete-event
+// network, with the flatten commitment protocol available. It is the
+// environment the paper targets — peers editing optimistically and
+// synchronising in the background — packaged for tests, benchmarks and
+// examples.
+type Cluster struct {
+	c *cluster.Cluster
+}
+
+// NewCluster creates a group with site identifiers 1..sites.
+func NewCluster(sites int, opts ...ClusterOption) (*Cluster, error) {
+	var cfg clusterConfig
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	cc := cluster.Config{Sites: sites, Net: cfg.net}
+	if cfg.mode != 0 {
+		cc.Doc = func(site ident.SiteID) core.Config {
+			return core.Config{Mode: cfg.mode}
+		}
+	}
+	c, err := cluster.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Replica is one member of a Cluster. Local edits broadcast automatically;
+// delivery happens as the cluster Runs.
+type Replica struct {
+	r *cluster.Replica
+}
+
+// ErrRegionLocked is returned for local edits blocked by an outstanding
+// flatten vote on their region; retry after the commitment decides.
+var ErrRegionLocked = cluster.ErrLocked
+
+// Replica returns the replica with the given site id (1-based).
+func (c *Cluster) Replica(site SiteID) (*Replica, error) {
+	r := c.c.Replica(site)
+	if r == nil {
+		return nil, fmt.Errorf("treedoc: no replica with site %d", site)
+	}
+	return &Replica{r: r}, nil
+}
+
+// Sites returns the member site ids.
+func (c *Cluster) Sites() []SiteID { return c.c.Sites() }
+
+// InsertAt edits locally and broadcasts.
+func (r *Replica) InsertAt(i int, atom string) error { return r.r.InsertAt(i, atom) }
+
+// Append inserts at the end of the document.
+func (r *Replica) Append(atom string) error { return r.r.InsertAt(r.r.Doc().Len(), atom) }
+
+// InsertRunAt inserts a consecutive run locally and broadcasts.
+func (r *Replica) InsertRunAt(i int, atoms []string) error { return r.r.InsertRunAt(i, atoms) }
+
+// DeleteAt edits locally and broadcasts.
+func (r *Replica) DeleteAt(i int) error { return r.r.DeleteAt(i) }
+
+// Len returns the replica's current document length.
+func (r *Replica) Len() int { return r.r.Doc().Len() }
+
+// Content returns the replica's current document.
+func (r *Replica) Content() []string { return r.r.Doc().Content() }
+
+// ContentString joins the document with newlines.
+func (r *Replica) ContentString() string { return r.r.Doc().ContentString() }
+
+// Stats measures the replica's overheads.
+func (r *Replica) Stats() Stats { return r.r.Doc().Stats() }
+
+// EndRevision advances the replica's revision clock (used by the cold-
+// subtree heuristics).
+func (r *Replica) EndRevision() { r.r.Doc().EndRevision() }
+
+// ProposeFlatten starts the commitment protocol to compact the whole
+// document, with this replica as coordinator. The proposal aborts harmlessly
+// if any replica observed a concurrent edit.
+func (r *Replica) ProposeFlatten() { r.r.ProposeFlatten(nil) }
+
+// ProposeFlattenCold proposes compacting the largest subtree quiet for the
+// given number of revisions. It reports whether a candidate existed.
+func (r *Replica) ProposeFlattenCold(revisions int) bool {
+	_, ok := r.r.ProposeFlattenCold(int64(revisions), 2)
+	return ok
+}
+
+// FlattensApplied counts committed flattens at this replica.
+func (r *Replica) FlattensApplied() int { return r.r.FlattensApplied() }
+
+// SyncWith runs one anti-entropy exchange with a peer: this replica sends
+// its vector-clock digest and the peer retransmits every operation the
+// digest does not cover (including third-party operations it relayed).
+// Call periodically on lossy networks; redundant syncs are cheap no-ops.
+func (r *Replica) SyncWith(peer SiteID) { r.r.SyncWith(peer) }
+
+// Run delivers network messages until quiescence (maxSteps 0) or until
+// maxSteps messages have been delivered; it returns the number delivered.
+func (c *Cluster) Run(maxSteps int) int { return c.c.Run(maxSteps) }
+
+// Converged reports whether all replicas hold identical content.
+func (c *Cluster) Converged() bool {
+	ok, _ := c.c.Converged()
+	return ok
+}
+
+// Partition severs the network between two sites (messages are held and
+// delivered after healing, modelling disconnected operation).
+func (c *Cluster) Partition(a, b SiteID) error { return c.c.Net().Partition(a, b) }
+
+// HealAll removes all partitions.
+func (c *Cluster) HealAll() { c.c.Net().HealAll() }
+
+// Now returns the simulated clock in virtual milliseconds.
+func (c *Cluster) Now() int64 { return c.c.Net().Now() }
+
+// Check verifies every replica's structural invariants.
+func (c *Cluster) Check() error { return c.c.Check() }

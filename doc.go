@@ -1,0 +1,55 @@
+// Package treedoc implements Treedoc, the Commutative Replicated Data Type
+// (CRDT) for cooperative text editing from Preguiça, Marquès, Shapiro and
+// Leția, "A commutative replicated data type for cooperative editing",
+// ICDCS 2009.
+//
+// A Treedoc document is a replicated sequence of atoms (characters, lines
+// or paragraphs). Each replica edits locally with no latency and no locks;
+// edits become operations that are broadcast and replayed at other
+// replicas. Because every pair of concurrent operations commutes, replicas
+// that deliver operations in happened-before order converge automatically,
+// with no operational transformation and no serialisation.
+//
+// # Quick start
+//
+//	alice, _ := treedoc.New(treedoc.WithSite(1))
+//	bob, _ := treedoc.New(treedoc.WithSite(2))
+//
+//	op1, _ := alice.InsertAt(0, "hello")
+//	op2, _ := alice.InsertAt(1, "world")
+//	_ = bob.Apply(op1) // replay in happened-before order
+//	_ = bob.Apply(op2)
+//	fmt.Println(bob.ContentString()) // hello\nworld
+//
+// # Position identifiers
+//
+// Atoms are identified by paths in an extended binary tree (major nodes
+// containing disambiguated mini-nodes). The identifier space is dense —
+// between any two identifiers there is always room for a third — so an
+// insert never displaces its neighbours. Two disambiguator schemes are
+// provided (Section 3.3 of the paper): SDIS (bare site identifiers, deleted
+// atoms leave tombstones) and UDIS (counter+site pairs, deleted atoms are
+// discarded immediately).
+//
+// Allocation is balanced by default (Section 4.1): appends grow the tree by
+// ⌈log2 h⌉+1 levels at once and subsequent inserts fill the reserved slots,
+// avoiding the one-level-per-append degeneration of the naive algorithm.
+//
+// # Structural compaction
+//
+// Flatten (Section 4.2) rewrites a quiescent region as a plain atom array
+// with zero metadata; in the best case a compacted document is just a
+// sequential buffer. Within one process, Doc.Flatten and Doc.EndRevision
+// (heuristic flatten of cold subtrees) are available directly; across
+// replicas, flatten must be coordinated — Cluster runs the paper's
+// commitment protocol (two-phase commit where any replica that observed a
+// concurrent edit in the region votes No).
+//
+// # Simulation
+//
+// Cluster wires several replicas over a deterministic discrete-event
+// network with random latency, partitions and healing, plus causal
+// delivery. It is how the repository's examples, integration tests and
+// benchmarks exercise distributed behaviour; real deployments substitute
+// their own transport and should preserve the causal-delivery contract.
+package treedoc

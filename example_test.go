@@ -1,0 +1,120 @@
+package treedoc_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/treedoc/treedoc"
+)
+
+// Two replicas edit concurrently and converge by exchanging operations.
+func Example() {
+	alice, err := treedoc.New(treedoc.WithSite(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := treedoc.New(treedoc.WithSite(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	op1, _ := alice.InsertAt(0, "hello")
+	op2, _ := alice.Append("world")
+	_ = bob.Apply(op1)
+	_ = bob.Apply(op2)
+
+	// Concurrent edits commute.
+	opA, _ := alice.InsertAt(1, "brave")
+	opB, _ := bob.Append("!")
+	_ = alice.Apply(opB)
+	_ = bob.Apply(opA)
+
+	fmt.Println(alice.ContentString())
+	fmt.Println(alice.ContentString() == bob.ContentString())
+	// Output:
+	// hello
+	// brave
+	// world
+	// !
+	// true
+}
+
+// Operations serialise for transport with encoding.BinaryMarshaler.
+func ExampleOp() {
+	d, _ := treedoc.New(treedoc.WithSite(1))
+	op, _ := d.InsertAt(0, "payload")
+
+	wire, _ := op.MarshalBinary()
+	var received treedoc.Op
+	_ = received.UnmarshalBinary(wire)
+
+	peer, _ := treedoc.New(treedoc.WithSite(2))
+	_ = peer.Apply(received)
+	fmt.Println(peer.ContentString())
+	// Output:
+	// payload
+}
+
+// Flatten compacts a quiescent document to a plain array with zero
+// metadata overhead.
+func ExampleDoc_Flatten() {
+	d, _ := treedoc.New(treedoc.WithSite(1))
+	for i := 0; i < 100; i++ {
+		_, _ = d.Append("line")
+	}
+	for i := 0; i < 40; i++ {
+		_, _ = d.DeleteAt(0) // tombstones pile up under SDIS
+	}
+	before := d.Stats()
+	_ = d.Flatten()
+	after := d.Stats()
+	fmt.Println(before.Tree.DeadMinis > 0, after.Tree.DeadMinis, after.Tree.MemBytes)
+	// Output:
+	// true 0 0
+}
+
+// TextBuffer adapts a replica to a text editor's splice interface.
+func ExampleTextBuffer() {
+	buf, _ := treedoc.NewTextBuffer(treedoc.WithSite(1))
+	_, _ = buf.Append("hello world")
+	_, _ = buf.Splice(6, 5, "treedoc") // replace "world"
+	fmt.Println(buf.String())
+	// Output:
+	// hello treedoc
+}
+
+// A simulated cluster replicates edits through causal broadcast and
+// coordinates flatten with the commitment protocol.
+func ExampleCluster() {
+	cluster, _ := treedoc.NewCluster(3, treedoc.WithSeed(1))
+	r1, _ := cluster.Replica(1)
+	for i, s := range []string{"a", "b", "c"} {
+		_ = r1.InsertAt(i, s)
+	}
+	cluster.Run(0) // deliver everything
+
+	r3, _ := cluster.Replica(3)
+	fmt.Println(r3.ContentString())
+	fmt.Println(cluster.Converged())
+	// Output:
+	// a
+	// b
+	// c
+	// true
+}
+
+// Snapshots persist a replica, including the allocation state it needs to
+// keep minting fresh identifiers after a restart.
+func ExampleOpen() {
+	d, _ := treedoc.New(treedoc.WithSite(9), treedoc.WithMode(treedoc.UDIS))
+	_, _ = d.Append("persists")
+	data, _ := d.MarshalBinary()
+
+	restored, err := treedoc.Open(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(restored.ContentString(), restored.Site())
+	// Output:
+	// persists 9
+}

@@ -1,0 +1,106 @@
+// Wiki: a single-site wiki-page lifecycle in the style of the paper's
+// Wikipedia workloads — paragraph atoms, revision sessions dominated by
+// modifications (delete + insert), a vandalism episode with an
+// administrator revert, and heuristic flattening of cold regions keeping
+// the metadata small. Prints Table-1-style measurements as the page evolves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/treedoc/treedoc"
+)
+
+func main() {
+	page, err := treedoc.New(
+		treedoc.WithSite(1),
+		treedoc.WithFlattenEvery(2, 1), // flatten a cold subtree every 2 revisions
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// The stub article.
+	for i, p := range []string{
+		"Treedoc is a replicated data type for cooperative editing.",
+		"It was introduced at ICDCS 2009.",
+		"Replicas converge without concurrency control.",
+	} {
+		if _, err := page.InsertAt(i, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	page.EndRevision()
+	report(page, "stub created")
+
+	// Organic growth: 40 revisions of modify-heavy editing.
+	para := 0
+	for rev := 0; rev < 40; rev++ {
+		edits := 1 + rng.Intn(3)
+		for e := 0; e < edits; e++ {
+			pos := rng.Intn(page.Len())
+			if rng.Float64() < 0.6 {
+				// Modify = delete + insert, as the paper models it.
+				if _, err := page.DeleteAt(pos); err != nil {
+					log.Fatal(err)
+				}
+				if _, err := page.InsertAt(pos, fmt.Sprintf("revised paragraph %d", para)); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				if _, err := page.InsertAt(pos, fmt.Sprintf("new paragraph %d", para)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			para++
+		}
+		page.EndRevision()
+	}
+	report(page, "after 40 revisions of organic editing")
+
+	// Vandalism: a third of the page defaced in one revision…
+	n := page.Len()
+	chunk := n / 3
+	start := rng.Intn(n - chunk)
+	var removed []string
+	for i := 0; i < chunk; i++ {
+		atom, err := page.AtomAt(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		removed = append(removed, atom)
+		if _, err := page.DeleteAt(start); err != nil {
+			log.Fatal(err)
+		}
+	}
+	page.EndRevision()
+	report(page, fmt.Sprintf("vandalised: %d paragraphs deleted", chunk))
+
+	// …and the administrator reverts it (same text, fresh identifiers).
+	if _, err := page.InsertRunAt(start, removed); err != nil {
+		log.Fatal(err)
+	}
+	page.EndRevision()
+	report(page, "administrator restored the text")
+
+	// Quiesce: a few idle revisions let the flatten heuristic compact
+	// everything that is no longer being edited.
+	for i := 0; i < 6; i++ {
+		page.EndRevision()
+	}
+	report(page, "after quiescence (flatten heuristic caught up)")
+
+	if err := page.Check(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func report(page *treedoc.Doc, what string) {
+	s := page.Stats()
+	fmt.Printf("%-48s %4d paras | %4d nodes | %5.1f%% non-tombstone | avg PosID %5.1f bits | mem ovhd %.2fx\n",
+		what, s.Tree.LiveAtoms, s.Tree.Nodes,
+		100*s.Tree.NonTombstoneFraction(), s.Tree.AvgIDBits(), s.Tree.MemOverheadRatio())
+}

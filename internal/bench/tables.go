@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/trace"
+)
+
+// Table1Row is one (document, flatten setting) measurement of Table 1.
+type Table1Row struct {
+	Document   string
+	Flatten    string // "no", "1", "2", "8"
+	MaxIDBits  int
+	AvgIDBits  float64
+	Nodes      int
+	NodeBytes  int
+	MemOvhd    float64
+	NonTombPct float64
+	DiskOvhd   int
+	DiskPct    float64
+}
+
+// Table1 regenerates Table 1 ("Measurements"): for every document and
+// flatten setting, identifier sizes, node counts and memory, tombstone
+// fraction, and on-disk overhead. Wiki documents use flatten intervals
+// {no, 1, 2} and LaTeX documents {no, 2, 8}, matching the paper's rows.
+// SDIS disambiguators, naive allocation (balancing is studied separately in
+// Tables 3–4).
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		intervals := []int{0, 2, 8}
+		if p.Granularity == trace.Paragraphs {
+			intervals = []int{0, 1, 2}
+		}
+		for _, iv := range intervals {
+			res, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.SDIS, FlattenInterval: iv})
+			if err != nil {
+				return nil, err
+			}
+			fl := "no"
+			if iv > 0 {
+				fl = fmt.Sprintf("%d", iv)
+			}
+			ts := res.Stats.Tree
+			rows = append(rows, Table1Row{
+				Document:   p.Name,
+				Flatten:    fl,
+				MaxIDBits:  ts.MaxIDBits,
+				AvgIDBits:  ts.AvgIDBits(),
+				Nodes:      ts.Nodes,
+				NodeBytes:  ts.MemBytes,
+				MemOvhd:    ts.MemOverheadRatio(),
+				NonTombPct: 100 * ts.NonTombstoneFraction(),
+				DiskOvhd:   res.Disk.OverheadBytes,
+				DiskPct:    res.Disk.OverheadPercent(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Measurements (SDIS, naive allocation)\n")
+	fmt.Fprintf(&b, "%-22s %-7s %7s %8s %8s %10s %8s %9s %9s %7s\n",
+		"Document", "Flatten", "PosID", "PosID", "Nodes", "Mem", "Mem", "non-Tomb", "Disk", "Disk")
+	fmt.Fprintf(&b, "%-22s %-7s %7s %8s %8s %10s %8s %9s %9s %7s\n",
+		"", "", "max(b)", "avg(b)", "number", "bytes", "ovhd", "%", "ovhd(B)", "% doc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-7s %7d %8.2f %8d %10d %8.2f %9.2f %9d %7.2f\n",
+			r.Document, r.Flatten, r.MaxIDBits, r.AvgIDBits, r.Nodes, r.NodeBytes,
+			r.MemOvhd, r.NonTombPct, r.DiskOvhd, r.DiskPct)
+	}
+	return b.String()
+}
+
+// Table2Row summarises one workload class of Table 2.
+type Table2Row struct {
+	Class        string
+	Revisions    int
+	InitialLines int
+	FinalLines   int
+}
+
+// Table2 regenerates Table 2 ("Summary of documents studied"): average,
+// least active and most active workloads.
+func Table2() ([]Table2Row, error) {
+	var sums []trace.Summary
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := tr.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	least, most := sums[0], sums[0]
+	var avg Table2Row
+	for _, s := range sums {
+		avg.Revisions += s.Revisions
+		avg.InitialLines += s.InitialAtoms
+		avg.FinalLines += s.FinalAtoms
+		if s.Revisions < least.Revisions {
+			least = s
+		}
+		if s.Revisions > most.Revisions {
+			most = s
+		}
+	}
+	n := len(sums)
+	return []Table2Row{
+		{Class: "average", Revisions: avg.Revisions / n, InitialLines: avg.InitialLines / n, FinalLines: avg.FinalLines / n},
+		{Class: "less active", Revisions: least.Revisions, InitialLines: least.InitialAtoms, FinalLines: least.FinalAtoms},
+		{Class: "most active", Revisions: most.Revisions, InitialLines: most.InitialAtoms, FinalLines: most.FinalAtoms},
+	}, nil
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Summary of documents studied\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s\n", "", "revisions", "initial", "final")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %10d %10d\n", r.Class, r.Revisions, r.InitialLines, r.FinalLines)
+	}
+	return b.String()
+}
+
+// Table3Cell is one (flatten, balancing) tombstone fraction.
+type Table3Cell struct {
+	Flatten   string
+	NoBalance float64 // percent
+	Balance   float64 // percent
+}
+
+// Table3 regenerates Table 3 ("Fraction of tombstones, LaTeX documents"):
+// tombstone percentage across the LaTeX workloads for flatten intervals
+// {no, 8, 2}, with and without balancing (balanced strategy + grouped
+// revision inserts). SDIS throughout, as in Section 5.1.
+func Table3() ([]Table3Cell, error) {
+	intervals := []struct {
+		label string
+		iv    int
+	}{{"no-flatten", 0}, {"flatten-8", 8}, {"flatten-2", 2}}
+	cells := make([]Table3Cell, 0, len(intervals))
+	for _, in := range intervals {
+		cell := Table3Cell{Flatten: in.label}
+		for _, balanced := range []bool{false, true} {
+			var dead, total int
+			for _, p := range trace.LatexProfiles() {
+				tr, err := trace.Generate(p)
+				if err != nil {
+					return nil, err
+				}
+				res, err := ReplayTreedoc(tr, ReplayConfig{
+					Mode: ident.SDIS, Balanced: balanced, Batch: balanced, FlattenInterval: in.iv,
+				})
+				if err != nil {
+					return nil, err
+				}
+				dead += res.Stats.Tree.DeadMinis
+				total += res.Stats.Tree.Minis + res.Stats.Tree.FlatAtoms
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(dead) / float64(total)
+			}
+			if balanced {
+				cell.Balance = pct
+			} else {
+				cell.NoBalance = pct
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(cells []Table3Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Fraction of tombstones (LaTeX documents)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "", "no balancing", "balancing")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-12s %13.1f%% %13.1f%%\n", c.Flatten, c.NoBalance, c.Balance)
+	}
+	return b.String()
+}
+
+// Table4Cell is one (flatten, balancing, scheme) overhead pair.
+type Table4Cell struct {
+	Flatten  string
+	Balanced bool
+	Scheme   ident.Mode
+	// OverheadPerAtom is total identifier overhead (live + tombstone ids)
+	// per live atom, in bits.
+	OverheadPerAtom float64
+	// AvgIDBits is the mean live identifier size in bits.
+	AvgIDBits float64
+}
+
+// Table4 regenerates Table 4 ("SDIS vs. UDIS, LaTeX documents"): per-atom
+// identifier overhead and average identifier size for every combination of
+// flatten interval {no, 8, 2}, balancing, and disambiguator scheme.
+func Table4() ([]Table4Cell, error) {
+	intervals := []struct {
+		label string
+		iv    int
+	}{{"no-flatten", 0}, {"flatten-8", 8}, {"flatten-2", 2}}
+	var cells []Table4Cell
+	for _, in := range intervals {
+		for _, balanced := range []bool{false, true} {
+			for _, mode := range []ident.Mode{ident.SDIS, ident.UDIS} {
+				var ovhd, avg float64
+				var docs int
+				for _, p := range trace.LatexProfiles() {
+					tr, err := trace.Generate(p)
+					if err != nil {
+						return nil, err
+					}
+					res, err := ReplayTreedoc(tr, ReplayConfig{
+						Mode: mode, Balanced: balanced, Batch: balanced, FlattenInterval: in.iv,
+					})
+					if err != nil {
+						return nil, err
+					}
+					ovhd += res.Stats.Tree.OverheadBitsPerAtom()
+					avg += res.Stats.Tree.AvgIDBits()
+					docs++
+				}
+				cells = append(cells, Table4Cell{
+					Flatten:         in.label,
+					Balanced:        balanced,
+					Scheme:          mode,
+					OverheadPerAtom: ovhd / float64(docs),
+					AvgIDBits:       avg / float64(docs),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatTable4 renders Table 4 in the paper's layout.
+func FormatTable4(cells []Table4Cell) string {
+	get := func(fl string, bal bool, mode ident.Mode) Table4Cell {
+		for _, c := range cells {
+			if c.Flatten == fl && c.Balanced == bal && c.Scheme == mode {
+				return c
+			}
+		}
+		return Table4Cell{}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4. SDIS vs. UDIS (LaTeX documents), bits\n")
+	fmt.Fprintf(&b, "%-12s %-18s %10s %10s %10s %10s\n", "", "", "no-bal", "", "balancing", "")
+	fmt.Fprintf(&b, "%-12s %-18s %10s %10s %10s %10s\n", "", "", "SDIS", "UDIS", "SDIS", "UDIS")
+	for _, fl := range []string{"no-flatten", "flatten-8", "flatten-2"} {
+		fmt.Fprintf(&b, "%-12s %-18s %10.0f %10.0f %10.0f %10.0f\n", fl, "overhead/atom",
+			get(fl, false, ident.SDIS).OverheadPerAtom, get(fl, false, ident.UDIS).OverheadPerAtom,
+			get(fl, true, ident.SDIS).OverheadPerAtom, get(fl, true, ident.UDIS).OverheadPerAtom)
+		fmt.Fprintf(&b, "%-12s %-18s %10.0f %10.0f %10.0f %10.0f\n", "", "avg PosID size",
+			get(fl, false, ident.SDIS).AvgIDBits, get(fl, false, ident.UDIS).AvgIDBits,
+			get(fl, true, ident.SDIS).AvgIDBits, get(fl, true, ident.UDIS).AvgIDBits)
+	}
+	return b.String()
+}
+
+// Table5Row is one document's Logoot/Treedoc identifier-size ratio.
+type Table5Row struct {
+	Document    string
+	TreedocBits int
+	LogootBits  int
+	Ratio       float64
+}
+
+// Table5 regenerates Table 5 ("Comparing Treedoc vs. Logoot: PosID sizes"):
+// the total identifier size ratio per document, Treedoc under UDIS without
+// flattening, Logoot with equal-size (10-byte) unique identifiers.
+func Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, p := range trace.Profiles() {
+		tr, err := trace.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		td, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.UDIS})
+		if err != nil {
+			return nil, err
+		}
+		lg, err := ReplayLogoot(tr)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{
+			Document:    p.Name,
+			TreedocBits: td.Stats.Tree.TotalIDBits,
+			LogootBits:  lg.Stats.TotalIDBits,
+		}
+		if row.TreedocBits > 0 {
+			row.Ratio = float64(row.LogootBits) / float64(row.TreedocBits)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5. Comparing Treedoc vs. Logoot: PosID sizes\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %8s\n", "Document", "Treedoc(b)", "Logoot(b)", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %12d %12d %8.1f\n", r.Document, r.TreedocBits, r.LogootBits, r.Ratio)
+	}
+	return b.String()
+}
+
+// Figure6 regenerates Figure 6 ("Variation of number of nodes for
+// acf.tex"): the total and non-tombstone node counts after every revision,
+// with the flatten heuristic producing the drastic drops the paper shows.
+func Figure6() ([]SeriesPoint, error) {
+	p, err := trace.ProfileByName("acf.tex")
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.SDIS, FlattenInterval: 8, Series: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Series, nil
+}
+
+// FormatFigure6 renders the two series as columns (revision, nodes,
+// non-tombstone nodes), ready for plotting.
+func FormatFigure6(series []SeriesPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6. Variation of number of nodes for acf.tex (flatten-8)\n")
+	fmt.Fprintf(&b, "%10s %10s %12s\n", "revision", "nodes", "non-T nodes")
+	for _, pt := range series {
+		fmt.Fprintf(&b, "%10d %10d %12d\n", pt.Revision, pt.Nodes, pt.NonTomb)
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/trace"
+)
+
+// TestTable1Shapes: the overheads must be reasonable (the paper's headline)
+// and flattening must reduce node counts and disk overhead.
+func TestTable1Shapes(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 6 documents × 3 flatten settings
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	byDoc := map[string][]Table1Row{}
+	for _, r := range rows {
+		byDoc[r.Document] = append(byDoc[r.Document], r)
+	}
+	for doc, rs := range byDoc {
+		if len(rs) != 3 {
+			t.Fatalf("%s has %d rows", doc, len(rs))
+		}
+		noFlatten := rs[0]
+		best := rs[1] // most aggressive interval comes second (1 or 2)
+		if noFlatten.Flatten != "no" {
+			t.Fatalf("%s first row = %s", doc, noFlatten.Flatten)
+		}
+		if best.Nodes >= noFlatten.Nodes {
+			t.Errorf("%s: flatten-%s did not reduce nodes: %d -> %d",
+				doc, best.Flatten, noFlatten.Nodes, best.Nodes)
+		}
+		if best.NonTombPct <= noFlatten.NonTombPct {
+			t.Errorf("%s: flatten did not improve tombstone fraction: %.1f -> %.1f",
+				doc, noFlatten.NonTombPct, best.NonTombPct)
+		}
+		// Paper: mem overhead between 0.36 and 3.7 × file size; allow a
+		// generous band around it.
+		if noFlatten.MemOvhd > 8 {
+			t.Errorf("%s: mem overhead ratio %.2f is unreasonable", doc, noFlatten.MemOvhd)
+		}
+		// Without flattening, tombstones dominate ("up to 95% of nodes are
+		// tombstones"): non-tombstone fraction well under half.
+		if noFlatten.NonTombPct > 60 {
+			t.Errorf("%s: non-tombstone fraction %.1f%% too high without flatten",
+				doc, noFlatten.NonTombPct)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "acf.tex") || !strings.Contains(out, "Distributed Computing") {
+		t.Error("formatted table missing documents")
+	}
+}
+
+// TestTable2MatchesPaper: the workload classes must reproduce Table 2's
+// published statistics.
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	within := func(got, want, tolPct int) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d*100 <= want*tolPct
+	}
+	// Paper: average 312/103/279 over its full corpus; the six presented
+	// documents average 281 revisions, so allow a 15% band around 312.
+	if !within(rows[0].Revisions, 312, 15) {
+		t.Errorf("average revisions = %d, want ≈312", rows[0].Revisions)
+	}
+	if !within(rows[0].FinalLines, 279, 20) {
+		t.Errorf("average final = %d, want ≈279", rows[0].FinalLines)
+	}
+	if rows[1].Revisions != 51 || rows[1].InitialLines != 99 {
+		t.Errorf("less active = %+v, want 51 revisions, 99 initial", rows[1])
+	}
+	if rows[2].Revisions != 870 || rows[2].InitialLines != 9 {
+		t.Errorf("most active = %+v, want 870 revisions, 9 initial", rows[2])
+	}
+	if out := FormatTable2(rows); !strings.Contains(out, "most active") {
+		t.Error("format")
+	}
+}
+
+// TestTable3Shapes: tombstone fraction is high without flattening and drops
+// sharply when flattening aggressively; balancing augments the effect
+// (Section 5.1: "it is best to flatten aggressively").
+func TestTable3Shapes(t *testing.T) {
+	cells, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	noF, f8, f2 := cells[0], cells[1], cells[2]
+	if noF.NoBalance < 50 {
+		t.Errorf("no-flatten tombstones = %.1f%%, want high (paper: 77.5%%)", noF.NoBalance)
+	}
+	if !(f2.NoBalance < f8.NoBalance && f8.NoBalance < noF.NoBalance) {
+		t.Errorf("aggressive flattening must reduce tombstones: %.1f, %.1f, %.1f",
+			noF.NoBalance, f8.NoBalance, f2.NoBalance)
+	}
+	if f2.NoBalance > 35 {
+		t.Errorf("flatten-2 tombstones = %.1f%%, want low (paper: 15.8%%)", f2.NoBalance)
+	}
+	// Balancing should not hurt, and generally helps with flattening
+	// (paper: 67.8 -> 62.9 for flatten-8).
+	if f8.Balance > f8.NoBalance+5 {
+		t.Errorf("balancing made flatten-8 worse: %.1f vs %.1f", f8.Balance, f8.NoBalance)
+	}
+	if out := FormatTable3(cells); !strings.Contains(out, "flatten-2") {
+		t.Error("format")
+	}
+}
+
+// TestTable4Shapes: UDIS has lower total overhead than SDIS despite larger
+// identifiers, because it discards tombstones early; flattening and
+// balancing both shrink overheads (Section 5.2, Table 4).
+func TestTable4Shapes(t *testing.T) {
+	cells, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(fl string, bal bool, mode ident.Mode) Table4Cell {
+		for _, c := range cells {
+			if c.Flatten == fl && c.Balanced == bal && c.Scheme == mode {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%v/%v", fl, bal, mode)
+		return Table4Cell{}
+	}
+	for _, bal := range []bool{false, true} {
+		s := get("no-flatten", bal, ident.SDIS)
+		u := get("no-flatten", bal, ident.UDIS)
+		if u.OverheadPerAtom >= s.OverheadPerAtom {
+			t.Errorf("bal=%v: UDIS overhead %.0f ≥ SDIS %.0f (paper: UDIS wins overall)",
+				bal, u.OverheadPerAtom, s.OverheadPerAtom)
+		}
+		// Per-identifier, UDIS is larger (80 vs 48 bits of disambiguator).
+		if u.AvgIDBits <= s.AvgIDBits {
+			t.Errorf("bal=%v: UDIS avg id %.0f ≤ SDIS %.0f (UDIS ids are larger)",
+				bal, u.AvgIDBits, s.AvgIDBits)
+		}
+	}
+	// Aggressive flattening collapses the SDIS/UDIS gap (paper: 34 vs 24).
+	s2 := get("flatten-2", false, ident.SDIS)
+	sNo := get("no-flatten", false, ident.SDIS)
+	if s2.OverheadPerAtom >= sNo.OverheadPerAtom/2 {
+		t.Errorf("flatten-2 SDIS overhead %.0f not far below no-flatten %.0f",
+			s2.OverheadPerAtom, sNo.OverheadPerAtom)
+	}
+	// Balancing reduces SDIS overhead without flatten (paper: 570 -> 377).
+	bNo := get("no-flatten", true, ident.SDIS)
+	if bNo.OverheadPerAtom >= sNo.OverheadPerAtom {
+		t.Errorf("balancing did not reduce SDIS overhead: %.0f vs %.0f",
+			bNo.OverheadPerAtom, sNo.OverheadPerAtom)
+	}
+	if out := FormatTable4(cells); !strings.Contains(out, "overhead/atom") {
+		t.Error("format")
+	}
+}
+
+// TestTable5Shapes: Logoot identifiers are substantially larger in total
+// than Treedoc/UDIS identifiers (paper ratios 1.8–3.9).
+func TestTable5Shapes(t *testing.T) {
+	rows, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 1.2 {
+			t.Errorf("%s: Logoot/Treedoc ratio %.2f, want > 1.2", r.Document, r.Ratio)
+		}
+		if r.Ratio > 10 {
+			t.Errorf("%s: ratio %.2f implausibly high", r.Document, r.Ratio)
+		}
+	}
+	if out := FormatTable5(rows); !strings.Contains(out, "ratio") {
+		t.Error("format")
+	}
+}
+
+// TestFigure6Shapes: node counts grow over a document's lifetime and
+// flattening appears as drastic drops (paper: "flattening appears as
+// drastic reduction to the total number of nodes").
+func TestFigure6Shapes(t *testing.T) {
+	series, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 51 { // acf.tex has 51 revisions
+		t.Fatalf("series length = %d", len(series))
+	}
+	drops := 0
+	maxNodes := 0
+	for i := 1; i < len(series); i++ {
+		if series[i].Nodes > maxNodes {
+			maxNodes = series[i].Nodes
+		}
+		if series[i].Nodes < series[i-1].Nodes*3/4 {
+			drops++
+		}
+		if series[i].NonTomb > series[i].Nodes {
+			t.Fatalf("revision %d: non-tomb %d > nodes %d",
+				series[i].Revision, series[i].NonTomb, series[i].Nodes)
+		}
+	}
+	if drops == 0 {
+		t.Error("no flatten drops visible in the node-count series")
+	}
+	if maxNodes == 0 {
+		t.Error("empty series")
+	}
+	if out := FormatFigure6(series); !strings.Contains(out, "non-T") {
+		t.Error("format")
+	}
+}
+
+// TestReplayCPUClaim: Section 5.2 reports the full 870-revision wiki replay
+// at under 1.44 seconds on 2009 hardware; the reproduction must be at least
+// that fast.
+func TestReplayCPUClaim(t *testing.T) {
+	p, err := trace.ProfileByName("Distributed Computing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.SDIS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration.Seconds() > 1.44 {
+		t.Errorf("replay took %v, paper reports < 1.44s", res.Duration)
+	}
+}
+
+// TestBatchReplayEquivalence: batching only changes identifiers, never
+// content.
+func TestBatchReplayEquivalence(t *testing.T) {
+	p := trace.LatexProfiles()[0]
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range []ReplayConfig{
+		{},
+		{Balanced: true},
+		{Balanced: true, Batch: true},
+		{Mode: ident.UDIS, Balanced: true, Batch: true, FlattenInterval: 4},
+	} {
+		res, err := ReplayTreedoc(tr, rc)
+		if err != nil {
+			t.Fatalf("%s: %v", rc.name(), err)
+		}
+		if res.Stats.Tree.LiveAtoms != len(want) {
+			t.Errorf("%s: %d atoms, want %d", rc.name(), res.Stats.Tree.LiveAtoms, len(want))
+		}
+	}
+}
+
+// TestWootBaseline: WOOT accumulates permanent tombstones, exceeding
+// Treedoc's overhead on the same trace.
+func TestWootBaseline(t *testing.T) {
+	p := trace.Profile{
+		Name: "small", Granularity: trace.Lines, Seed: 77,
+		InitialAtoms: 30, FinalAtoms: 60, Revisions: 15, AtomBytes: 30,
+		EditsPerRevision: 5, ModifyFraction: 0.6, HotSpots: 2,
+	}
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ReplayWoot(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats.Tombstones == 0 {
+		t.Error("WOOT replay produced no tombstones")
+	}
+	lg, err := ReplayLogoot(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Stats.LiveAtoms != w.Stats.LiveAtoms {
+		t.Errorf("baseline divergence: logoot %d vs woot %d atoms",
+			lg.Stats.LiveAtoms, w.Stats.LiveAtoms)
+	}
+	final, err := tr.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Stats.LiveAtoms != len(final) {
+		t.Errorf("logoot atoms = %d, want %d", lg.Stats.LiveAtoms, len(final))
+	}
+}

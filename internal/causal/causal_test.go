@@ -1,0 +1,182 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+func TestStampTicksOwnEntry(t *testing.T) {
+	b := NewBuffer(1)
+	m1 := b.Stamp("x")
+	m2 := b.Stamp("y")
+	if m1.TS.Get(1) != 1 || m2.TS.Get(1) != 2 {
+		t.Errorf("timestamps: %v, %v", m1.TS, m2.TS)
+	}
+	if m1.From != 1 {
+		t.Errorf("from = %d", m1.From)
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	a := NewBuffer(1)
+	b := NewBuffer(2)
+	m1 := a.Stamp("one")
+	m2 := a.Stamp("two")
+	got, err := b.Add(m1)
+	if err != nil || len(got) != 1 || got[0].Payload != "one" {
+		t.Fatalf("first delivery: %v, %v", got, err)
+	}
+	got, err = b.Add(m2)
+	if err != nil || len(got) != 1 || got[0].Payload != "two" {
+		t.Fatalf("second delivery: %v, %v", got, err)
+	}
+}
+
+func TestOutOfOrderBuffered(t *testing.T) {
+	a := NewBuffer(1)
+	b := NewBuffer(2)
+	m1 := a.Stamp("one")
+	m2 := a.Stamp("two")
+	got, err := b.Add(m2)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("early message delivered: %v, %v", got, err)
+	}
+	if b.Pending() != 1 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+	got, err = b.Add(m1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("catch-up: %v, %v", got, err)
+	}
+	if got[0].Payload != "one" || got[1].Payload != "two" {
+		t.Errorf("order: %v", got)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+}
+
+func TestCrossDependency(t *testing.T) {
+	// Site 1 sends m1; site 2 receives it then sends m2 (m1 → m2). A third
+	// site receiving m2 first must wait for m1.
+	a, b, c := NewBuffer(1), NewBuffer(2), NewBuffer(3)
+	m1 := a.Stamp("m1")
+	if _, err := b.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := b.Stamp("m2")
+	got, err := c.Add(m2)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("m2 delivered before its dependency: %v, %v", got, err)
+	}
+	got, err = c.Add(m1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("delivery after dependency: %v, %v", got, err)
+	}
+	if got[0].Payload != "m1" || got[1].Payload != "m2" {
+		t.Errorf("order: %v", got)
+	}
+}
+
+func TestDuplicatesDropped(t *testing.T) {
+	a, b := NewBuffer(1), NewBuffer(2)
+	m := a.Stamp("x")
+	if got, _ := b.Add(m); len(got) != 1 {
+		t.Fatal("first copy not delivered")
+	}
+	if got, _ := b.Add(m); len(got) != 0 {
+		t.Error("duplicate delivered")
+	}
+	// Own messages are ignored.
+	own := b.Stamp("own")
+	if got, _ := b.Add(own); len(got) != 0 {
+		t.Error("own message delivered")
+	}
+}
+
+func TestBufferedDuplicateCleanup(t *testing.T) {
+	a, b := NewBuffer(1), NewBuffer(2)
+	m1 := a.Stamp("one")
+	m2 := a.Stamp("two")
+	if got, _ := b.Add(m2); len(got) != 0 {
+		t.Fatal("m2 early")
+	}
+	if got, _ := b.Add(m2); len(got) != 0 {
+		t.Fatal("dup m2")
+	}
+	got, _ := b.Add(m1)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2 (duplicate must not deliver twice)", len(got))
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	b := NewBuffer(1)
+	if _, err := b.Add(Message{From: 0}); err == nil {
+		t.Error("message without sender accepted")
+	}
+	if _, err := b.Add(Message{From: 2, TS: vclock.VC{}}); err == nil {
+		t.Error("message without own timestamp accepted")
+	}
+}
+
+// TestRandomDeliveryAllArrive drives N senders' interleaved causal streams
+// through one receiver in random order and checks complete, causally
+// ordered delivery.
+func TestRandomDeliveryAllArrive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const senders = 4
+	const msgs = 50
+	bufs := make([]*Buffer, senders)
+	for i := range bufs {
+		bufs[i] = NewBuffer(ident.SiteID(i + 1))
+	}
+	var all []Message
+	// Random causal history: before each send, the sender may "receive" some
+	// pending messages from others, creating cross-dependencies.
+	for k := 0; k < senders*msgs; k++ {
+		i := rng.Intn(senders)
+		for _, m := range all {
+			if rng.Intn(4) == 0 {
+				_, _ = bufs[i].Add(m)
+			}
+		}
+		all = append(all, bufs[i].Stamp(k))
+	}
+	recv := NewBuffer(99)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	var delivered []Message
+	for _, m := range all {
+		got, err := recv.Add(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, got...)
+	}
+	if len(delivered) != len(all) {
+		t.Fatalf("delivered %d of %d (pending %d)", len(delivered), len(all), recv.Pending())
+	}
+	// Causal order: per-sender sequence numbers ascend, and every message's
+	// dependencies precede it.
+	seen := vclock.New()
+	for _, m := range delivered {
+		for s, n := range m.TS {
+			if s == m.From {
+				if seen.Get(s)+1 != n {
+					t.Fatalf("sender %d out of order: have %d, got %d", s, seen.Get(s), n)
+				}
+				continue
+			}
+			if seen.Get(s) < n {
+				t.Fatalf("dependency violated: need s%d:%d, have %d", s, n, seen.Get(s))
+			}
+		}
+		seen.Tick(m.From)
+	}
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/simnet"
+)
+
+// TestChaos drives a cluster through long random schedules of edits,
+// partial delivery, partitions, heals, and flatten proposals — the full
+// system under adversarial interleaving. After final healing and
+// quiescence, every replica must converge and satisfy every structural
+// invariant. Each seed is a different schedule.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are slow")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const sites = 4
+	mode := ident.SDIS
+	if seed%2 == 0 {
+		mode = ident.UDIS
+	}
+	c, err := New(Config{
+		Sites: sites,
+		Net:   simnet.Config{MinLatency: 1, MaxLatency: 40, Seed: seed},
+		Doc: func(site ident.SiteID) core.Config {
+			return core.Config{Mode: mode, Strategy: core.Balanced{}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cut struct{ a, b ident.SiteID }
+	var cuts []cut
+	blocked, edits, proposals := 0, 0, 0
+	for step := 0; step < 600; step++ {
+		switch r := rng.Intn(100); {
+		case r < 55: // local edit at a random site
+			site := ident.SiteID(1 + rng.Intn(sites))
+			rep := c.Replica(site)
+			n := rep.Doc().Len()
+			var err error
+			if n == 0 || rng.Intn(100) < 65 {
+				err = rep.InsertAt(rng.Intn(n+1), fmt.Sprintf("s%d-%d", site, step))
+			} else {
+				err = rep.DeleteAt(rng.Intn(n))
+			}
+			switch err {
+			case nil:
+				edits++
+			case ErrLocked:
+				blocked++ // legal: a flatten vote is open on the region
+			default:
+				t.Fatalf("step %d: %v", step, err)
+			}
+		case r < 75: // deliver a burst
+			c.Run(1 + rng.Intn(20))
+		case r < 83 && len(cuts) < 3: // partition a random pair
+			a := ident.SiteID(1 + rng.Intn(sites))
+			b := ident.SiteID(1 + rng.Intn(sites))
+			if a != b {
+				if err := c.Net().Partition(a, b); err != nil {
+					t.Fatal(err)
+				}
+				cuts = append(cuts, cut{a, b})
+			}
+		case r < 90 && len(cuts) > 0: // heal one pair
+			i := rng.Intn(len(cuts))
+			c.Net().Heal(cuts[i].a, cuts[i].b)
+			cuts = append(cuts[:i], cuts[i+1:]...)
+		case r < 96: // advance revisions (cold-subtree clock)
+			for _, s := range c.Sites() {
+				c.Replica(s).Doc().EndRevision()
+			}
+		default: // propose a flatten from a random site
+			site := ident.SiteID(1 + rng.Intn(sites))
+			if _, ok := c.Replica(site).ProposeFlattenCold(1, 2); ok {
+				proposals++
+			}
+		}
+	}
+	c.Net().HealAll()
+	c.Run(0)
+	if ok, diag := c.Converged(); !ok {
+		t.Fatalf("after %d edits (%d blocked), %d flatten proposals: %s",
+			edits, blocked, proposals, diag)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Replica(1).Doc().Len() == 0 {
+		t.Error("degenerate chaos run: empty document")
+	}
+	// Committed flattens, if any, applied at every site or none.
+	applied := c.Replica(1).FlattensApplied()
+	for _, s := range c.Sites() {
+		if got := c.Replica(s).FlattensApplied(); got != applied {
+			t.Errorf("site %d applied %d flattens, site 1 applied %d", s, got, applied)
+		}
+	}
+}
+
+// TestChaosDeterminism: the same seed must produce the same final document
+// (the whole stack is deterministic, which is what makes failures
+// reproducible).
+func TestChaosDeterminism(t *testing.T) {
+	run := func() string {
+		rng := rand.New(rand.NewSource(42))
+		c, err := New(Config{Sites: 3, Net: simnet.Config{MinLatency: 1, MaxLatency: 30, Seed: 42}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 200; step++ {
+			site := ident.SiteID(1 + rng.Intn(3))
+			rep := c.Replica(site)
+			n := rep.Doc().Len()
+			if n == 0 || rng.Intn(3) > 0 {
+				_ = rep.InsertAt(rng.Intn(n+1), fmt.Sprintf("%d", step))
+			} else {
+				_ = rep.DeleteAt(rng.Intn(n))
+			}
+			c.Run(rng.Intn(5))
+		}
+		c.Run(0)
+		return c.Replica(1).Doc().ContentString()
+	}
+	if a, b := run(), run(); a != b {
+		t.Error("same seed produced different histories")
+	}
+}

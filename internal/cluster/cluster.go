@@ -1,0 +1,397 @@
+// Package cluster wires Treedoc replicas into a simulated cooperative
+// editing group: each site couples a core.Document with a causal delivery
+// buffer (internal/causal) over the discrete-event network
+// (internal/simnet), and participates in the flatten commitment protocol
+// (internal/commit). This is the peer-to-peer setting the paper targets:
+// "common edit operations execute optimistically, with no latency; replicas
+// synchronise only in the background" (Section 6).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/treedoc/treedoc/internal/causal"
+	"github.com/treedoc/treedoc/internal/commit"
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/simnet"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// Replica is one site: document, causal delivery, and commitment roles.
+type Replica struct {
+	id    ident.SiteID
+	doc   *core.Document
+	buf   *causal.Buffer
+	part  *commit.Participant
+	coord *commit.Coordinator
+	c     *Cluster
+
+	// log holds applied ops uncovered by the last flatten, for the
+	// commitment vote ("observes the execution of insert, delete or flatten
+	// within the sub-tree", Section 4.2.1).
+	log []logged
+	// flattenClock is the causal clock at the last applied flatten; any
+	// proposal must dominate it (a flatten counts as an edit of its region,
+	// and identifiers are renamed by it).
+	flattenClock vclock.VC
+
+	flattensApplied int
+	editsBlocked    int
+	commitErrs      []error
+
+	// msgLog retains every stamped message seen (own and delivered remote)
+	// for anti-entropy retransmission (sync.go).
+	msgLog []causal.Message
+}
+
+type logged struct {
+	site ident.SiteID
+	seq  uint64
+	id   ident.Path
+}
+
+// Cluster is a group of replicas on one simulated network.
+type Cluster struct {
+	net      *simnet.Network
+	replicas map[ident.SiteID]*Replica
+	sites    []ident.SiteID
+	timeout  int64
+}
+
+// Config parameterises a cluster.
+type Config struct {
+	// Sites is the number of replicas (site ids 1..Sites).
+	Sites int
+	// Net configures the simulated network.
+	Net simnet.Config
+	// Doc builds each replica's document configuration; nil uses defaults
+	// (SDIS, balanced strategy).
+	Doc func(site ident.SiteID) core.Config
+	// CommitTimeout is the 2PC deadline in virtual milliseconds (default
+	// 10× max latency).
+	CommitTimeout int64
+}
+
+// New creates a cluster of replicas.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("cluster: need at least one site")
+	}
+	if cfg.CommitTimeout == 0 {
+		max := cfg.Net.MaxLatency
+		if max == 0 {
+			max = 50
+		}
+		cfg.CommitTimeout = 10 * max
+	}
+	c := &Cluster{
+		net:      simnet.New(cfg.Net),
+		replicas: make(map[ident.SiteID]*Replica, cfg.Sites),
+		timeout:  cfg.CommitTimeout,
+	}
+	for i := 1; i <= cfg.Sites; i++ {
+		site := ident.SiteID(i)
+		dc := core.Config{Site: site}
+		if cfg.Doc != nil {
+			dc = cfg.Doc(site)
+			dc.Site = site
+		}
+		doc, err := core.NewDocument(dc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: site %d: %w", site, err)
+		}
+		r := &Replica{
+			id:    site,
+			doc:   doc,
+			buf:   causal.NewBuffer(site),
+			coord: commit.NewCoordinator(site),
+			c:     c,
+		}
+		r.part = commit.NewParticipant(site, (*resource)(r))
+		c.replicas[site] = r
+		c.sites = append(c.sites, site)
+	}
+	sort.Slice(c.sites, func(i, j int) bool { return c.sites[i] < c.sites[j] })
+	return c, nil
+}
+
+// Replica returns the replica for a site id.
+func (c *Cluster) Replica(site ident.SiteID) *Replica { return c.replicas[site] }
+
+// Sites returns the site ids in ascending order.
+func (c *Cluster) Sites() []ident.SiteID { return append([]ident.SiteID(nil), c.sites...) }
+
+// Net exposes the network for partition control in tests.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Doc returns the replica's document (read-mostly access for assertions and
+// measurements).
+func (r *Replica) Doc() *core.Document { return r.doc }
+
+// ID returns the replica's site id.
+func (r *Replica) ID() ident.SiteID { return r.id }
+
+// EditsBlocked counts local edits rejected because a flatten vote had
+// locked their region.
+func (r *Replica) EditsBlocked() int { return r.editsBlocked }
+
+// FlattensApplied counts committed flattens applied at this replica.
+func (r *Replica) FlattensApplied() int { return r.flattensApplied }
+
+// ErrLocked is returned for local edits inside a region locked by an
+// outstanding flatten vote; the caller may retry after the decision.
+var ErrLocked = fmt.Errorf("cluster: region locked by pending flatten commitment")
+
+// InsertAt performs a local insert and broadcasts it.
+func (r *Replica) InsertAt(i int, atom string) error {
+	if r.gapLocked(i) {
+		r.editsBlocked++
+		return ErrLocked
+	}
+	op, err := r.doc.InsertAt(i, atom)
+	if err != nil {
+		return err
+	}
+	r.record(op)
+	r.broadcast(op)
+	return nil
+}
+
+// DeleteAt performs a local delete and broadcasts it.
+func (r *Replica) DeleteAt(i int) error {
+	id, err := r.doc.IDAt(i)
+	if err != nil {
+		return err
+	}
+	if r.part.Blocks(id) {
+		r.editsBlocked++
+		return ErrLocked
+	}
+	op, err := r.doc.DeleteAt(i)
+	if err != nil {
+		return err
+	}
+	r.record(op)
+	r.broadcast(op)
+	return nil
+}
+
+// InsertRunAt inserts a consecutive run locally and broadcasts each op.
+func (r *Replica) InsertRunAt(i int, atoms []string) error {
+	if r.gapLocked(i) {
+		r.editsBlocked++
+		return ErrLocked
+	}
+	ops, err := r.doc.InsertRunAt(i, atoms)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		r.record(op)
+		r.broadcast(op)
+	}
+	return nil
+}
+
+// gapLocked reports whether the insertion gap i touches a locked region.
+func (r *Replica) gapLocked(i int) bool {
+	if r.part.Locked() == 0 {
+		return false
+	}
+	var p, f ident.Path
+	if i > 0 {
+		if id, err := r.doc.IDAt(i - 1); err == nil {
+			p = id
+		}
+	}
+	if i < r.doc.Len() {
+		if id, err := r.doc.IDAt(i); err == nil {
+			f = id
+		}
+	}
+	if p != nil && r.part.Blocks(p) {
+		return true
+	}
+	if f != nil && r.part.Blocks(f) {
+		return true
+	}
+	// A locked region strictly inside the gap also blocks: the insert could
+	// land inside it.
+	return r.part.BlocksGap(p, f)
+}
+
+func (r *Replica) record(op core.Op) {
+	r.log = append(r.log, logged{site: op.Site, seq: op.Seq, id: op.ID})
+}
+
+func (r *Replica) broadcast(payload any) {
+	m := r.buf.Stamp(payload)
+	r.remember(m)
+	for _, s := range r.c.sites {
+		if s != r.id {
+			r.c.net.Send(r.id, s, m)
+		}
+	}
+}
+
+// ProposeFlatten starts the commitment protocol to flatten the subtree at
+// path, with this replica as coordinator. All sites (including this one)
+// are participants.
+func (r *Replica) ProposeFlatten(path ident.Path) commit.TxID {
+	tx, outs := r.coord.Propose(path, r.buf.Clock(), r.c.sites, r.c.net.Now(), r.c.timeout)
+	r.dispatch(outs)
+	return tx
+}
+
+// ProposeFlattenCold proposes flattening the current coldest subtree (no
+// edits for `revisions` revisions, at least minNodes nodes). It returns
+// false if no cold subtree exists.
+func (r *Replica) ProposeFlattenCold(revisions int64, minNodes int) (commit.TxID, bool) {
+	path := r.doc.ColdestSubtree(revisions, minNodes)
+	if path == nil {
+		return commit.TxID{}, false
+	}
+	return r.ProposeFlatten(path), true
+}
+
+// dispatch routes protocol messages: To 0 broadcasts to every site,
+// delivering locally without the network.
+func (r *Replica) dispatch(outs []commit.Out) {
+	for _, o := range outs {
+		targets := []ident.SiteID{o.To}
+		if o.To == 0 {
+			targets = r.c.sites
+		}
+		for _, to := range targets {
+			if to == r.id {
+				r.c.handleCommitMsg(r, r.id, o.Msg)
+			} else {
+				r.c.net.Send(r.id, to, o.Msg)
+			}
+		}
+	}
+}
+
+// resource adapts Replica to commit.Resource.
+type resource Replica
+
+// UneditedSince implements commit.Resource: vote Yes only if this replica
+// has everything the coordinator observed, no flatten happened beyond obs,
+// and no applied operation outside obs touches the subtree.
+func (rs *resource) UneditedSince(path ident.Path, obs vclock.VC) bool {
+	r := (*Replica)(rs)
+	if !r.buf.Clock().Dominates(obs) {
+		return false // cannot evaluate the coordinator's view of the region
+	}
+	if !obs.Dominates(r.flattenClock) {
+		return false // an applied flatten renamed identifiers beyond obs
+	}
+	for _, l := range r.log {
+		if l.seq > obs.Get(l.site) && ident.RegionCompare(l.id, path) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyFlatten implements commit.Resource.
+func (rs *resource) ApplyFlatten(path ident.Path) error {
+	r := (*Replica)(rs)
+	if err := r.doc.FlattenSubtree(path); err != nil {
+		return err
+	}
+	r.flattensApplied++
+	r.flattenClock = r.buf.Clock()
+	// Entries at or before the flatten clock can never be uncovered again
+	// (proposals must dominate flattenClock), so the log resets.
+	r.log = r.log[:0]
+	return nil
+}
+
+// Step delivers one network message and processes it. It returns false when
+// nothing is in flight.
+func (c *Cluster) Step() bool {
+	env, ok := c.net.DeliverNext()
+	if !ok {
+		return false
+	}
+	r := c.replicas[env.To]
+	if r == nil {
+		return true
+	}
+	switch m := env.Payload.(type) {
+	case causal.Message:
+		r.ingest(m)
+	case commit.Msg:
+		c.handleCommitMsg(r, env.From, m)
+	default:
+		c.handleSync(r, env.Payload)
+	}
+	// Drive coordinator timeouts from virtual time; participant locks block
+	// until a decision arrives (see internal/commit).
+	for _, rep := range c.replicas {
+		rep.dispatch(rep.coord.Tick(c.net.Now()))
+	}
+	return true
+}
+
+func (c *Cluster) handleCommitMsg(r *Replica, from ident.SiteID, m commit.Msg) {
+	switch m.Kind {
+	case commit.Prepare:
+		out := r.part.OnPrepare(m)
+		r.dispatch([]commit.Out{out})
+	case commit.Vote:
+		r.dispatch(r.coord.OnVote(from, m))
+	case commit.Decision:
+		// A commit decision can only fail if the protocol's guarantees were
+		// violated; record it so Check fails loudly.
+		if err := r.part.OnDecision(m); err != nil {
+			r.commitErrs = append(r.commitErrs, err)
+		}
+	}
+}
+
+// Run delivers messages until the network is quiescent or maxSteps is
+// reached (0 = unlimited). It returns the number of messages delivered.
+func (c *Cluster) Run(maxSteps int) int {
+	steps := 0
+	for c.Step() {
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+	}
+	return steps
+}
+
+// Converged reports whether all replicas hold identical content, with a
+// diagnostic naming the first divergent site.
+func (c *Cluster) Converged() (bool, string) {
+	if len(c.sites) == 0 {
+		return true, ""
+	}
+	want := c.replicas[c.sites[0]].doc.ContentString()
+	for _, s := range c.sites[1:] {
+		if got := c.replicas[s].doc.ContentString(); got != want {
+			return false, fmt.Sprintf("site %d diverged from site %d", s, c.sites[0])
+		}
+	}
+	return true, ""
+}
+
+// Check runs every replica's structural invariants and surfaces any
+// commitment-protocol violations.
+func (c *Cluster) Check() error {
+	for _, s := range c.sites {
+		r := c.replicas[s]
+		if len(r.commitErrs) > 0 {
+			return fmt.Errorf("site %d: commit protocol violation: %w", s, r.commitErrs[0])
+		}
+		if err := r.doc.Check(); err != nil {
+			return fmt.Errorf("site %d: %w", s, err)
+		}
+	}
+	return nil
+}

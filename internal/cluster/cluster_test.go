@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/simnet"
+)
+
+func newCluster(t *testing.T, sites int, opts ...func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{Sites: sites, Net: simnet.Config{MinLatency: 1, MaxLatency: 20, Seed: 3}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustConverge(t *testing.T, c *Cluster) {
+	t.Helper()
+	c.Run(0)
+	if ok, diag := c.Converged(); !ok {
+		t.Fatal(diag)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Sites: 0}); err == nil {
+		t.Error("zero sites accepted")
+	}
+	c := newCluster(t, 3)
+	if got := len(c.Sites()); got != 3 {
+		t.Errorf("sites = %d", got)
+	}
+	if c.Replica(2).ID() != 2 {
+		t.Error("replica lookup broken")
+	}
+}
+
+func TestBasicReplication(t *testing.T) {
+	c := newCluster(t, 3)
+	r1 := c.Replica(1)
+	for i, atom := range []string{"one", "two", "three"} {
+		if err := r1.InsertAt(i, atom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConverge(t, c)
+	if got := c.Replica(3).Doc().ContentString(); got != "one\ntwo\nthree" {
+		t.Errorf("site 3 = %q", got)
+	}
+}
+
+func TestConcurrentEditingConverges(t *testing.T) {
+	c := newCluster(t, 4)
+	rng := rand.New(rand.NewSource(12))
+	// Seed the document from one site, replicate.
+	for i := 0; i < 5; i++ {
+		if err := c.Replica(1).InsertAt(i, fmt.Sprintf("seed%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	// All sites edit concurrently, interleaved with partial delivery.
+	for round := 0; round < 20; round++ {
+		for _, s := range c.Sites() {
+			r := c.Replica(s)
+			n := r.Doc().Len()
+			if n == 0 || rng.Intn(100) < 70 {
+				if err := r.InsertAt(rng.Intn(n+1), fmt.Sprintf("s%dr%d", s, round)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := r.DeleteAt(rng.Intn(n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c.Run(rng.Intn(10)) // deliver a few messages mid-flight
+	}
+	mustConverge(t, c)
+	if c.Replica(1).Doc().Len() == 0 {
+		t.Error("degenerate final document")
+	}
+}
+
+func TestPartitionedEditingConvergesAfterHeal(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := c.Replica(1).InsertAt(0, "base"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	if err := c.Net().Partition(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Disconnected edits on both sides.
+	for i := 0; i < 10; i++ {
+		if err := c.Replica(1).InsertAt(i, fmt.Sprintf("a%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Replica(2).InsertAt(i, fmt.Sprintf("b%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	if ok, _ := c.Converged(); ok {
+		t.Fatal("replicas converged across a partition")
+	}
+	c.Net().HealAll()
+	mustConverge(t, c)
+	if got := c.Replica(1).Doc().Len(); got != 21 {
+		t.Errorf("final length = %d, want 21", got)
+	}
+}
+
+func TestDistributedFlattenCommits(t *testing.T) {
+	c := newCluster(t, 3)
+	r1 := c.Replica(1)
+	for i := 0; i < 20; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	before := c.Replica(2).Doc().Stats().Tree.Nodes
+	if before == 0 {
+		t.Fatal("no nodes before flatten")
+	}
+	r1.ProposeFlatten(ident.Path{}) // whole document
+	mustConverge(t, c)
+	for _, s := range c.Sites() {
+		r := c.Replica(s)
+		if r.FlattensApplied() != 1 {
+			t.Errorf("site %d applied %d flattens, want 1", s, r.FlattensApplied())
+		}
+		st := r.Doc().Stats()
+		if st.Tree.Nodes != 0 || st.Tree.MemBytes != 0 {
+			t.Errorf("site %d not compacted: nodes=%d", s, st.Tree.Nodes)
+		}
+		if r.Doc().Len() != 20 {
+			t.Errorf("site %d lost atoms: %d", s, r.Doc().Len())
+		}
+	}
+}
+
+func TestFlattenAbortsOnConcurrentEdit(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		cfg.Net = simnet.Config{MinLatency: 50, MaxLatency: 50, Seed: 1}
+	})
+	r1, r2 := c.Replica(1), c.Replica(2)
+	for i := 0; i < 8; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	// Site 2 edits; before the op reaches site 1, site 1 proposes a flatten.
+	if err := r2.InsertAt(3, "concurrent"); err != nil {
+		t.Fatal(err)
+	}
+	r1.ProposeFlatten(ident.Path{})
+	mustConverge(t, c)
+	for _, s := range c.Sites() {
+		if got := c.Replica(s).FlattensApplied(); got != 0 {
+			t.Errorf("site %d applied %d flattens, want 0 (abort)", s, got)
+		}
+	}
+	if got := r1.Doc().Len(); got != 9 {
+		t.Errorf("doc len = %d, want 9 (no work lost)", got)
+	}
+}
+
+func TestFlattenLockBlocksLocalEdits(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		cfg.Net = simnet.Config{MinLatency: 100, MaxLatency: 100, Seed: 1}
+	})
+	r1 := c.Replica(1)
+	for i := 0; i < 6; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	r1.ProposeFlatten(ident.Path{})
+	// The coordinator's own participant voted yes synchronously; its lock
+	// must block local edits until the decision.
+	err := r1.InsertAt(3, "blocked")
+	if err != ErrLocked {
+		t.Fatalf("insert during vote: %v, want ErrLocked", err)
+	}
+	if r1.EditsBlocked() != 1 {
+		t.Errorf("blocked count = %d", r1.EditsBlocked())
+	}
+	mustConverge(t, c)
+	// After the decision the edit goes through.
+	if err := r1.InsertAt(3, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	mustConverge(t, c)
+}
+
+func TestFlattenColdSubtree(t *testing.T) {
+	c := newCluster(t, 2)
+	r1 := c.Replica(1)
+	for i := 0; i < 30; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	// Age the document: advance revisions with an edit elsewhere.
+	r1.Doc().EndRevision()
+	c.Replica(2).Doc().EndRevision()
+	tx, ok := r1.ProposeFlattenCold(0, 2)
+	if !ok {
+		t.Fatal("no cold subtree proposed")
+	}
+	_ = tx
+	mustConverge(t, c)
+	if got := r1.FlattensApplied(); got != 1 {
+		t.Errorf("flattens applied = %d", got)
+	}
+	if got := r1.Doc().Len(); got != 30 {
+		t.Errorf("len = %d", got)
+	}
+	// Contents survived on both sites.
+	if ok, diag := c.Converged(); !ok {
+		t.Fatal(diag)
+	}
+}
+
+func TestFlattenTimeoutWithPartition(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		cfg.CommitTimeout = 200
+	})
+	r1 := c.Replica(1)
+	for i := 0; i < 10; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	// Partition site 3 away; its vote can never arrive.
+	if err := c.Net().Partition(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Net().Partition(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	r1.ProposeFlatten(ident.Path{})
+	c.Run(0)
+	// Keep virtual time moving so the timeout fires: a heartbeat edit.
+	for i := 0; i < 10; i++ {
+		if err := r1.InsertAt(0, fmt.Sprintf("hb%d", i)); err != nil && err != ErrLocked {
+			t.Fatal(err)
+		}
+		c.Run(0)
+	}
+	for _, s := range []ident.SiteID{1, 2} {
+		if got := c.Replica(s).FlattensApplied(); got != 0 {
+			t.Errorf("site %d applied %d flattens despite lost participant", s, got)
+		}
+	}
+	// Heal: everything converges, flatten simply never happened.
+	c.Net().HealAll()
+	mustConverge(t, c)
+}
+
+func TestUDISCluster(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		cfg.Doc = func(site ident.SiteID) core.Config {
+			return core.Config{Mode: ident.UDIS, Strategy: core.Balanced{}}
+		}
+	})
+	r1 := c.Replica(1)
+	for i := 0; i < 10; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	for i := 9; i >= 5; i-- {
+		if err := c.Replica(2).DeleteAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConverge(t, c)
+	for _, s := range c.Sites() {
+		st := c.Replica(s).Doc().Stats()
+		if st.Tree.DeadMinis != 0 {
+			t.Errorf("site %d has %d tombstones under UDIS", s, st.Tree.DeadMinis)
+		}
+	}
+}
+
+func TestInsertRunReplicates(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := c.Replica(1).InsertRunAt(0, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	mustConverge(t, c)
+	if got := c.Replica(2).Doc().ContentString(); got != "a\nb\nc\nd\ne" {
+		t.Errorf("site 2 = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"github.com/treedoc/treedoc/internal/causal"
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// Anti-entropy: operation gossip is lossy (simnet drops it with the
+// configured probability), so replicas periodically exchange vector-clock
+// digests and retransmit what the peer is missing. This implements the
+// paper's delivery assumption — "eventually, every site executes every
+// action" (Section 1) — over an unreliable transport.
+//
+// The exchange is a classic two-message protocol:
+//
+//	A → B: syncRequest{A's delivered clock}
+//	B → A: syncReply{every message B has that A's clock does not cover}
+//
+// Replies carry the original causally-stamped messages, so the receiving
+// buffer deduplicates and orders them exactly like first deliveries. Sync
+// traffic itself is reliable (it does not implement Lossy).
+
+// syncRequest asks a peer for everything missing from the sender's clock.
+type syncRequest struct {
+	From  ident.SiteID
+	Clock vclock.VC
+}
+
+// syncReply retransmits messages the requester was missing.
+type syncReply struct {
+	From ident.SiteID
+	Msgs []causal.Message
+}
+
+// remember retains a stamped message for future retransmission. Both own
+// broadcasts and delivered remote messages are kept: a replica can heal a
+// third party's loss.
+func (r *Replica) remember(m causal.Message) {
+	r.msgLog = append(r.msgLog, m)
+}
+
+// SyncWith sends an anti-entropy digest to one peer; the peer responds with
+// everything this replica is missing. Call periodically (or after suspected
+// loss); the cost is one digest message plus the missing operations.
+func (r *Replica) SyncWith(peer ident.SiteID) {
+	if peer == r.id {
+		return
+	}
+	r.c.net.Send(r.id, peer, syncRequest{From: r.id, Clock: r.buf.Clock()})
+}
+
+// missingFor collects retained messages not covered by the clock.
+func (r *Replica) missingFor(clock vclock.VC) []causal.Message {
+	var out []causal.Message
+	for _, m := range r.msgLog {
+		if m.TS.Get(m.From) > clock.Get(m.From) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// handleSync processes the two sync message kinds.
+func (c *Cluster) handleSync(r *Replica, payload any) bool {
+	switch m := payload.(type) {
+	case syncRequest:
+		if missing := r.missingFor(m.Clock); len(missing) > 0 {
+			c.net.Send(r.id, m.From, syncReply{From: r.id, Msgs: missing})
+		}
+		return true
+	case syncReply:
+		for _, msg := range m.Msgs {
+			r.ingest(msg)
+		}
+		return true
+	}
+	return false
+}
+
+// ingest feeds one causally-stamped message into the replica, applying
+// whatever becomes deliverable.
+func (r *Replica) ingest(m causal.Message) {
+	deliverable, err := r.buf.Add(m)
+	if err != nil {
+		return
+	}
+	for _, dm := range deliverable {
+		r.remember(dm)
+		if op, ok := dm.Payload.(core.Op); ok {
+			if err := r.doc.Apply(op); err == nil {
+				r.record(op)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/simnet"
+)
+
+func TestLossyNetworkStallsWithoutSync(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		cfg.Net = simnet.Config{MinLatency: 1, MaxLatency: 5, Loss: 1.0, Seed: 9}
+	})
+	if err := c.Replica(1).InsertAt(0, "lost"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	if got := c.Replica(2).Doc().Len(); got != 0 {
+		t.Fatalf("total loss delivered anyway: len=%d", got)
+	}
+	if c.Net().Dropped() == 0 {
+		t.Fatal("nothing dropped at loss=1.0")
+	}
+	// Anti-entropy recovers everything: the digest and reply are reliable.
+	c.Replica(2).SyncWith(1)
+	c.Run(0)
+	if got := c.Replica(2).Doc().Len(); got != 1 {
+		t.Fatalf("sync did not recover the op: len=%d", got)
+	}
+	if ok, diag := c.Converged(); !ok {
+		t.Fatal(diag)
+	}
+}
+
+func TestSyncRecoversThirdPartyOps(t *testing.T) {
+	// Site 1's op reaches site 2 but not site 3; site 3 syncs with site 2
+	// (not the originator) and still recovers it.
+	c := newCluster(t, 3, func(cfg *Config) {
+		cfg.Net = simnet.Config{MinLatency: 1, MaxLatency: 5, Seed: 4}
+	})
+	if err := c.Net().Partition(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Replica(1).InsertAt(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	if got := c.Replica(3).Doc().Len(); got != 0 {
+		t.Fatalf("partitioned delivery: len=%d", got)
+	}
+	c.Replica(3).SyncWith(2)
+	c.Run(0)
+	if got := c.Replica(3).Doc().Len(); got != 1 {
+		t.Fatalf("third-party sync failed: len=%d", got)
+	}
+	c.Net().HealAll()
+	mustConverge(t, c)
+}
+
+func TestSyncIdempotent(t *testing.T) {
+	c := newCluster(t, 2)
+	for i := 0; i < 5; i++ {
+		if err := c.Replica(1).InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	// Syncing when nothing is missing sends no reply and changes nothing.
+	before, _ := c.Net().Stats()
+	c.Replica(2).SyncWith(1)
+	c.Run(0)
+	after, _ := c.Net().Stats()
+	if after-before > 1 {
+		t.Errorf("no-op sync generated %d messages, want 1 (the digest)", after-before)
+	}
+	// Repeated syncs with missing data do not duplicate applications.
+	c.Replica(2).SyncWith(1)
+	c.Replica(2).SyncWith(1)
+	c.Run(0)
+	if got := c.Replica(2).Doc().Len(); got != 5 {
+		t.Errorf("len = %d after redundant syncs", got)
+	}
+	mustConverge(t, c)
+	c.Replica(1).SyncWith(1) // self-sync is a no-op
+	c.Run(0)
+}
+
+// TestChaosWithLoss: random editing over a 25%-lossy network, with periodic
+// anti-entropy pulses, converges after final sync rounds.
+func TestChaosWithLoss(t *testing.T) {
+	for _, seed := range []int64{3, 8, 15} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			const sites = 3
+			c := newCluster(t, sites, func(cfg *Config) {
+				cfg.Net = simnet.Config{MinLatency: 1, MaxLatency: 20, Loss: 0.25, Seed: seed}
+			})
+			for step := 0; step < 300; step++ {
+				site := ident.SiteID(1 + rng.Intn(sites))
+				r := c.Replica(site)
+				n := r.Doc().Len()
+				if n == 0 || rng.Intn(100) < 70 {
+					if err := r.InsertAt(rng.Intn(n+1), fmt.Sprintf("s%d-%d", site, step)); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := r.DeleteAt(rng.Intn(n)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if step%17 == 0 {
+					// Periodic anti-entropy: everyone pulses a random peer.
+					for _, s := range c.Sites() {
+						peer := ident.SiteID(1 + rng.Intn(sites))
+						c.Replica(s).SyncWith(peer)
+					}
+				}
+				c.Run(rng.Intn(10))
+			}
+			// Final rounds: pulse everyone against everyone until stable.
+			for round := 0; round < 4; round++ {
+				for _, a := range c.Sites() {
+					for _, b := range c.Sites() {
+						if a != b {
+							c.Replica(a).SyncWith(b)
+						}
+					}
+				}
+				c.Run(0)
+			}
+			if ok, diag := c.Converged(); !ok {
+				t.Fatal(diag)
+			}
+			if err := c.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if c.Net().Dropped() == 0 {
+				t.Error("loss=0.25 dropped nothing: test is vacuous")
+			}
+		})
+	}
+}

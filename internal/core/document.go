@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/doctree"
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Config parameterises a Document replica.
+type Config struct {
+	// Site is this replica's identifier; it must be non-zero (zero is the
+	// canonical disambiguator's reserved site) and unique across replicas.
+	Site ident.SiteID
+	// Mode selects the disambiguator scheme: SDIS (tombstones) or UDIS
+	// (immediate discard). Default SDIS.
+	Mode ident.Mode
+	// Strategy selects identifier allocation. Default Balanced.
+	Strategy Strategy
+	// Cost is the disambiguator size model for overhead accounting; defaults
+	// to the paper's Section 5 model for the chosen Mode.
+	Cost ident.Cost
+	// Flatten configures the local flatten heuristic; the zero value never
+	// flattens.
+	Flatten FlattenPolicy
+}
+
+// FlattenPolicy drives the heuristic structural compaction of Section 4.2
+// as evaluated in Section 5.1: every Interval revisions, flatten the largest
+// subtree that has not been edited for at least ColdRevisions revisions.
+type FlattenPolicy struct {
+	// Interval is the number of revisions between flatten attempts; 0
+	// disables the heuristic.
+	Interval int
+	// ColdRevisions is how many revisions a subtree must have been quiet to
+	// count as cold. Zero means "not edited in the current revision".
+	ColdRevisions int64
+	// MinNodes is the smallest subtree (in tree nodes) worth flattening.
+	// Zero defaults to 2.
+	MinNodes int
+}
+
+// Document is one replica of the Treedoc CRDT (Section 2.2's atom buffer).
+// Local edits return operations for propagation; remote operations are
+// replayed with Apply. The type is not safe for concurrent use; the public
+// treedoc package adds locking.
+type Document struct {
+	cfg      Config
+	tree     *doctree.Tree
+	strategy Strategy
+	counter  uint32 // per-site persistent counter (UDIS disambiguators)
+	seq      uint64 // local operation sequence
+	revision int64  // revision clock for the flatten heuristic
+
+	// applied tracks per-site op counts for duplicate detection in direct
+	// Apply use; the causal layer performs the authoritative filtering.
+	opsApplied uint64
+	netBits    uint64 // accumulated network cost of all ops seen
+}
+
+// NewDocument creates an empty replica. It returns an error for invalid
+// configuration (zero or out-of-range site).
+func NewDocument(cfg Config) (*Document, error) {
+	if cfg.Site == 0 || cfg.Site > ident.MaxSiteID {
+		return nil, fmt.Errorf("core: site must be in [1, 2^48); got %d", cfg.Site)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ident.SDIS
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = Balanced{}
+	}
+	if cfg.Cost == (ident.Cost{}) {
+		cfg.Cost = ident.PaperCost(cfg.Mode)
+	}
+	if cfg.Flatten.MinNodes == 0 {
+		cfg.Flatten.MinNodes = 2
+	}
+	return &Document{cfg: cfg, tree: doctree.New(), strategy: cfg.Strategy}, nil
+}
+
+// Restore rebuilds a replica from a deserialised tree and its persistent
+// allocation state (the per-site operation sequence and UDIS counter, which
+// must survive restarts so the site never re-mints identifiers).
+func Restore(cfg Config, tree *doctree.Tree, seq uint64, counter uint32) (*Document, error) {
+	d, err := NewDocument(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.tree = tree
+	d.seq = seq
+	d.counter = counter
+	return d, nil
+}
+
+// Seq returns the local operation sequence number (persisted by snapshots).
+func (d *Document) Seq() uint64 { return d.seq }
+
+// Counter returns the UDIS counter (persisted by snapshots).
+func (d *Document) Counter() uint32 { return d.counter }
+
+// Config returns the replica configuration.
+func (d *Document) Config() Config { return d.cfg }
+
+// Site returns the replica's site identifier.
+func (d *Document) Site() ident.SiteID { return d.cfg.Site }
+
+// Len returns the number of atoms in the document.
+func (d *Document) Len() int { return d.tree.Len() }
+
+// Content returns the document's atoms in order.
+func (d *Document) Content() []string { return d.tree.Content() }
+
+// ContentString returns the document joined with newlines, the natural
+// rendering for line- and paragraph-granularity atoms.
+func (d *Document) ContentString() string { return strings.Join(d.tree.Content(), "\n") }
+
+// AtomAt returns the atom at index i.
+func (d *Document) AtomAt(i int) (string, error) { return d.tree.AtomAt(i) }
+
+// IDAt returns the position identifier of the atom at index i.
+func (d *Document) IDAt(i int) (ident.Path, error) { return d.tree.IDAt(i) }
+
+// nextDis mints a fresh disambiguator: (counter, site) under UDIS
+// (Section 3.3.1), bare site under SDIS (Section 3.3.2).
+func (d *Document) nextDis() ident.Dis {
+	if d.cfg.Mode == ident.UDIS {
+		d.counter++
+		return ident.Dis{Counter: d.counter, Site: d.cfg.Site}
+	}
+	return ident.Dis{Site: d.cfg.Site}
+}
+
+// InsertAt inserts atom at index i (0 ≤ i ≤ Len) as a local edit and returns
+// the operation to propagate.
+func (d *Document) InsertAt(i int, atom string) (Op, error) {
+	p, f, err := d.tree.NeighborIDs(i)
+	if err != nil {
+		return Op{}, err
+	}
+	id, err := d.allocate(p, f)
+	if err != nil {
+		return Op{}, err
+	}
+	d.seq++
+	op := Op{Kind: OpInsert, ID: id, Atom: atom, Site: d.cfg.Site, Seq: d.seq}
+	if err := d.apply(op); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// allocate mints a fresh identifier strictly between p and f that is not a
+// used identifier. Under SDIS the same site re-inserting at the same gap
+// would otherwise re-mint a tombstone's identifier (the disambiguator is
+// just the site), which would not commute with deletes concurrent to the
+// new insert; tombstones mark identifiers as used precisely to prevent this
+// (Section 3.3.2). On a collision the tombstone becomes the new lower
+// bound and allocation retries deeper: the used identifiers between p and
+// f are finite, so this terminates. UDIS never collides (fresh counters).
+func (d *Document) allocate(p, f ident.Path) (ident.Path, error) {
+	dis := d.nextDis()
+	for {
+		id := d.strategy.NewID(d.tree, p, f, dis)
+		if err := checkAllocation(p, id, f); err != nil {
+			return nil, err
+		}
+		if !d.tree.Exists(id) {
+			return id, nil
+		}
+		p = id
+	}
+}
+
+// InsertRunAt inserts a consecutive run of atoms starting at index i and
+// returns the operations, one per atom. Strategies may pack the run into a
+// minimal subtree (Section 4.1's revision-grouping variant).
+func (d *Document) InsertRunAt(i int, atoms []string) ([]Op, error) {
+	if len(atoms) == 0 {
+		return nil, nil
+	}
+	p, f, err := d.tree.NeighborIDs(i)
+	if err != nil {
+		return nil, err
+	}
+	ids := d.strategy.NewRun(d.tree, p, f, d.nextDis(), len(atoms))
+	if len(ids) != len(atoms) {
+		return nil, fmt.Errorf("core: strategy returned %d ids for %d atoms", len(ids), len(atoms))
+	}
+	ops := make([]Op, 0, len(atoms))
+	prev := p
+	usable := true
+	for j := range atoms {
+		var id ident.Path
+		if usable {
+			id = ids[j]
+			if !ident.Between(prev, id, f) || d.tree.Exists(id) {
+				// A used identifier (or an out-of-order substitute earlier in
+				// the run) spoils the precomputed packing; allocate the rest
+				// individually.
+				usable = false
+			}
+		}
+		if !usable {
+			var err error
+			id, err = d.allocate(prev, f)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+		d.seq++
+		op := Op{Kind: OpInsert, ID: id, Atom: atoms[j], Site: d.cfg.Site, Seq: d.seq}
+		if err := d.apply(op); err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// DeleteAt deletes the atom at index i as a local edit and returns the
+// operation to propagate.
+func (d *Document) DeleteAt(i int) (Op, error) {
+	id, err := d.tree.IDAt(i)
+	if err != nil {
+		return Op{}, err
+	}
+	d.seq++
+	op := Op{Kind: OpDelete, ID: id, Site: d.cfg.Site, Seq: d.seq}
+	if err := d.apply(op); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// Apply replays a remote operation. Operations must arrive in
+// happened-before order (the causal layer's contract); under that contract
+// every pair of concurrent operations commutes and replicas converge
+// (Section 2.2).
+func (d *Document) Apply(op Op) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	return d.apply(op)
+}
+
+func (d *Document) apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		if err := d.tree.InsertID(op.ID, op.Atom); err != nil {
+			return err
+		}
+	case OpDelete:
+		if _, err := d.tree.DeleteID(op.ID, d.cfg.Mode == ident.UDIS); err != nil {
+			return err
+		}
+	}
+	d.opsApplied++
+	d.netBits += uint64(op.NetworkBits(d.cfg.Cost))
+	return nil
+}
+
+// EndRevision advances the revision clock and runs the flatten heuristic
+// when due: every Interval revisions, the largest subtree untouched for
+// ColdRevisions revisions is flattened (Section 5.1). It returns the
+// flattened subtree's structural path, or nil.
+//
+// This is the local (benchmark-replay) form used throughout the paper's
+// evaluation; the distributed form runs the same flatten under the
+// commitment protocol of internal/commit.
+func (d *Document) EndRevision() ident.Path {
+	d.revision++
+	d.tree.AdvanceRev()
+	pol := d.cfg.Flatten
+	if pol.Interval <= 0 || d.revision%int64(pol.Interval) != 0 {
+		return nil
+	}
+	cutoff := d.tree.Rev() - 1 - pol.ColdRevisions
+	cold := d.tree.ColdestSubtree(cutoff, pol.MinNodes)
+	if cold == nil {
+		return nil
+	}
+	if err := d.tree.Flatten(cold); err != nil {
+		return nil
+	}
+	return cold
+}
+
+// Revision returns the current revision number.
+func (d *Document) Revision() int64 { return d.revision }
+
+// FlattenSubtree flattens the subtree at the given structural path,
+// discarding tombstones and identifier metadata in the region. Callers are
+// responsible for coordination (see internal/commit); concurrent edits to a
+// flattened region would diverge.
+func (d *Document) FlattenSubtree(path ident.Path) error { return d.tree.Flatten(path) }
+
+// FlattenAll compacts the whole document to a plain array: the paper's
+// zero-overhead best case.
+func (d *Document) FlattenAll() error { return d.tree.FlattenAll() }
+
+// ColdestSubtree exposes the flatten heuristic's candidate selection: the
+// largest subtree not edited for `revisions` revisions with at least
+// minNodes nodes, or nil.
+func (d *Document) ColdestSubtree(revisions int64, minNodes int) ident.Path {
+	return d.tree.ColdestSubtree(d.tree.Rev()-revisions, minNodes)
+}
+
+// Stats measures the replica's overheads under its cost model.
+func (d *Document) Stats() Stats {
+	ts := d.tree.Stats(d.cfg.Cost)
+	return Stats{
+		Tree:       ts,
+		Mode:       d.cfg.Mode,
+		Strategy:   d.strategy.Name(),
+		OpsApplied: d.opsApplied,
+		NetBits:    d.netBits,
+		Height:     d.tree.Height(),
+	}
+}
+
+// Check verifies the underlying tree's structural invariants (tests).
+func (d *Document) Check() error { return d.tree.Check() }
+
+// Tree exposes the underlying document tree to sibling internal packages
+// (storage serialisation, benches). External users go through the public
+// treedoc package, which does not expose it.
+func (d *Document) Tree() *doctree.Tree { return d.tree }
+
+// Stats bundles a replica's measurements (Section 5's cost accounting).
+type Stats struct {
+	Tree       doctree.Stats
+	Mode       ident.Mode
+	Strategy   string
+	OpsApplied uint64
+	NetBits    uint64 // total network cost of all operations seen
+	Height     int
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+func TestOpJSONRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, ID: ident.MustParsePath("[10(0:s3)]"), Atom: "hello \"quoted\"", Site: 3, Seq: 42},
+		{Kind: OpDelete, ID: ident.MustParsePath("[(1:c7s9)]"), Site: 9, Seq: 1},
+	}
+	for _, op := range ops {
+		data, err := json.Marshal(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Op
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got.Kind != op.Kind || !got.ID.Equal(op.ID) || got.Atom != op.Atom ||
+			got.Site != op.Site || got.Seq != op.Seq {
+			t.Errorf("round trip %v -> %v", op, got)
+		}
+	}
+}
+
+func TestOpJSONReadable(t *testing.T) {
+	op := Op{Kind: OpInsert, ID: ident.MustParsePath("[10(0:s3)]"), Atom: "x", Site: 3, Seq: 1}
+	data, err := json.Marshal(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"insert","id":"[10(0:s3)]","atom":"x","site":3,"seq":1}`
+	if string(data) != want {
+		t.Errorf("json = %s, want %s", data, want)
+	}
+}
+
+func TestOpJSONErrors(t *testing.T) {
+	var o Op
+	if err := json.Unmarshal([]byte(`{"kind":"mangle","id":"[(1:s1)]"}`), &o); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"insert","id":"bogus"}`), &o); err == nil {
+		t.Error("bad id accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"insert","id":7}`), &o); err == nil {
+		t.Error("numeric id accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"delete","id":"[(1:s1)]","atom":"x","site":1}`), &o); err == nil {
+		t.Error("delete with atom accepted")
+	}
+}

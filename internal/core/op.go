@@ -1,0 +1,168 @@
+// Package core implements the Treedoc commutative replicated data type: the
+// shared edit buffer of the ICDCS 2009 paper (Sections 2–4). A Document is
+// one replica's state; local edits produce operations that commute with all
+// concurrent operations, so replicas that replay each other's operations in
+// happened-before order converge without further concurrency control.
+//
+// The package builds on internal/ident (the dense identifier space) and
+// internal/doctree (the extended binary tree). Distribution — causal
+// delivery and the flatten commitment protocol — lives in internal/causal,
+// internal/simnet and internal/commit; the public treedoc package ties them
+// together.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// OpKind identifies an edit operation type (Section 2.2).
+type OpKind uint8
+
+const (
+	// OpInsert inserts an atom at a fresh position identifier.
+	OpInsert OpKind = iota + 1
+	// OpDelete removes the atom with a given position identifier. Delete is
+	// idempotent and commutes with every concurrent operation.
+	OpDelete
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one Treedoc edit operation, the unit of replication. Site and Seq
+// identify the originating replica and its local operation sequence number;
+// the causal delivery layer uses them for happened-before ordering and
+// duplicate suppression.
+type Op struct {
+	Kind OpKind
+	ID   ident.Path
+	Atom string // insert only
+	Site ident.SiteID
+	Seq  uint64
+}
+
+// Validate checks well-formedness.
+func (o Op) Validate() error {
+	switch o.Kind {
+	case OpInsert, OpDelete:
+	default:
+		return fmt.Errorf("core: invalid op kind %d", o.Kind)
+	}
+	if err := o.ID.Validate(); err != nil {
+		return fmt.Errorf("core: invalid op id: %w", err)
+	}
+	if o.Kind == OpDelete && o.Atom != "" {
+		return fmt.Errorf("core: delete op carries an atom")
+	}
+	return nil
+}
+
+// NetworkBits returns the operation's network cost in bits under the
+// paper's model (Section 5.2): "the network cost of an edit operation is
+// sending a PosID and, when inserting, the corresponding atom".
+func (o Op) NetworkBits(c ident.Cost) int {
+	bits := o.ID.Bits(c)
+	if o.Kind == OpInsert {
+		bits += 8 * len(o.Atom)
+	}
+	return bits
+}
+
+// String renders the op for logs and test failures.
+func (o Op) String() string {
+	if o.Kind == OpInsert {
+		return fmt.Sprintf("insert%v %q by s%d#%d", o.ID, o.Atom, o.Site, o.Seq)
+	}
+	return fmt.Sprintf("delete%v by s%d#%d", o.ID, o.Site, o.Seq)
+}
+
+// AppendBinary appends the wire encoding of o to dst. Layout: kind byte,
+// uvarint site, uvarint seq, path, and for inserts a uvarint-length-prefixed
+// atom.
+func (o Op) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(o.Kind))
+	dst = binary.AppendUvarint(dst, uint64(o.Site))
+	dst = binary.AppendUvarint(dst, o.Seq)
+	dst = o.ID.AppendBinary(dst)
+	if o.Kind == OpInsert {
+		dst = binary.AppendUvarint(dst, uint64(len(o.Atom)))
+		dst = append(dst, o.Atom...)
+	}
+	return dst
+}
+
+// MarshalBinary encodes o in the wire format.
+func (o Op) MarshalBinary() ([]byte, error) { return o.AppendBinary(nil), nil }
+
+// DecodeOp decodes one operation from the front of buf, returning the
+// number of bytes consumed.
+func DecodeOp(buf []byte) (Op, int, error) {
+	var o Op
+	if len(buf) == 0 {
+		return o, 0, fmt.Errorf("core: empty op buffer")
+	}
+	o.Kind = OpKind(buf[0])
+	off := 1
+	site, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return o, 0, fmt.Errorf("core: truncated op site")
+	}
+	off += n
+	if ident.SiteID(site) > ident.MaxSiteID {
+		return o, 0, fmt.Errorf("core: op site %d exceeds 48 bits", site)
+	}
+	o.Site = ident.SiteID(site)
+	seq, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return o, 0, fmt.Errorf("core: truncated op seq")
+	}
+	off += n
+	o.Seq = seq
+	id, n, err := ident.DecodePath(buf[off:])
+	if err != nil {
+		return o, 0, fmt.Errorf("core: op id: %w", err)
+	}
+	off += n
+	o.ID = id
+	if o.Kind == OpInsert {
+		alen, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return o, 0, fmt.Errorf("core: truncated atom length")
+		}
+		off += n
+		if alen > uint64(len(buf)-off) {
+			return o, 0, fmt.Errorf("core: atom length %d exceeds buffer", alen)
+		}
+		o.Atom = string(buf[off : off+int(alen)])
+		off += int(alen)
+	}
+	if err := o.Validate(); err != nil {
+		return o, 0, err
+	}
+	return o, off, nil
+}
+
+// UnmarshalBinary decodes o from data, requiring full consumption.
+func (o *Op) UnmarshalBinary(data []byte) error {
+	dec, n, err := DecodeOp(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("core: %d trailing bytes after op", len(data)-n)
+	}
+	*o = dec
+	return nil
+}

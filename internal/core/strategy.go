@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/treedoc/treedoc/internal/doctree"
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Strategy allocates fresh position identifiers for local inserts. All
+// strategies must return an identifier strictly between the neighbours (nil
+// p means document start, nil f document end); they differ in how they fight
+// tree unbalance (Section 4.1).
+type Strategy interface {
+	// NewID returns a fresh identifier strictly between p and f, carrying
+	// disambiguator d. The tree provides structural context (existing empty
+	// slots, current height); implementations must not modify it.
+	NewID(t *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path
+	// NewRun returns n fresh identifiers in ascending order, all strictly
+	// between p and f, for a consecutive insert run.
+	NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path
+	// Name identifies the strategy in benchmark output.
+	Name() string
+}
+
+// naiveID implements Algorithm 1: allocate a child slot adjacent to one of
+// the neighbours. The case analysis follows the paper's rules 4–7, phrased
+// constructively on identifier regions (see DESIGN.md):
+//
+//   - rule 6: f enters p's major node through a later mini-sibling (or is
+//     one): the new atom becomes a right child of mini-node p;
+//   - rule 4: p is an ancestor of f (f's walk passes through p's node): the
+//     new atom becomes the left child of f's node;
+//   - rules 5/7: otherwise the new atom becomes the right child of p's node.
+func naiveID(p, f ident.Path, d ident.Dis) ident.Path {
+	switch {
+	case p == nil && f == nil:
+		return ident.Path{ident.M(1, d)}
+	case p == nil:
+		return f.StripLastDis().Child(ident.M(0, d))
+	case f == nil:
+		return p.StripLastDis().Child(ident.M(1, d))
+	}
+	k := len(p)
+	if len(f) >= k && f[k-1].Kind == ident.Mini &&
+		f[k-1].Bit == p[k-1].Bit && f[k-1].Dis != p[k-1].Dis &&
+		f[:k-1].Equal(p[:k-1]) {
+		// Rule 6: mini-siblings (p < f implies f's sibling disambiguator is
+		// the larger, so p's node-level right child would overshoot it).
+		return p.Child(ident.M(1, d))
+	}
+	if ident.RegionCompare(f, p.StripLastDis()) == 0 {
+		// Rule 4: f descends through p's node (p is its ancestor): attach
+		// left of f. Everything under f's node-left slot sorts after p here.
+		return f.StripLastDis().Child(ident.M(0, d))
+	}
+	// Rules 5 and 7: f is an ancestor of p or unrelated; in both cases p's
+	// node-level right region lies strictly between p and f (subtree regions
+	// are intervals, and f sorts beyond p's node's region).
+	return p.StripLastDis().Child(ident.M(1, d))
+}
+
+// Naive is Algorithm 1 without balancing: always an immediate child of a
+// neighbour. Repeated end-appends grow one level per atom.
+type Naive struct{}
+
+// NewID implements Strategy.
+func (Naive) NewID(_ *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path {
+	return naiveID(p, f, d)
+}
+
+// NewRun implements Strategy: a chain of immediate children (each atom the
+// right child of its predecessor's node), which is exactly what replaying
+// Algorithm 1 per atom produces.
+func (Naive) NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path {
+	out := make([]ident.Path, 0, n)
+	for i := 0; i < n; i++ {
+		id := naiveID(p, f, d)
+		out = append(out, id)
+		p = id
+	}
+	return out
+}
+
+// Name implements Strategy.
+func (Naive) Name() string { return "naive" }
+
+// Balanced is the balancing heuristic of Section 4.1: it first reuses empty
+// identifier slots between the neighbours; otherwise, when the naive
+// identifier would deepen the tree, it grows the height by ⌈log2(h)⌉+1
+// levels at once and takes the smallest identifier of the grown subtree,
+// leaving the remaining slots for subsequent inserts.
+type Balanced struct{}
+
+// NewID implements Strategy.
+func (Balanced) NewID(t *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path {
+	if id := t.FreeMiniBetween(p, f, d); id != nil {
+		return id
+	}
+	id := naiveID(p, f, d)
+	if h := t.Height(); len(id) > h {
+		k := growLevels(h)
+		if k >= 2 {
+			// Reserve the whole grown subtree (Figure 5's empty nodes), so
+			// subsequent inserts fill its slots instead of deepening the
+			// tree; take the region's smallest identifier now.
+			region := id[:len(id)-1].Clone()
+			region = append(region, ident.J(id[len(id)-1].Bit))
+			if err := t.Reserve(region, k); err == nil {
+				id = grow(id, k)
+			}
+		}
+	}
+	return id
+}
+
+// growLevels returns the paper's growth amount ⌈log2(levels)⌉+1, where
+// levels counts nodes on the deepest path (the paper's height h; our Height
+// is the deepest depth, one less). For the Figure 2 tree (three levels)
+// this is 3, reproducing the example identifier [1110(0:d)] of Section 4.1.
+func growLevels(depth int) int {
+	return bits.Len(uint(depth)) + 1 // bits.Len(d) = ⌈log2(d+1)⌉
+}
+
+// grow rewrites a naive identifier s+(b:d) as the smallest identifier of a
+// subtree grown k levels below the same slot: s+b+0…0+(0:d). The result
+// stays inside the naive identifier's already-validated region. k ≤ 1
+// leaves the identifier unchanged.
+func grow(id ident.Path, k int) ident.Path {
+	if k <= 1 {
+		return id
+	}
+	last := id[len(id)-1]
+	out := make(ident.Path, 0, len(id)+k-1)
+	out = append(out, id[:len(id)-1]...)
+	out = append(out, ident.J(last.Bit))
+	for i := 0; i < k-2; i++ {
+		out = append(out, ident.J(0))
+	}
+	return append(out, ident.M(0, last.Dis))
+}
+
+// NewRun implements Strategy: the paper's revision-grouping variant
+// (Section 5.1, footnote 2): "group all the consecutive inserts of a given
+// revision into a minimal sub-tree". The run occupies the canonical complete
+// subtree of depth ⌈log2(n+1)⌉ below one allocated slot, every atom carrying
+// the same disambiguator (identifiers differ by their bits).
+func (Balanced) NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path {
+	if n == 1 {
+		return []ident.Path{Balanced{}.NewID(t, p, f, d)}
+	}
+	// Allocate the run's region root: the naive slot (without growth — the
+	// run subtree is already the growth).
+	head := naiveID(p, f, d)
+	slot := head[:len(head)-1] // structural path of the region root's parent slot
+	bit := head[len(head)-1].Bit
+	root := append(slot.Clone(), ident.J(bit))
+	depth := 1
+	for capacity(depth) < n {
+		depth++
+	}
+	out := make([]ident.Path, 0, n)
+	fillRun(root, depth, n, d, &out)
+	return out
+}
+
+// capacity returns 2^depth - 1.
+func capacity(depth int) int {
+	if depth >= 62 {
+		return 1<<62 - 1
+	}
+	return 1<<depth - 1
+}
+
+// fillRun appends the first n infix identifiers of a canonical complete
+// subtree rooted at structural path root (ending in a Major element).
+func fillRun(root ident.Path, depth, n int, d ident.Dis, out *[]ident.Path) {
+	if n == 0 {
+		return
+	}
+	capChild := capacity(depth - 1)
+	nLeft := n
+	if nLeft > capChild {
+		nLeft = capChild
+	}
+	fillRun(root.Child(ident.J(0)), depth-1, nLeft, d, out)
+	rest := n - nLeft
+	if rest > 0 {
+		id := root.Clone()
+		id[len(id)-1] = ident.M(id[len(id)-1].Bit, d)
+		*out = append(*out, id)
+		rest--
+	}
+	fillRun(root.Child(ident.J(1)), depth-1, rest, d, out)
+}
+
+// Name implements Strategy.
+func (Balanced) Name() string { return "balanced" }
+
+var (
+	_ Strategy = Naive{}
+	_ Strategy = Balanced{}
+)
+
+// checkAllocation verifies an allocated identifier lies strictly between the
+// neighbours; allocation bugs would silently break convergence, so Document
+// always validates.
+func checkAllocation(p, id, f ident.Path) error {
+	if !ident.Between(p, id, f) {
+		return fmt.Errorf("core: allocated identifier %v not strictly between %v and %v", id, p, f)
+	}
+	return nil
+}

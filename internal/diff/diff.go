@@ -1,0 +1,174 @@
+// Package diff computes line/atom-level edit scripts between document
+// revisions, reproducing the paper's replay pipeline: "for each revision,
+// we compute the differences from the previous version, and execute an
+// equivalent sequence of insert and delete operations" (Section 5).
+// Modifying an atom appears as a delete plus an insert, exactly as the
+// paper models it.
+//
+// The algorithm is Myers' O(ND) greedy shortest edit script.
+package diff
+
+import "fmt"
+
+// Kind is an edit script operation type.
+type Kind uint8
+
+const (
+	// Delete removes the atom at Index.
+	Delete Kind = iota + 1
+	// Insert places Atom at Index.
+	Insert
+)
+
+// Op is one step of an edit script. Ops apply sequentially to the evolving
+// document: indices refer to the document state after all preceding ops.
+type Op struct {
+	Kind  Kind   `json:"k"`
+	Index int    `json:"i"`
+	Atom  string `json:"a,omitempty"`
+}
+
+// String renders the op.
+func (o Op) String() string {
+	if o.Kind == Insert {
+		return fmt.Sprintf("+%d%q", o.Index, o.Atom)
+	}
+	return fmt.Sprintf("-%d", o.Index)
+}
+
+// Atoms computes a shortest edit script transforming a into b.
+func Atoms(a, b []string) []Op {
+	// Trim common prefix and suffix first: revision diffs are usually local.
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	ca, cb := a[pre:len(a)-suf], b[pre:len(b)-suf]
+	script := myers(ca, cb)
+	// Rebase onto the untrimmed coordinates.
+	out := make([]Op, len(script))
+	for i, op := range script {
+		op.Index += pre
+		out[i] = op
+	}
+	return out
+}
+
+// myers runs the O(ND) algorithm, returning the script in sequential-apply
+// form.
+func myers(a, b []string) []Op {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return nil
+	}
+	max := n + m
+	// v[k] = furthest x on diagonal k; store a copy per step for backtrack.
+	offset := max
+	v := make([]int, 2*max+1)
+	var trace [][]int
+	var dFound = -1
+outer:
+	for d := 0; d <= max; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1] // down: insert from b
+			} else {
+				x = v[offset+k-1] + 1 // right: delete from a
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				dFound = d
+				break outer
+			}
+		}
+	}
+	// Backtrack from (n, m) to (0, 0) collecting reverse-order raw edits.
+	type raw struct {
+		del  bool
+		x, y int // position in a (del) or target position pair (ins)
+	}
+	var rev []raw
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vprev := trace[d]
+		k := x - y
+		var pk int
+		if k == -d || (k != d && vprev[offset+k-1] < vprev[offset+k+1]) {
+			pk = k + 1 // came from an insert
+		} else {
+			pk = k - 1 // came from a delete
+		}
+		px := vprev[offset+pk]
+		py := px - pk
+		// Walk back the snake.
+		for x > px && y > py {
+			x--
+			y--
+		}
+		if pk == k+1 {
+			// Insert of b[py] at position (px in a / py in b).
+			rev = append(rev, raw{del: false, x: px, y: py})
+			y = py
+			x = px
+		} else {
+			rev = append(rev, raw{del: true, x: px, y: py})
+			x = px
+			y = py
+		}
+	}
+	// Convert to forward order with sequential indices. Process raw edits in
+	// forward order (reverse of rev); maintain the shift between a-indices
+	// and current-document indices.
+	ops := make([]Op, 0, len(rev))
+	shift := 0
+	for i := len(rev) - 1; i >= 0; i-- {
+		r := rev[i]
+		if r.del {
+			ops = append(ops, Op{Kind: Delete, Index: r.x + shift})
+			shift--
+		} else {
+			ops = append(ops, Op{Kind: Insert, Index: r.x + shift, Atom: b[r.y]})
+			shift++
+		}
+	}
+	return ops
+}
+
+// Apply executes a script against a document, returning the result. It is
+// the reference executor used by tests and the trace replayer.
+func Apply(a []string, script []Op) ([]string, error) {
+	out := make([]string, len(a))
+	copy(out, a)
+	for i, op := range script {
+		switch op.Kind {
+		case Delete:
+			if op.Index < 0 || op.Index >= len(out) {
+				return nil, fmt.Errorf("diff: op %d: delete index %d out of range [0,%d)", i, op.Index, len(out))
+			}
+			out = append(out[:op.Index], out[op.Index+1:]...)
+		case Insert:
+			if op.Index < 0 || op.Index > len(out) {
+				return nil, fmt.Errorf("diff: op %d: insert index %d out of range [0,%d]", i, op.Index, len(out))
+			}
+			out = append(out, "")
+			copy(out[op.Index+1:], out[op.Index:])
+			out[op.Index] = op.Atom
+		default:
+			return nil, fmt.Errorf("diff: op %d: invalid kind %d", i, op.Kind)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func apply(t *testing.T, a []string, script []Op) []string {
+	t.Helper()
+	out, err := Apply(a, script)
+	if err != nil {
+		t.Fatalf("apply %v to %v: %v", script, a, err)
+	}
+	return out
+}
+
+func TestBasicScripts(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []string
+		ops  int // expected script length (shortest edit distance), -1 = skip
+	}{
+		{"equal", []string{"x", "y"}, []string{"x", "y"}, 0},
+		{"empty to doc", nil, []string{"a", "b"}, 2},
+		{"doc to empty", []string{"a", "b"}, nil, 2},
+		{"append", []string{"a"}, []string{"a", "b"}, 1},
+		{"prepend", []string{"b"}, []string{"a", "b"}, 1},
+		{"middle insert", []string{"a", "c"}, []string{"a", "b", "c"}, 1},
+		{"delete middle", []string{"a", "b", "c"}, []string{"a", "c"}, 1},
+		{"replace", []string{"a", "b", "c"}, []string{"a", "X", "c"}, 2},
+		{"swap blocks", []string{"a", "b", "c", "d"}, []string{"c", "d", "a", "b"}, 4},
+		{"total rewrite", []string{"a", "b"}, []string{"x", "y", "z"}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			script := Atoms(tt.a, tt.b)
+			got := apply(t, tt.a, script)
+			if !reflect.DeepEqual(got, normalize(tt.b)) {
+				t.Fatalf("Apply = %v, want %v (script %v)", got, tt.b, script)
+			}
+			if tt.ops >= 0 && len(script) != tt.ops {
+				t.Errorf("script length = %d, want %d: %v", len(script), tt.ops, script)
+			}
+		})
+	}
+}
+
+// normalize maps nil to the empty slice for DeepEqual.
+func normalize(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}
+
+func TestApplyErrors(t *testing.T) {
+	if _, err := Apply([]string{"a"}, []Op{{Kind: Delete, Index: 5}}); err == nil {
+		t.Error("delete out of range accepted")
+	}
+	if _, err := Apply([]string{"a"}, []Op{{Kind: Insert, Index: 5, Atom: "x"}}); err == nil {
+		t.Error("insert out of range accepted")
+	}
+	if _, err := Apply(nil, []Op{{Kind: 9}}); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := (Op{Kind: Insert, Index: 3, Atom: "x"}).String(); got != `+3"x"` {
+		t.Errorf("insert string = %q", got)
+	}
+	if got := (Op{Kind: Delete, Index: 7}).String(); got != "-7" {
+		t.Errorf("delete string = %q", got)
+	}
+}
+
+// TestRandomRoundTrip: for random document pairs, applying the script to a
+// yields b. This is the correctness property the replay pipeline rests on.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	randDoc := func(n int) []string {
+		doc := make([]string, n)
+		for i := range doc {
+			doc[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return doc
+	}
+	for trial := 0; trial < 300; trial++ {
+		a := randDoc(rng.Intn(40))
+		b := randDoc(rng.Intn(40))
+		script := Atoms(a, b)
+		got, err := Apply(a, script)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(b)) {
+			t.Fatalf("trial %d: a=%v b=%v script=%v got=%v", trial, a, b, script, got)
+		}
+	}
+}
+
+// TestRandomMutationRoundTrip derives b by mutating a (the realistic
+// revision pattern) and checks round trips plus script economy: the script
+// must not exceed the number of mutations times two.
+func TestRandomMutationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		n := 10 + rng.Intn(100)
+		a := make([]string, n)
+		for i := range a {
+			a[i] = fmt.Sprintf("line-%d-%d", trial, i)
+		}
+		b := append([]string(nil), a...)
+		muts := 1 + rng.Intn(8)
+		for m := 0; m < muts; m++ {
+			switch {
+			case len(b) == 0 || rng.Intn(3) == 0:
+				i := rng.Intn(len(b) + 1)
+				b = append(b, "")
+				copy(b[i+1:], b[i:])
+				b[i] = fmt.Sprintf("new-%d-%d", trial, m)
+			case rng.Intn(2) == 0:
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			default:
+				b[rng.Intn(len(b))] = fmt.Sprintf("mod-%d-%d", trial, m)
+			}
+		}
+		script := Atoms(a, b)
+		got, err := Apply(a, script)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(b)) {
+			t.Fatalf("trial %d: diverged", trial)
+		}
+		if len(script) > 2*muts {
+			t.Errorf("trial %d: script %d ops for %d mutations", trial, len(script), muts)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package doctree
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Check verifies the tree's structural invariants. It is exercised by tests
+// and property checks; a healthy tree always returns nil.
+//
+// Invariants:
+//  1. Parent/child backlinks are consistent.
+//  2. Mini-nodes are strictly ordered by disambiguator within each node.
+//  3. Cached live/node counts match a full recount.
+//  4. Dead mini-nodes carry no atom.
+//  5. Flattened nodes have no minis or children.
+//  6. The identifiers of live atoms are strictly increasing in document
+//     order (the infix walk agrees with ident.Compare).
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return fmt.Errorf("doctree: nil root")
+	}
+	if t.root.parent != nil || t.root.pmini != nil {
+		return fmt.Errorf("doctree: root has a parent")
+	}
+	if _, _, _, err := checkNode(t.root); err != nil {
+		return err
+	}
+	// Invariant 6: infix identifiers strictly increase.
+	var prev ident.Path
+	var bad error
+	t.VisitLive(func(i int, atom string, m *Mini) bool {
+		if m == nil {
+			return true // flattened atoms have canonical identifiers by construction
+		}
+		id := PathToMini(m)
+		if err := id.Validate(); err != nil {
+			bad = fmt.Errorf("doctree: atom %d has invalid identifier: %w", i, err)
+			return false
+		}
+		if prev != nil && ident.Compare(prev, id) >= 0 {
+			bad = fmt.Errorf("doctree: atom %d identifier %v does not sort after %v", i, id, prev)
+			return false
+		}
+		prev = id
+		return true
+	})
+	return bad
+}
+
+// checkNode validates n's subtree and returns its recomputed live, node and
+// tombstone counts.
+func checkNode(n *Node) (live, nodes, dead int, err error) {
+	if n == nil {
+		return 0, 0, 0, nil
+	}
+	if n.flat != nil {
+		if len(n.minis) != 0 || n.left != nil || n.right != nil {
+			return 0, 0, 0, fmt.Errorf("doctree: flattened node has structure")
+		}
+		if n.live != len(n.flat) {
+			return 0, 0, 0, fmt.Errorf("doctree: flattened node live=%d, want %d", n.live, len(n.flat))
+		}
+		if n.nodes != 0 || n.dead != 0 {
+			return 0, 0, 0, fmt.Errorf("doctree: flattened node nodes=%d dead=%d, want 0", n.nodes, n.dead)
+		}
+		return n.live, 0, 0, nil
+	}
+	for _, side := range []struct {
+		bit uint8
+		c   *Node
+	}{{0, n.left}, {1, n.right}} {
+		if side.c == nil {
+			continue
+		}
+		if side.c.parent != n || side.c.pmini != nil || side.c.bit != side.bit {
+			return 0, 0, 0, fmt.Errorf("doctree: bad backlink on major child bit %d", side.bit)
+		}
+		l, nn, dd, err := checkNode(side.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		live += l
+		nodes += nn
+		dead += dd
+	}
+	for i, m := range n.minis {
+		if m.owner != n {
+			return 0, 0, 0, fmt.Errorf("doctree: mini %s has wrong owner", m.dis)
+		}
+		if i > 0 && n.minis[i-1].dis.Compare(m.dis) >= 0 {
+			return 0, 0, 0, fmt.Errorf("doctree: minis out of order: %s >= %s", n.minis[i-1].dis, m.dis)
+		}
+		if m.dead && m.atom != "" {
+			return 0, 0, 0, fmt.Errorf("doctree: dead mini %s carries atom %q", m.dis, m.atom)
+		}
+		if m.dead {
+			dead++
+		} else {
+			live++
+		}
+		for _, side := range []struct {
+			bit uint8
+			c   *Node
+		}{{0, m.left}, {1, m.right}} {
+			if side.c == nil {
+				continue
+			}
+			if side.c.parent != n || side.c.pmini != m || side.c.bit != side.bit {
+				return 0, 0, 0, fmt.Errorf("doctree: bad backlink on mini child bit %d of %s", side.bit, m.dis)
+			}
+			l, nn, dd, err := checkNode(side.c)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			live += l
+			nodes += nn
+			dead += dd
+		}
+	}
+	self := 1
+	if n.parent == nil {
+		self = 0 // the root is not counted (it holds no atoms)
+	}
+	nodes += self
+	if n.live != live {
+		return 0, 0, 0, fmt.Errorf("doctree: node live=%d, recount=%d", n.live, live)
+	}
+	if n.nodes != nodes {
+		return 0, 0, 0, fmt.Errorf("doctree: node nodes=%d, recount=%d", n.nodes, nodes)
+	}
+	if n.dead != dead {
+		return 0, 0, 0, fmt.Errorf("doctree: node dead=%d, recount=%d", n.dead, dead)
+	}
+	emptyN := n.left.emptyCount() + n.right.emptyCount()
+	for _, m := range n.minis {
+		emptyN += m.left.emptyCount() + m.right.emptyCount()
+	}
+	if n.empty() && n.parent != nil {
+		// The root is excluded: it cannot hold mini-nodes, so it is never a
+		// reusable slot.
+		emptyN++
+	}
+	if n.emptyN != emptyN {
+		return 0, 0, 0, fmt.Errorf("doctree: node emptyN=%d, recount=%d", n.emptyN, emptyN)
+	}
+	return live, nodes, dead, nil
+}

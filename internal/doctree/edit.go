@@ -1,0 +1,169 @@
+package doctree
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// InsertID places atom at identifier id, materialising any missing ancestor
+// structure (replay may find ancestors discarded concurrently under UDIS and
+// "must re-create empty nodes to replace them", Section 3.3.1). It fails if
+// a live atom already holds the identifier: position identifiers are unique
+// (Section 2.1), so a duplicate indicates a protocol violation upstream.
+func (t *Tree) InsertID(id ident.Path, atom string) error {
+	m, err := t.materialize(id)
+	if err != nil {
+		return fmt.Errorf("doctree: insert %v: %w", id, err)
+	}
+	if !m.dead {
+		return fmt.Errorf("doctree: insert %v: identifier already holds a live atom", id)
+	}
+	m.dead = false
+	m.atom = atom
+	t.bubble(m.owner, +1, 0, -1) // the placeholder created by materialize was dead
+	return nil
+}
+
+// DeleteID removes the atom with identifier id. The delete operation is
+// idempotent (Section 2.2): deleting an already-dead or already-discarded
+// identifier reports found=false with no error.
+//
+// With prune=true (UDIS semantics, Section 3.3.1) the mini-node is discarded
+// immediately when it has no descendants, and emptied ancestors are
+// discarded recursively. With prune=false (SDIS semantics, Section 3.3.2)
+// the mini-node is kept as a tombstone so the identifier is never reused.
+func (t *Tree) DeleteID(id ident.Path, prune bool) (found bool, err error) {
+	m, err := t.walkMini(id)
+	if err != nil {
+		if IsNotFound(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("doctree: delete %v: %w", id, err)
+	}
+	if m.dead {
+		return false, nil
+	}
+	m.dead = true
+	m.atom = ""
+	t.bubble(m.owner, -1, 0, +1)
+	if prune {
+		t.pruneMini(m)
+	}
+	return true, nil
+}
+
+// pruneMini discards a dead, childless mini-node and cascades upward:
+// "if all the mini-nodes of a major node are deleted, and all its
+// descendants, then the major node is discarded" (Section 3.3.1).
+func (t *Tree) pruneMini(m *Mini) {
+	if !m.dead || m.left != nil || m.right != nil {
+		return
+	}
+	n := m.owner
+	for i, mm := range n.minis {
+		if mm == m {
+			n.minis = append(n.minis[:i], n.minis[i+1:]...)
+			t.bubble(n, 0, 0, -1)
+			if n.empty() {
+				bubbleEmpty(n, +1)
+			}
+			break
+		}
+	}
+	t.pruneNode(n)
+}
+
+// pruneNode discards n if it holds nothing and has no children, then
+// continues with the slot it hung from.
+func (t *Tree) pruneNode(n *Node) {
+	for n != nil && n.parent != nil && n.empty() && n.left == nil && n.right == nil {
+		parent, pmini := n.parent, n.pmini
+		if pmini != nil {
+			pmini.setChild(n.bit, nil)
+		} else {
+			parent.setChild(n.bit, nil)
+		}
+		t.bubbleCounts(parent, 0, -1)
+		bubbleEmpty(parent, -1) // the removed node was an empty slot
+		if pmini != nil && pmini.dead && pmini.left == nil && pmini.right == nil {
+			for i, mm := range parent.minis {
+				if mm == pmini {
+					parent.minis = append(parent.minis[:i], parent.minis[i+1:]...)
+					t.bubble(parent, 0, 0, -1)
+					if parent.empty() {
+						bubbleEmpty(parent, +1)
+					}
+					break
+				}
+			}
+			n = parent
+			continue
+		}
+		n = parent
+	}
+}
+
+// HasLive reports whether id currently identifies a live atom.
+func (t *Tree) HasLive(id ident.Path) bool {
+	m, err := t.walkMini(id)
+	return err == nil && !m.dead
+}
+
+// Exists reports whether id is a used identifier: a live atom or a
+// tombstone. Identifier allocation consults this so SDIS never re-mints a
+// tombstoned identifier (Section 3.3.2: "a delete does not discard the
+// node" exactly so the identifier stays used). Unlike walkMini, this never
+// explodes flattened regions: identifiers inside them are canonical pure
+// bitstrings, so any site-disambiguated candidate is known absent without
+// materialising the region.
+func (t *Tree) Exists(id ident.Path) bool {
+	cur := slot{node: t.root}
+	for i, e := range id {
+		if cur.node.flat != nil {
+			// Inside a flattened region every used identifier carries only
+			// canonical disambiguators on a pure bitstring; a candidate with
+			// a site disambiguator cannot collide. Candidates that are pure
+			// canonical are never allocated (explode owns that space), so
+			// conservatively report used only for canonical-tail ids.
+			for ; i < len(id); i++ {
+				if id[i].Kind == ident.Mini && !id[i].Dis.IsCanonical() {
+					return false
+				}
+			}
+			return true
+		}
+		next := cur.child(e.Bit)
+		if next == nil {
+			return false
+		}
+		if e.Kind == ident.Major {
+			cur = slot{node: next}
+			continue
+		}
+		if next.flat != nil {
+			if e.Dis.IsCanonical() {
+				return true // conservatively used: inside the canonical space
+			}
+			return false
+		}
+		m := next.findMini(e.Dis)
+		if m == nil {
+			return false
+		}
+		cur = slot{node: next, mini: m}
+	}
+	return cur.mini != nil
+}
+
+// AtomByID returns the live atom at id.
+func (t *Tree) AtomByID(id ident.Path) (string, error) {
+	m, err := t.walkMini(id)
+	if err != nil {
+		return "", err
+	}
+	if m.dead {
+		return "", errNotFound
+	}
+	return m.atom, nil
+}

@@ -1,0 +1,163 @@
+package doctree
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// ExportMini is the serialisation view of a mini-node.
+type ExportMini struct {
+	Dis  ident.Dis
+	Dead bool
+	Atom string
+}
+
+// ExportNode is the serialisation view of one breadth-first slot: either
+// absent, a flattened region, or a node with its mini-nodes.
+type ExportNode struct {
+	Present bool
+	Flat    []string // non-nil: flattened region content
+	IsFlat  bool
+	Minis   []ExportMini
+}
+
+// ExportBFS visits the tree breadth-first in the on-disk layout order of
+// Section 5.2: "nodes are stored from top to bottom, line by line, and
+// nodes on the same line are stored left to right". The root is the first
+// slot; each present non-flattened node contributes its child slots to the
+// next line in a fixed order — major-left, major-right, then each
+// mini-node's left and right in disambiguator order. Absent slots are
+// emitted (they become the paper's run-length-encoded markers) and
+// contribute no further slots.
+func (t *Tree) ExportBFS(visit func(ExportNode)) {
+	queue := []*Node{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == nil {
+			visit(ExportNode{})
+			continue
+		}
+		if n.flat != nil {
+			visit(ExportNode{Present: true, IsFlat: true, Flat: n.flat})
+			continue
+		}
+		en := ExportNode{Present: true, Minis: make([]ExportMini, 0, len(n.minis))}
+		for _, m := range n.minis {
+			en.Minis = append(en.Minis, ExportMini{Dis: m.dis, Dead: m.dead, Atom: m.atom})
+		}
+		visit(en)
+		queue = append(queue, n.left, n.right)
+		for _, m := range n.minis {
+			queue = append(queue, m.left, m.right)
+		}
+	}
+}
+
+// BuildFromBFS reconstructs a tree from the slot stream produced by
+// ExportBFS. next is called once per slot in the same order.
+func BuildFromBFS(next func() (ExportNode, error)) (*Tree, error) {
+	t := New()
+	en, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("doctree: import root: %w", err)
+	}
+	if !en.Present {
+		return t, nil
+	}
+	type slotRef struct {
+		parent *Node
+		pmini  *Mini
+		bit    uint8
+	}
+	var queue []slotRef
+	fill := func(n *Node, en ExportNode) {
+		if en.IsFlat {
+			n.flat = append([]string(nil), en.Flat...)
+			return
+		}
+		for _, em := range en.Minis {
+			m := n.insertMini(em.Dis)
+			m.dead = em.Dead
+			m.atom = em.Atom
+		}
+		queue = append(queue, slotRef{n, nil, 0}, slotRef{n, nil, 1})
+		for _, m := range n.minis {
+			queue = append(queue, slotRef{n, m, 0}, slotRef{n, m, 1})
+		}
+	}
+	fill(t.root, en)
+	for i := 0; i < len(queue); i++ {
+		ref := queue[i]
+		en, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("doctree: import slot %d: %w", i, err)
+		}
+		if !en.Present {
+			continue
+		}
+		n := &Node{parent: ref.parent, pmini: ref.pmini, bit: ref.bit}
+		if ref.pmini != nil {
+			ref.pmini.setChild(ref.bit, n)
+		} else {
+			ref.parent.setChild(ref.bit, n)
+		}
+		fill(n, en)
+	}
+	t.recount(t.root)
+	t.recomputeHeight()
+	return t, nil
+}
+
+// recount rebuilds the cached live/node/tombstone counts bottom-up after an
+// import.
+func (t *Tree) recount(n *Node) (live, nodes, dead int) {
+	if n == nil {
+		return 0, 0, 0
+	}
+	if n.flat != nil {
+		n.live = len(n.flat)
+		n.nodes = 0
+		n.dead = 0
+		n.emptyN = 0
+		return n.live, 0, 0
+	}
+	l, nn, ld := t.recount(n.left)
+	r, rn, rd := t.recount(n.right)
+	live, nodes, dead = l+r, nn+rn, ld+rd
+	for _, m := range n.minis {
+		ml, mn, md := t.recount(m.left)
+		mr, mrn, mrd := t.recount(m.right)
+		live += ml + mr
+		nodes += mn + mrn
+		dead += md + mrd
+		if m.dead {
+			dead++
+		} else {
+			live++
+		}
+	}
+	if n.parent != nil {
+		nodes++
+	}
+	n.live = live
+	n.nodes = nodes
+	n.dead = dead
+	n.emptyN = n.left.emptyCount() + n.right.emptyCount()
+	for _, m := range n.minis {
+		n.emptyN += m.left.emptyCount() + m.right.emptyCount()
+	}
+	if n.empty() && n.parent != nil {
+		n.emptyN++
+	}
+	return live, nodes, dead
+}
+
+// emptyCount returns the subtree's empty-slot count, tolerating nil.
+func (n *Node) emptyCount() int {
+	if n == nil {
+		return 0
+	}
+	return n.emptyN
+}

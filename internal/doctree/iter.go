@@ -1,0 +1,234 @@
+package doctree
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Content returns the document's live atoms in order. It does not explode
+// flattened regions.
+func (t *Tree) Content() []string {
+	out := make([]string, 0, t.root.live)
+	collectLive(t.root, &out)
+	return out
+}
+
+// AtomAt returns the i-th live atom (0-based) without exploding flattened
+// regions.
+func (t *Tree) AtomAt(i int) (string, error) {
+	if i < 0 || i >= t.root.live {
+		return "", fmt.Errorf("doctree: index %d out of range [0,%d)", i, t.root.live)
+	}
+	n, mini, flatIdx := locate(t.root, i)
+	if mini != nil {
+		return mini.atom, nil
+	}
+	return n.flat[flatIdx], nil
+}
+
+// locate descends by live-atom counts to position i within n's subtree,
+// returning either the mini-node holding it or the flat node and offset.
+func locate(n *Node, i int) (*Node, *Mini, int) {
+	for {
+		if n.flat != nil {
+			return n, nil, i
+		}
+		if n.left != nil {
+			if i < n.left.live {
+				n = n.left
+				continue
+			}
+			i -= n.left.live
+		}
+		advanced := false
+		for _, m := range n.minis {
+			if m.left != nil {
+				if i < m.left.live {
+					n = m.left
+					advanced = true
+					break
+				}
+				i -= m.left.live
+			}
+			if !m.dead {
+				if i == 0 {
+					return n, m, 0
+				}
+				i--
+			}
+			if m.right != nil {
+				if i < m.right.live {
+					n = m.right
+					advanced = true
+					break
+				}
+				i -= m.right.live
+			}
+		}
+		if advanced {
+			continue
+		}
+		n = n.right
+	}
+}
+
+// MiniAt returns the mini-node of the i-th live atom, exploding a flattened
+// region if the atom lives inside one (identifier requests are "applying a
+// path to an array", Section 4.2).
+func (t *Tree) MiniAt(i int) (*Mini, error) {
+	if i < 0 || i >= t.root.live {
+		return nil, fmt.Errorf("doctree: index %d out of range [0,%d)", i, t.root.live)
+	}
+	for {
+		n, mini, _ := locate(t.root, i)
+		if mini != nil {
+			return mini, nil
+		}
+		t.explodeNode(n)
+	}
+}
+
+// IDAt returns the position identifier of the i-th live atom.
+func (t *Tree) IDAt(i int) (ident.Path, error) {
+	m, err := t.MiniAt(i)
+	if err != nil {
+		return nil, err
+	}
+	return PathToMini(m), nil
+}
+
+// NeighborIDs returns the identifiers around insertion gap i: the atom at
+// i-1 (nil at the document start) and the atom at i (nil at the end).
+// Inserting at gap i places the new atom between them.
+func (t *Tree) NeighborIDs(i int) (p, f ident.Path, err error) {
+	if i < 0 || i > t.root.live {
+		return nil, nil, fmt.Errorf("doctree: gap %d out of range [0,%d]", i, t.root.live)
+	}
+	if i > 0 {
+		if p, err = t.IDAt(i - 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	if i < t.root.live {
+		if f, err = t.IDAt(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, f, nil
+}
+
+// IndexOfID returns the current document index of the live atom with the
+// given identifier.
+func (t *Tree) IndexOfID(id ident.Path) (int, error) {
+	m, err := t.walkMini(id)
+	if err != nil {
+		return 0, err
+	}
+	if m.dead {
+		return 0, errNotFound
+	}
+	// Count live atoms before m: its left subtree, then climb.
+	idx := 0
+	if m.left != nil {
+		idx += m.left.live
+	}
+	n := m.owner
+	for _, mm := range n.minis {
+		if mm == m {
+			break
+		}
+		idx += miniLive(mm)
+	}
+	if n.left != nil {
+		idx += n.left.live
+	}
+	// Climb: whenever we were in a right-side region, everything to the left
+	// at that level precedes us.
+	child := n
+	for cur := n.parent; cur != nil; child, cur = cur, cur.parent {
+		if child.pmini != nil {
+			pm := child.pmini
+			if child.bit == 1 {
+				// Right child of the mini: the mini's atom and left subtree
+				// precede us.
+				if pm.left != nil {
+					idx += pm.left.live
+				}
+				if !pm.dead {
+					idx++
+				}
+			}
+			for _, mm := range cur.minis {
+				if mm == pm {
+					break
+				}
+				idx += miniLive(mm)
+			}
+			if cur.left != nil {
+				idx += cur.left.live
+			}
+		} else if child.bit == 1 {
+			// Right child of the major node: everything else in cur precedes.
+			idx += cur.live - child.live
+		}
+	}
+	return idx, nil
+}
+
+// miniLive returns the live atoms in a mini's own region (its subtrees plus
+// its atom).
+func miniLive(m *Mini) int {
+	n := 0
+	if m.left != nil {
+		n += m.left.live
+	}
+	if !m.dead {
+		n++
+	}
+	if m.right != nil {
+		n += m.right.live
+	}
+	return n
+}
+
+// VisitLive calls fn for every live atom in document order with its index.
+// Atoms inside flattened regions are visited with a nil mini. Iteration
+// stops early if fn returns false.
+func (t *Tree) VisitLive(fn func(i int, atom string, m *Mini) bool) {
+	i := 0
+	visitLive(t.root, &i, fn)
+}
+
+func visitLive(n *Node, i *int, fn func(int, string, *Mini) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.flat != nil {
+		for _, a := range n.flat {
+			if !fn(*i, a, nil) {
+				return false
+			}
+			*i++
+		}
+		return true
+	}
+	if !visitLive(n.left, i, fn) {
+		return false
+	}
+	for _, m := range n.minis {
+		if !visitLive(m.left, i, fn) {
+			return false
+		}
+		if !m.dead {
+			if !fn(*i, m.atom, m) {
+				return false
+			}
+			*i++
+		}
+		if !visitLive(m.right, i, fn) {
+			return false
+		}
+	}
+	return visitLive(n.right, i, fn)
+}

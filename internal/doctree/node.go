@@ -1,0 +1,241 @@
+// Package doctree implements the extended binary tree that backs a Treedoc
+// document (Section 3 of the ICDCS 2009 paper): major nodes whose contents
+// are disambiguated mini-nodes, with children hanging both off major nodes
+// (plain path elements) and off individual mini-nodes (disambiguated path
+// elements).
+//
+// The tree is simultaneously the identifier space and the storage layer. It
+// supports the paper's mixed representation (Section 4.2): quiescent
+// subtrees may be held as flat atom arrays with zero per-atom metadata and
+// are exploded back into canonical tree form lazily when a path is applied
+// to them.
+//
+// doctree is a single-replica data structure with no concurrency control of
+// its own; internal/core layers CRDT operation semantics on top, and the
+// public treedoc package adds locking.
+package doctree
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Node is a major node: one position of the binary identifier tree. Its
+// contents are mini-nodes ordered by disambiguator. Children reached by
+// plain path elements hang off the node itself (left, right); children
+// reached by disambiguated elements hang off the individual mini-nodes.
+//
+// A node with a non-nil flat slice is a flattened region (Section 4.2): it
+// stores its whole subtree's live atoms as a plain array with no metadata,
+// and has no minis or children until a path walk explodes it.
+type Node struct {
+	parent *Node // node containing the slot we hang from; nil at root
+	pmini  *Mini // mini of parent we hang from; nil = parent's major slot
+	bit    uint8 // which side of the parent slot
+
+	left, right *Node
+	minis       []*Mini // sorted by disambiguator
+
+	flat []string // non-nil: flattened subtree content (leaf region)
+
+	live    int   // live atoms in this subtree, including flat content
+	nodes   int   // tree nodes in this subtree (flat regions count as 0)
+	dead    int   // tombstone mini-nodes in this subtree
+	emptyN  int   // empty (reusable-slot) nodes in this subtree
+	lastMod int64 // latest revision that edited inside this subtree
+}
+
+// Mini is a mini-node: one atom slot inside a major node, identified by its
+// disambiguator (Section 3.1). A dead mini is a tombstone (SDIS) or an
+// awaiting-discard placeholder (UDIS); its atom is gone but the identifier
+// remains allocated.
+type Mini struct {
+	owner *Node
+	dis   ident.Dis
+	atom  string
+	dead  bool
+
+	left, right *Node
+}
+
+// Dis returns the mini-node's disambiguator.
+func (m *Mini) Dis() ident.Dis { return m.dis }
+
+// Atom returns the mini-node's atom ("" once dead).
+func (m *Mini) Atom() string { return m.atom }
+
+// Dead reports whether the mini-node is a tombstone.
+func (m *Mini) Dead() bool { return m.dead }
+
+// Tree is a Treedoc document tree. The zero value is not usable; call New.
+type Tree struct {
+	root   *Node
+	height int   // max depth of any node (root = 0)
+	rev    int64 // current revision stamp for lastMod bookkeeping
+}
+
+// New returns an empty document tree.
+func New() *Tree {
+	return &Tree{root: &Node{}}
+}
+
+// Len returns the number of live atoms in the document.
+func (t *Tree) Len() int { return t.root.live }
+
+// Height returns the maximum node depth ever materialised (root = 0). It is
+// maintained as a monotonic maximum between structural clean-ups; Flatten
+// recomputes it.
+func (t *Tree) Height() int { return t.height }
+
+// Rev returns the current revision stamp.
+func (t *Tree) Rev() int64 { return t.rev }
+
+// AdvanceRev moves the revision clock forward; subsequent edits stamp
+// subtrees with the new revision. The cold-subtree heuristics compare
+// against these stamps.
+func (t *Tree) AdvanceRev() { t.rev++ }
+
+// child returns the indicated major child slot.
+func (n *Node) child(bit uint8) *Node {
+	if bit == 0 {
+		return n.left
+	}
+	return n.right
+}
+
+func (n *Node) setChild(bit uint8, c *Node) {
+	if bit == 0 {
+		n.left = c
+	} else {
+		n.right = c
+	}
+}
+
+func (m *Mini) child(bit uint8) *Node {
+	if bit == 0 {
+		return m.left
+	}
+	return m.right
+}
+
+func (m *Mini) setChild(bit uint8, c *Node) {
+	if bit == 0 {
+		m.left = c
+	} else {
+		m.right = c
+	}
+}
+
+// findMini returns the mini with disambiguator d, or nil.
+func (n *Node) findMini(d ident.Dis) *Mini {
+	for _, m := range n.minis {
+		if m.dis == d {
+			return m
+		}
+	}
+	return nil
+}
+
+// insertMini adds a mini with disambiguator d in sorted position and returns
+// it. The caller must ensure d is not already present.
+func (n *Node) insertMini(d ident.Dis) *Mini {
+	m := &Mini{owner: n, dis: d}
+	i := 0
+	for i < len(n.minis) && n.minis[i].dis.Compare(d) < 0 {
+		i++
+	}
+	n.minis = append(n.minis, nil)
+	copy(n.minis[i+1:], n.minis[i:])
+	n.minis[i] = m
+	return m
+}
+
+// depth returns the node's depth (root = 0).
+func (n *Node) depth() int {
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// empty reports whether the node has no contents at all: no minis, no flat
+// region. Empty nodes are the free identifier slots reused by the balanced
+// allocation strategy (Section 4.1).
+func (n *Node) empty() bool {
+	return len(n.minis) == 0 && n.flat == nil
+}
+
+// PathToMini returns the position identifier of mini-node m.
+func PathToMini(m *Mini) ident.Path {
+	rev := make([]ident.Elem, 0, 8)
+	sel := m
+	for n := m.owner; n != nil && n.parent != nil; n = n.parent {
+		if sel != nil {
+			rev = append(rev, ident.M(n.bit, sel.dis))
+		} else {
+			rev = append(rev, ident.J(n.bit))
+		}
+		sel = n.pmini
+	}
+	p := make(ident.Path, len(rev))
+	for i, e := range rev {
+		p[len(rev)-1-i] = e
+	}
+	return p
+}
+
+// PathToNode returns the structural path of major node n (ending in a Major
+// element). The root yields the empty path.
+func PathToNode(n *Node) ident.Path {
+	if n.parent == nil {
+		return ident.Path{}
+	}
+	rev := make([]ident.Elem, 0, 8)
+	sel := (*Mini)(nil)
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		if sel != nil {
+			rev = append(rev, ident.M(cur.bit, sel.dis))
+		} else {
+			rev = append(rev, ident.J(cur.bit))
+		}
+		sel = cur.pmini
+	}
+	p := make(ident.Path, len(rev))
+	for i, e := range rev {
+		p[len(rev)-1-i] = e
+	}
+	return p
+}
+
+// bubbleCounts adjusts live atom, node and tombstone counts from n up to
+// the root and stamps lastMod with the tree's current revision.
+func (t *Tree) bubbleCounts(n *Node, dLive, dNodes int) {
+	t.bubble(n, dLive, dNodes, 0)
+}
+
+func (t *Tree) bubble(n *Node, dLive, dNodes, dDead int) {
+	for ; n != nil; n = n.parent {
+		n.live += dLive
+		n.nodes += dNodes
+		n.dead += dDead
+		n.lastMod = t.rev
+	}
+}
+
+// bubbleEmpty adjusts the empty-slot counters from n to the root. The
+// free-slot search prunes subtrees with emptyN == 0, which keeps
+// allocation fast in tombstone-dense documents.
+func bubbleEmpty(n *Node, d int) {
+	for ; n != nil; n = n.parent {
+		n.emptyN += d
+	}
+}
+
+// errNotFound is returned by lookups of identifiers with no materialised
+// mini-node.
+var errNotFound = fmt.Errorf("doctree: identifier not found")
+
+// IsNotFound reports whether err is the not-found lookup error.
+func IsNotFound(err error) bool { return err == errNotFound }

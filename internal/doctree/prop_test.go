@@ -1,0 +1,194 @@
+package doctree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// refModel is the abstract data type of Section 2.2: a set of (atom, PosID)
+// couples whose contents is the sequence of atoms ordered by PosID. The tree
+// must behave identically.
+type refModel struct {
+	ids   []ident.Path
+	atoms []string
+}
+
+func (r *refModel) insert(id ident.Path, atom string) {
+	i := sort.Search(len(r.ids), func(i int) bool { return ident.Compare(r.ids[i], id) >= 0 })
+	r.ids = append(r.ids, nil)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	r.atoms = append(r.atoms, "")
+	copy(r.atoms[i+1:], r.atoms[i:])
+	r.atoms[i] = atom
+}
+
+func (r *refModel) delete(id ident.Path) {
+	i := sort.Search(len(r.ids), func(i int) bool { return ident.Compare(r.ids[i], id) >= 0 })
+	if i < len(r.ids) && r.ids[i].Equal(id) {
+		r.ids = append(r.ids[:i], r.ids[i+1:]...)
+		r.atoms = append(r.atoms[:i], r.atoms[i+1:]...)
+	}
+}
+
+// TestRandomOpsAgainstModel drives the tree with random inserts at random
+// positions (identifiers built as random children of existing atoms) and
+// random deletes, in both pruning modes, comparing content with the
+// reference model and re-checking the structural invariants throughout.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		prune := prune
+		name := "sdis"
+		if prune {
+			name = "udis"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			tr := New()
+			ref := &refModel{}
+			var liveIDs []ident.Path
+			nextSite := ident.SiteID(1)
+			for step := 0; step < 2000; step++ {
+				if len(liveIDs) == 0 || rng.Intn(100) < 70 {
+					// Insert: pick a random gap, derive a fresh child id from a
+					// neighbor (or the root for the empty doc).
+					var id ident.Path
+					d := ident.Dis{Site: nextSite}
+					nextSite++
+					if len(liveIDs) == 0 {
+						id = ident.Path{ident.M(1, d)}
+					} else {
+						base := liveIDs[rng.Intn(len(liveIDs))]
+						// Random child of base: through the mini (both bits) or
+						// the node's major slot.
+						switch rng.Intn(3) {
+						case 0:
+							id = base.Child(ident.M(0, d))
+						case 1:
+							id = base.Child(ident.M(1, d))
+						default:
+							id = base.StripLastDis().Child(ident.M(uint8(rng.Intn(2)), d))
+						}
+					}
+					if tr.HasLive(id) {
+						continue
+					}
+					atom := string(rune('a' + rng.Intn(26)))
+					if err := tr.InsertID(id, atom); err != nil {
+						t.Fatalf("step %d: insert %v: %v", step, id, err)
+					}
+					ref.insert(id, atom)
+					liveIDs = append(liveIDs, id)
+				} else {
+					i := rng.Intn(len(liveIDs))
+					id := liveIDs[i]
+					found, err := tr.DeleteID(id, prune)
+					if err != nil || !found {
+						t.Fatalf("step %d: delete %v: found=%v err=%v", step, id, found, err)
+					}
+					ref.delete(id)
+					liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+				}
+				if step%97 == 0 {
+					if err := tr.Check(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatal(err)
+			}
+			got := tr.Content()
+			if len(got) != len(ref.atoms) {
+				t.Fatalf("content length %d, want %d", len(got), len(ref.atoms))
+			}
+			for i := range got {
+				if got[i] != ref.atoms[i] {
+					t.Fatalf("content[%d] = %q, want %q", i, got[i], ref.atoms[i])
+				}
+			}
+			// Index round trips on the final document.
+			for i := 0; i < len(got); i += 17 {
+				id, err := tr.IDAt(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !id.Equal(ref.ids[i]) {
+					t.Fatalf("IDAt(%d) = %v, want %v", i, id, ref.ids[i])
+				}
+				back, err := tr.IndexOfID(id)
+				if err != nil || back != i {
+					t.Fatalf("IndexOfID(%v) = %d, %v", id, back, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomFlattenPreservesContent interleaves edits with flattens of cold
+// subtrees and whole-document flattens, checking content preservation and
+// invariants.
+func TestRandomFlattenPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	var live []ident.Path
+	site := ident.SiteID(1)
+	for step := 0; step < 1200; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(100) < 60:
+			var id ident.Path
+			d := ident.Dis{Site: site}
+			site++
+			if len(live) == 0 {
+				id = ident.Path{ident.M(1, d)}
+			} else {
+				base := live[rng.Intn(len(live))]
+				id = base.Child(ident.M(uint8(rng.Intn(2)), d))
+			}
+			if tr.HasLive(id) {
+				continue
+			}
+			if err := tr.InsertID(id, "x"); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live = append(live, id)
+		case rng.Intn(100) < 80:
+			i := rng.Intn(len(live))
+			if _, err := tr.DeleteID(live[i], false); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			before := tr.Content()
+			if err := tr.FlattenAll(); err != nil {
+				t.Fatalf("step %d: flatten: %v", step, err)
+			}
+			after := tr.Content()
+			if len(before) != len(after) {
+				t.Fatalf("step %d: flatten changed length %d -> %d", step, len(before), len(after))
+			}
+			// All identifiers renamed: rebuild the live set canonically.
+			live = live[:0]
+			for i := range after {
+				id, err := tr.IDAt(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, id)
+			}
+			// Re-inserts after flatten need fresh non-colliding ids; site
+			// counter keeps growing so collisions cannot happen.
+		}
+		if step%101 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package doctree
+
+import (
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// Stats aggregates the overhead measurements of the paper's evaluation
+// (Section 5, Table 1): identifier sizes, node counts, tombstone fraction,
+// and the in-memory cost model.
+type Stats struct {
+	LiveAtoms int // atoms currently in the document
+	DocBytes  int // total bytes of live atoms (document size)
+
+	Nodes     int // materialised tree nodes; flattened regions count zero
+	Minis     int // mini-nodes, including tombstones
+	DeadMinis int // tombstone mini-nodes
+	FlatAtoms int // atoms held in flattened (array) regions
+
+	MaxIDBits   int // longest live-atom identifier, in bits
+	TotalIDBits int // sum of live-atom identifier sizes, in bits
+	DeadIDBits  int // sum of tombstone identifier sizes, in bits
+
+	MemBytes int // in-memory overhead under the paper's node cost model
+}
+
+// OverheadBitsPerAtom is total identifier overhead — live and tombstone
+// identifiers together — relative to the live document (Table 4's
+// "overhead/atom" row): tombstones cost space even though their atoms are
+// gone, which is exactly why UDIS beats SDIS overall despite its larger
+// per-identifier cost.
+func (s Stats) OverheadBitsPerAtom() float64 {
+	if s.LiveAtoms == 0 {
+		return 0
+	}
+	return float64(s.TotalIDBits+s.DeadIDBits) / float64(s.LiveAtoms)
+}
+
+// AvgIDBits returns the average live-atom identifier size in bits
+// (Table 1's "PosID Avg" column).
+func (s Stats) AvgIDBits() float64 {
+	if s.LiveAtoms == 0 {
+		return 0
+	}
+	return float64(s.TotalIDBits) / float64(s.LiveAtoms)
+}
+
+// NonTombstoneFraction returns the fraction of non-tombstone atom slots
+// (Table 1's "% non-Tomb" column). Flattened atoms count as non-tombstones:
+// flatten discards tombstones by construction.
+func (s Stats) NonTombstoneFraction() float64 {
+	total := s.Minis + s.FlatAtoms
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Minis-s.DeadMinis+s.FlatAtoms) / float64(total)
+}
+
+// MemOverheadRatio returns in-memory overhead relative to document size
+// (Table 1's "Mem ovhd" column).
+func (s Stats) MemOverheadRatio() float64 {
+	if s.DocBytes == 0 {
+		return 0
+	}
+	return float64(s.MemBytes) / float64(s.DocBytes)
+}
+
+// Stats measures the tree under disambiguator cost model c.
+//
+// The memory model follows Section 5.2: a standard node holds its subtree's
+// non-tombstone count (4 B), two child pointers (2×4 B), one disambiguator,
+// and an atom pointer (4 B) — 26 B with the 10-byte UDIS disambiguator. A
+// node with several mini-nodes replaces the disambiguator with an array of
+// {node, disambiguator} pairs; mini-node children add two pointers each.
+// Flattened regions cost nothing: they are the plain sequential buffer.
+func (t *Tree) Stats(c ident.Cost) Stats {
+	var s Stats
+	statsWalk(t.root, 0, c, &s)
+	return s
+}
+
+func statsWalk(n *Node, depth int, c ident.Cost, s *Stats) {
+	if n == nil {
+		return
+	}
+	if n.flat != nil {
+		s.FlatAtoms += len(n.flat)
+		s.LiveAtoms += len(n.flat)
+		for _, a := range n.flat {
+			s.DocBytes += len(a)
+		}
+		sum, max := flatIDBits(len(n.flat), depth, n.parent == nil)
+		s.TotalIDBits += sum
+		if max > s.MaxIDBits {
+			s.MaxIDBits = max
+		}
+		return
+	}
+	if n.parent != nil {
+		s.Nodes++
+		s.MemBytes += 12 // subtree count + two child pointers
+		for _, m := range n.minis {
+			s.MemBytes += c.DisBytes() + 4 // disambiguator + atom pointer
+			if m.left != nil || m.right != nil {
+				s.MemBytes += 8
+			}
+		}
+	}
+	statsWalk(n.left, depth+1, c, s)
+	for _, m := range n.minis {
+		s.Minis++
+		if m.dead {
+			s.DeadMinis++
+			s.DeadIDBits += depth + bitsOfMiniID(m, c)
+		} else {
+			s.LiveAtoms++
+			s.DocBytes += len(m.atom)
+			bits := depth + bitsOfMiniID(m, c)
+			s.TotalIDBits += bits
+			if bits > s.MaxIDBits {
+				s.MaxIDBits = bits
+			}
+		}
+		statsWalk(m.left, depth+1, c, s)
+		statsWalk(m.right, depth+1, c, s)
+	}
+	statsWalk(n.right, depth+1, c, s)
+}
+
+// bitsOfMiniID returns the disambiguator bits along m's identifier beyond
+// the one bit per level already accounted by depth: every mini-node
+// selection on the path contributes its disambiguator cost.
+func bitsOfMiniID(m *Mini, c ident.Cost) int {
+	bits := c.Bits(m.dis)
+	for n := m.owner; n != nil; n = n.parent {
+		if n.pmini != nil {
+			bits += c.Bits(n.pmini.dis)
+		}
+	}
+	return bits
+}
+
+// flatIDBits returns the total and maximum identifier bit sizes the n atoms
+// of a flattened region would have once exploded into canonical form: pure
+// bitstrings, one bit per level (Section 4.2). base is the region root's
+// depth; atRoot indicates the document root region, whose canonical form
+// skips the atom-less root slot.
+func flatIDBits(n, base int, atRoot bool) (sum, max int) {
+	if n == 0 {
+		return 0, 0
+	}
+	if atRoot {
+		depth := 0
+		for capacityBelowRoot(depth) < n {
+			depth++
+		}
+		capLeft := subtreeCapacity(depth)
+		nLeft := n
+		if nLeft > capLeft {
+			nLeft = capLeft
+		}
+		s1, m1 := canonicalDepthSum(nLeft, depth, base+1)
+		s2, m2 := canonicalDepthSum(n-nLeft, depth, base+1)
+		if m2 > m1 {
+			m1 = m2
+		}
+		return s1 + s2, m1
+	}
+	depth := 1
+	for subtreeCapacity(depth) < n {
+		depth++
+	}
+	return canonicalDepthSum(n, depth, base)
+}
+
+// canonicalDepthSum returns the sum and maximum of identifier depths for n
+// atoms filling the first n infix slots of a complete subtree with the
+// given number of levels, whose root sits at depth base.
+func canonicalDepthSum(n, levels, base int) (sum, max int) {
+	if n == 0 {
+		return 0, 0
+	}
+	capChild := subtreeCapacity(levels - 1)
+	nLeft := n
+	if nLeft > capChild {
+		nLeft = capChild
+	}
+	sum, max = canonicalDepthSum(nLeft, levels-1, base+1)
+	rest := n - nLeft
+	if rest > 0 {
+		sum += base
+		if base > max {
+			max = base
+		}
+		rest--
+	}
+	if rest > 0 {
+		s, m := canonicalDepthSum(rest, levels-1, base+1)
+		sum += s
+		if m > max {
+			max = m
+		}
+	}
+	return sum, max
+}
+
+// ColdestSubtree returns the structural path of the most profitable cold
+// subtree: among subtrees whose latest edit is at or before cutoff and that
+// hold at least minNodes nodes, the one maximising a tombstone-weighted
+// size score. The paper's own heuristic picked cold areas by size alone and
+// under-delivered ("we believe the heuristic choice of the sub-tree to
+// flatten is to blame", Section 5.1); weighting tombstones targets the
+// garbage flatten actually collects. Returns nil if nothing qualifies; the
+// root (whole document) is returned only when everything is cold.
+func (t *Tree) ColdestSubtree(cutoff int64, minNodes int) ident.Path {
+	best := coldWalk(t.root, cutoff, minNodes, nil)
+	if best == nil {
+		return nil
+	}
+	return PathToNode(best)
+}
+
+// coldScore weights tombstones heavily: collecting them is flatten's GC
+// payoff, shortening identifiers the secondary one.
+func coldScore(n *Node) int { return 8*n.dead + n.nodes }
+
+func coldWalk(n *Node, cutoff int64, minNodes int, best *Node) *Node {
+	if n == nil || n.flat != nil {
+		return best
+	}
+	if n.lastMod <= cutoff {
+		// Candidates must contain at least one mini-node: regions made only
+		// of locally reserved slots are not materialised at remote replicas,
+		// so a distributed flatten could not resolve them there.
+		if n.nodes >= minNodes && n.live+n.dead >= 1 &&
+			(best == nil || coldScore(n) > coldScore(best)) {
+			return n
+		}
+		return best
+	}
+	best = coldWalk(n.left, cutoff, minNodes, best)
+	for _, m := range n.minis {
+		best = coldWalk(m.left, cutoff, minNodes, best)
+		best = coldWalk(m.right, cutoff, minNodes, best)
+	}
+	return coldWalk(n.right, cutoff, minNodes, best)
+}

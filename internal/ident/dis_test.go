@@ -1,0 +1,91 @@
+package ident
+
+import "testing"
+
+func TestDisCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Dis
+		want int
+	}{
+		{"equal zero", Dis{}, Dis{}, 0},
+		{"equal nonzero", Dis{Counter: 3, Site: 9}, Dis{Counter: 3, Site: 9}, 0},
+		{"counter dominates", Dis{Counter: 1, Site: 99}, Dis{Counter: 2, Site: 1}, -1},
+		{"site breaks tie", Dis{Counter: 2, Site: 1}, Dis{Counter: 2, Site: 5}, -1},
+		{"canonical first vs SDIS", Canonical, Dis{Site: 1}, -1},
+		{"canonical first vs UDIS", Canonical, Dis{Counter: 1, Site: 1}, -1},
+		{"SDIS order by site", Dis{Site: 2}, Dis{Site: 7}, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+			}
+		})
+	}
+}
+
+func TestDisString(t *testing.T) {
+	tests := []struct {
+		d    Dis
+		want string
+	}{
+		{Canonical, "⊥"},
+		{Dis{Site: 42}, "s42"},
+		{Dis{Counter: 7, Site: 3}, "c7s3"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestIsCanonical(t *testing.T) {
+	if !Canonical.IsCanonical() {
+		t.Error("Canonical.IsCanonical() = false")
+	}
+	if (Dis{Site: 1}).IsCanonical() {
+		t.Error("site disambiguator reported canonical")
+	}
+	if (Dis{Counter: 1}).IsCanonical() {
+		t.Error("counter-only disambiguator reported canonical")
+	}
+}
+
+func TestPaperCost(t *testing.T) {
+	// Section 5: 6-byte site identifiers for both schemes, 4-byte UDIS counter.
+	sdis := PaperCost(SDIS)
+	if sdis.DisBytes() != 6 {
+		t.Errorf("SDIS disambiguator = %d bytes, want 6", sdis.DisBytes())
+	}
+	udis := PaperCost(UDIS)
+	if udis.DisBytes() != 10 {
+		t.Errorf("UDIS disambiguator = %d bytes, want 10", udis.DisBytes())
+	}
+	if got := CompactCost().DisBytes(); got != 2 {
+		t.Errorf("compact SDIS disambiguator = %d bytes, want 2", got)
+	}
+}
+
+func TestCostBits(t *testing.T) {
+	c := PaperCost(UDIS)
+	if got := c.Bits(Canonical); got != 0 {
+		t.Errorf("canonical disambiguator costs %d bits, want 0", got)
+	}
+	if got := c.Bits(Dis{Counter: 1, Site: 2}); got != 80 {
+		t.Errorf("UDIS disambiguator costs %d bits, want 80", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SDIS.String() != "SDIS" || UDIS.String() != "UDIS" {
+		t.Errorf("mode strings: %s, %s", SDIS, UDIS)
+	}
+	if Mode(0).String() != "Mode(0)" {
+		t.Errorf("invalid mode string: %s", Mode(0))
+	}
+}

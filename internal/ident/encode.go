@@ -1,0 +1,116 @@
+package ident
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding of a Path:
+//
+//	uvarint(len) then per element one flag byte followed, for site-generated
+//	mini elements only, by uvarint(counter) and uvarint(site).
+//
+// Flag byte layout: bit 0 = descent bit; bits 1-2 = element form
+// (0 = Major, 1 = Mini with canonical disambiguator, 2 = Mini with
+// site-generated disambiguator).
+//
+// This is the transport encoding. The paper-comparable identifier size
+// (Section 5's PosID columns) is the analytic Path.Bits(Cost) model; the
+// on-disk document format of Section 5.2 lives in internal/storage.
+const (
+	formMajor    = 0
+	formMiniCan  = 1
+	formMiniSite = 2
+)
+
+// AppendBinary appends the wire encoding of p to dst and returns the result.
+func (p Path) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	for _, e := range p {
+		flag := e.Bit & 1
+		switch {
+		case e.Kind == Major:
+			flag |= formMajor << 1
+		case e.Dis.IsCanonical():
+			flag |= formMiniCan << 1
+		default:
+			flag |= formMiniSite << 1
+		}
+		dst = append(dst, flag)
+		if e.Kind == Mini && !e.Dis.IsCanonical() {
+			dst = binary.AppendUvarint(dst, uint64(e.Dis.Counter))
+			dst = binary.AppendUvarint(dst, uint64(e.Dis.Site))
+		}
+	}
+	return dst
+}
+
+// MarshalBinary encodes p in the wire format.
+func (p Path) MarshalBinary() ([]byte, error) {
+	return p.AppendBinary(nil), nil
+}
+
+// DecodePath decodes one path from the front of buf, returning the path and
+// the number of bytes consumed.
+func DecodePath(buf []byte) (Path, int, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("ident: truncated path length")
+	}
+	if n > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("ident: path length %d exceeds buffer", n)
+	}
+	off := used
+	p := make(Path, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("ident: truncated path element %d", i)
+		}
+		flag := buf[off]
+		off++
+		e := Elem{Bit: flag & 1}
+		switch (flag >> 1) & 3 {
+		case formMajor:
+			e.Kind = Major
+		case formMiniCan:
+			e.Kind = Mini
+		case formMiniSite:
+			e.Kind = Mini
+			c, cn := binary.Uvarint(buf[off:])
+			if cn <= 0 {
+				return nil, 0, fmt.Errorf("ident: truncated counter in element %d", i)
+			}
+			off += cn
+			s, sn := binary.Uvarint(buf[off:])
+			if sn <= 0 {
+				return nil, 0, fmt.Errorf("ident: truncated site in element %d", i)
+			}
+			off += sn
+			if c > 1<<32-1 {
+				return nil, 0, fmt.Errorf("ident: counter %d overflows uint32", c)
+			}
+			if SiteID(s) > MaxSiteID {
+				return nil, 0, fmt.Errorf("ident: site %d exceeds 48 bits", s)
+			}
+			e.Dis = Dis{Counter: uint32(c), Site: SiteID(s)}
+		default:
+			return nil, 0, fmt.Errorf("ident: invalid element form %d", (flag>>1)&3)
+		}
+		p = append(p, e)
+	}
+	return p, off, nil
+}
+
+// UnmarshalBinary decodes p from data, requiring the whole buffer to be
+// consumed.
+func (p *Path) UnmarshalBinary(data []byte) error {
+	q, n, err := DecodePath(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("ident: %d trailing bytes after path", len(data)-n)
+	}
+	*p = q
+	return nil
+}

@@ -1,0 +1,27 @@
+package ident
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the path as its bracket notation string (the paper's
+// notation, e.g. "[10(0:s2)]"), which is self-describing and diffable in
+// logs and trace files.
+func (p Path) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes the bracket notation produced by MarshalJSON.
+func (p *Path) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("ident: path must be a string: %w", err)
+	}
+	q, err := ParsePath(s)
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}

@@ -1,0 +1,91 @@
+package ident
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePath parses the paper's bracket notation as produced by Path.String,
+// e.g. "[10(0:s2)]", "[1110(0:c3s1)]", "[(1:⊥)]". Bare digits are Major
+// elements; "(bit:dis)" groups are Mini elements with disambiguator syntax
+// "⊥" (canonical), "sN" (SDIS) or "cNsM" (UDIS). It is intended for tests
+// and tooling, where scenarios from the paper's figures are written down
+// verbatim.
+func ParsePath(s string) (Path, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("ident: path %q must be bracketed", orig)
+	}
+	s = s[1 : len(s)-1]
+	var p Path
+	for len(s) > 0 {
+		switch s[0] {
+		case '0', '1':
+			p = append(p, J(s[0]-'0'))
+			s = s[1:]
+		case '(':
+			end := strings.IndexByte(s, ')')
+			if end < 0 {
+				return nil, fmt.Errorf("ident: unterminated mini element in %q", orig)
+			}
+			body := s[1:end]
+			s = s[end+1:]
+			colon := strings.IndexByte(body, ':')
+			if colon != 1 || (body[0] != '0' && body[0] != '1') {
+				return nil, fmt.Errorf("ident: mini element %q must be (bit:dis)", body)
+			}
+			d, err := parseDis(body[colon+1:])
+			if err != nil {
+				return nil, fmt.Errorf("ident: in path %q: %w", orig, err)
+			}
+			p = append(p, M(body[0]-'0', d))
+		default:
+			return nil, fmt.Errorf("ident: unexpected character %q in path %q", s[0], orig)
+		}
+	}
+	return p, nil
+}
+
+// MustParsePath is ParsePath that panics on error, for tests and fixtures.
+func MustParsePath(s string) Path {
+	p, err := ParsePath(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseDis(s string) (Dis, error) {
+	if s == "⊥" || s == "" {
+		return Canonical, nil
+	}
+	var d Dis
+	rest := s
+	if strings.HasPrefix(rest, "c") {
+		rest = rest[1:]
+		i := strings.IndexByte(rest, 's')
+		if i < 0 {
+			return Dis{}, fmt.Errorf("disambiguator %q missing site", s)
+		}
+		c, err := strconv.ParseUint(rest[:i], 10, 32)
+		if err != nil {
+			return Dis{}, fmt.Errorf("disambiguator %q: bad counter: %w", s, err)
+		}
+		d.Counter = uint32(c)
+		rest = rest[i:]
+	}
+	if !strings.HasPrefix(rest, "s") {
+		return Dis{}, fmt.Errorf("disambiguator %q must be ⊥, sN or cNsM", s)
+	}
+	site, err := strconv.ParseUint(rest[1:], 10, 64)
+	if err != nil {
+		return Dis{}, fmt.Errorf("disambiguator %q: bad site: %w", s, err)
+	}
+	if SiteID(site) > MaxSiteID {
+		return Dis{}, fmt.Errorf("disambiguator %q: site exceeds 48 bits", s)
+	}
+	d.Site = SiteID(site)
+	return d, nil
+}

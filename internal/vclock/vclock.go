@@ -1,0 +1,124 @@
+// Package vclock implements vector clocks for tracking the happened-before
+// relation of Lamport, which the Treedoc paper adopts verbatim: "Our
+// happened-before and concurrency relations are identical to the formal
+// definition of Lamport" (Section 1, footnote 1). The causal delivery layer
+// (internal/causal) and the flatten commitment protocol (internal/commit)
+// build on these clocks.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// VC is a vector clock: per-site counts of known operations. The zero value
+// (nil) is a valid empty clock.
+type VC map[ident.SiteID]uint64
+
+// Relation is the outcome of comparing two vector clocks.
+type Relation int
+
+const (
+	// Equal means both clocks describe the same causal history.
+	Equal Relation = iota
+	// Before means the receiver happened-before the argument.
+	Before
+	// After means the argument happened-before the receiver.
+	After
+	// Concurrent means neither dominates: the histories are concurrent.
+	Concurrent
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// New returns an empty clock.
+func New() VC { return make(VC) }
+
+// Get returns the count for site s (zero when absent).
+func (v VC) Get(s ident.SiteID) uint64 { return v[s] }
+
+// Tick increments site s's entry and returns the new value.
+func (v VC) Tick(s ident.SiteID) uint64 {
+	v[s]++
+	return v[s]
+}
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for s, n := range v {
+		out[s] = n
+	}
+	return out
+}
+
+// Merge folds o into v entry-wise (pointwise maximum).
+func (v VC) Merge(o VC) {
+	for s, n := range o {
+		if n > v[s] {
+			v[s] = n
+		}
+	}
+}
+
+// Dominates reports whether v ≥ o entry-wise: every operation known to o is
+// known to v.
+func (v VC) Dominates(o VC) bool {
+	for s, n := range o {
+		if v[s] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare classifies the causal relation between v and o.
+func (v VC) Compare(o VC) Relation {
+	vDom, oDom := v.Dominates(o), o.Dominates(v)
+	switch {
+	case vDom && oDom:
+		return Equal
+	case oDom:
+		return Before
+	case vDom:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// String renders the clock deterministically (sites in ascending order).
+func (v VC) String() string {
+	sites := make([]ident.SiteID, 0, len(v))
+	for s := range v {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "s%d:%d", s, v[s])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

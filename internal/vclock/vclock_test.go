@@ -1,0 +1,97 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+func TestTickGetClone(t *testing.T) {
+	v := New()
+	if v.Get(1) != 0 {
+		t.Error("fresh clock not zero")
+	}
+	if v.Tick(1) != 1 || v.Tick(1) != 2 || v.Tick(2) != 1 {
+		t.Error("tick sequence wrong")
+	}
+	c := v.Clone()
+	c.Tick(1)
+	if v.Get(1) != 2 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestMergeDominates(t *testing.T) {
+	a := VC{1: 3, 2: 1}
+	b := VC{1: 1, 2: 4, 3: 2}
+	a.Merge(b)
+	want := VC{1: 3, 2: 4, 3: 2}
+	for s, n := range want {
+		if a[s] != n {
+			t.Errorf("merged[%d] = %d, want %d", s, a[s], n)
+		}
+	}
+	if !a.Dominates(b) {
+		t.Error("merged clock must dominate both inputs")
+	}
+	if b.Dominates(a) {
+		t.Error("b must not dominate merged")
+	}
+	if !(VC{}).Dominates(VC{}) || !a.Dominates(nil) {
+		t.Error("empty-clock domination broken")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Relation
+	}{
+		{"equal empty", VC{}, VC{}, Equal},
+		{"equal", VC{1: 2}, VC{1: 2}, Equal},
+		{"before", VC{1: 1}, VC{1: 2}, Before},
+		{"after", VC{1: 2, 2: 1}, VC{1: 2}, After},
+		{"concurrent", VC{1: 1}, VC{2: 1}, Concurrent},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Compare(tt.b); got != tt.want {
+			t.Errorf("%s: Compare = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	if Concurrent.String() != "concurrent" || Equal.String() != "equal" ||
+		Before.String() != "before" || After.String() != "after" {
+		t.Error("relation names wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{ident.SiteID(2): 1, ident.SiteID(1): 3}
+	if got := v.String(); got != "{s1:3 s2:1}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMergeIdempotentCommutative(t *testing.T) {
+	f := func(a, b map[uint8]uint8) bool {
+		va, vb := New(), New()
+		for s, n := range a {
+			va[ident.SiteID(s)+1] = uint64(n)
+		}
+		for s, n := range b {
+			vb[ident.SiteID(s)+1] = uint64(n)
+		}
+		m1 := va.Clone()
+		m1.Merge(vb)
+		m2 := vb.Clone()
+		m2.Merge(va)
+		m3 := m1.Clone()
+		m3.Merge(vb) // idempotent
+		return m1.Compare(m2) == Equal && m1.Compare(m3) == Equal &&
+			m1.Dominates(va) && m1.Dominates(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

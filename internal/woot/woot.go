@@ -1,0 +1,341 @@
+// Package woot implements the WOOT ("WithOut Operational Transformation")
+// algorithm for cooperative editing (Oster, Urso, Molli, Imine, CSCW 2006),
+// discussed in the Treedoc paper's related work: "In WOOT, each character
+// has a unique identifier, and maintains the identifiers of the previous
+// and following characters at the initial execution time. Furthermore, the
+// data structure grows indefinitely, because there is no garbage collection
+// or restructuring."
+//
+// WOOT serves as a second baseline for the extended comparisons: its
+// per-character overhead is three identifiers (own, previous, next) and its
+// tombstones are permanent.
+package woot
+
+import (
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+// ID identifies a W-character: the allocating site and its local clock.
+// The zero ID is reserved; Begin and End mark the document boundaries.
+type ID struct {
+	Site  ident.SiteID
+	Clock uint64
+}
+
+// Begin and End are the sentinel identifiers bounding every document.
+var (
+	Begin = ID{Site: 0, Clock: 0}
+	End   = ID{Site: 0, Clock: ^uint64(0)}
+)
+
+// Compare orders identifiers by (site, clock); WOOT only compares
+// identifiers of concurrent characters, for which this is a total order.
+func (a ID) Compare(b ID) int {
+	switch {
+	case a.Site < b.Site:
+		return -1
+	case a.Site > b.Site:
+		return +1
+	case a.Clock < b.Clock:
+		return -1
+	case a.Clock > b.Clock:
+		return +1
+	}
+	return 0
+}
+
+// String renders the identifier.
+func (a ID) String() string {
+	switch a {
+	case Begin:
+		return "⊢"
+	case End:
+		return "⊣"
+	}
+	return fmt.Sprintf("s%d:%d", a.Site, a.Clock)
+}
+
+// WChar is a W-character: an atom with its identifier and the identifiers
+// of its left and right neighbours at insert time.
+type WChar struct {
+	ID      ID
+	Atom    string
+	Visible bool
+	Prev    ID
+	Next    ID
+}
+
+// OpKind distinguishes WOOT operations.
+type OpKind uint8
+
+const (
+	// OpInsert integrates a W-character between its recorded neighbours.
+	OpInsert OpKind = iota + 1
+	// OpDelete makes a W-character invisible (permanent tombstone).
+	OpDelete
+)
+
+// Op is a replicable WOOT edit.
+type Op struct {
+	Kind OpKind
+	Char WChar // insert: full character; delete: only Char.ID is used
+	Site ident.SiteID
+	Seq  uint64
+}
+
+// IDBits is the wire size of one WOOT identifier under the paper's
+// 10-byte unique-identifier model (6-byte site + 4-byte clock).
+const IDBits = 8 * 10
+
+// NetworkBits returns the operation's network cost: an insert ships three
+// identifiers (own, prev, next) plus the atom; a delete ships one.
+func (o Op) NetworkBits() int {
+	if o.Kind == OpInsert {
+		return 3*IDBits + 8*len(o.Char.Atom)
+	}
+	return IDBits
+}
+
+// Doc is one WOOT replica: the W-string including invisible characters.
+// Not safe for concurrent use.
+type Doc struct {
+	site  ident.SiteID
+	clock uint64
+	seq   uint64
+	chars []WChar    // document order, tombstones included
+	index map[ID]int // identifier -> position in chars
+
+	opsApplied uint64
+	netBits    uint64
+}
+
+// New creates an empty WOOT replica.
+func New(site ident.SiteID) (*Doc, error) {
+	if site == 0 || site > ident.MaxSiteID {
+		return nil, fmt.Errorf("woot: site must be in [1, 2^48); got %d", site)
+	}
+	return &Doc{site: site, index: make(map[ID]int)}, nil
+}
+
+// Len returns the number of visible atoms.
+func (d *Doc) Len() int {
+	n := 0
+	for i := range d.chars {
+		if d.chars[i].Visible {
+			n++
+		}
+	}
+	return n
+}
+
+// Content returns the visible atoms in order.
+func (d *Doc) Content() []string {
+	out := make([]string, 0, len(d.chars))
+	for i := range d.chars {
+		if d.chars[i].Visible {
+			out = append(out, d.chars[i].Atom)
+		}
+	}
+	return out
+}
+
+// indexOf returns the position of id in the W-string: -1 for the Begin
+// sentinel, len(chars) for End, -2 when unknown.
+func (d *Doc) indexOf(id ID) int {
+	if id == Begin {
+		return -1
+	}
+	if id == End {
+		return len(d.chars)
+	}
+	if i, ok := d.index[id]; ok {
+		return i
+	}
+	return -2
+}
+
+// insertChar splices c into the W-string at position i and reindexes.
+func (d *Doc) insertChar(i int, c WChar) {
+	d.chars = append(d.chars, WChar{})
+	copy(d.chars[i+1:], d.chars[i:])
+	d.chars[i] = c
+	d.index[c.ID] = i
+	for j := i + 1; j < len(d.chars); j++ {
+		d.index[d.chars[j].ID] = j
+	}
+}
+
+// visibleIndex returns the W-string position of the i-th visible atom.
+func (d *Doc) visibleIndex(i int) int {
+	seen := 0
+	for j := range d.chars {
+		if d.chars[j].Visible {
+			if seen == i {
+				return j
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+// InsertAt inserts atom at visible index i as a local edit.
+func (d *Doc) InsertAt(i int, atom string) (Op, error) {
+	if i < 0 || i > d.Len() {
+		return Op{}, fmt.Errorf("woot: index %d out of range [0,%d]", i, d.Len())
+	}
+	prev, next := Begin, End
+	if i > 0 {
+		prev = d.chars[d.visibleIndex(i-1)].ID
+	}
+	if i < d.Len() {
+		next = d.chars[d.visibleIndex(i)].ID
+	}
+	d.clock++
+	c := WChar{
+		ID:      ID{Site: d.site, Clock: d.clock},
+		Atom:    atom,
+		Visible: true,
+		Prev:    prev,
+		Next:    next,
+	}
+	d.seq++
+	op := Op{Kind: OpInsert, Char: c, Site: d.site, Seq: d.seq}
+	if err := d.apply(op); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// DeleteAt deletes the visible atom at index i as a local edit.
+func (d *Doc) DeleteAt(i int) (Op, error) {
+	j := d.visibleIndex(i)
+	if j < 0 {
+		return Op{}, fmt.Errorf("woot: index %d out of range [0,%d)", i, d.Len())
+	}
+	d.seq++
+	op := Op{Kind: OpDelete, Char: WChar{ID: d.chars[j].ID}, Site: d.site, Seq: d.seq}
+	if err := d.apply(op); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// Apply replays a remote operation. Causal delivery guarantees WOOT's
+// preconditions: an insert's prev and next characters are already present.
+func (d *Doc) Apply(op Op) error { return d.apply(op) }
+
+func (d *Doc) apply(op Op) error {
+	d.opsApplied++
+	d.netBits += uint64(op.NetworkBits())
+	switch op.Kind {
+	case OpInsert:
+		if d.indexOf(op.Char.ID) >= 0 {
+			return nil // duplicate: idempotent
+		}
+		return d.integrate(op.Char, op.Char.Prev, op.Char.Next)
+	case OpDelete:
+		i := d.indexOf(op.Char.ID)
+		if i < 0 {
+			return fmt.Errorf("woot: delete of unknown character %v", op.Char.ID)
+		}
+		d.chars[i].Visible = false
+		d.chars[i].Atom = "" // the atom is gone; the tombstone remains forever
+		return nil
+	default:
+		return fmt.Errorf("woot: invalid op kind %d", op.Kind)
+	}
+}
+
+// integrate places c between the characters with identifiers prev and next,
+// following the recursive IntegrateIns procedure of the WOOT paper: among
+// the characters currently between prev and next, consider only those whose
+// own prev/next lie outside the range, order c among them by identifier,
+// and recurse into the narrowed range.
+func (d *Doc) integrate(c WChar, prev, next ID) error {
+	for {
+		lo := d.indexOf(prev)
+		hi := d.indexOf(next)
+		if lo == -2 || hi == -2 {
+			return fmt.Errorf("woot: integrate %v: missing neighbour (%v,%v)", c.ID, prev, next)
+		}
+		if hi-lo < 1 {
+			return fmt.Errorf("woot: integrate %v: inverted range (%d,%d)", c.ID, lo, hi)
+		}
+		if hi-lo == 1 {
+			// Empty subsequence: insert right before next.
+			d.insertChar(hi, c)
+			return nil
+		}
+		// L := prev · {d in S : d.prev and d.next outside (prev, next)} · next
+		type bound struct {
+			id  ID
+			pos int
+		}
+		L := []bound{{prev, lo}}
+		for j := lo + 1; j < hi; j++ {
+			pj := d.indexOf(d.chars[j].Prev)
+			nj := d.indexOf(d.chars[j].Next)
+			if pj <= lo && hi <= nj {
+				L = append(L, bound{d.chars[j].ID, j})
+			}
+		}
+		L = append(L, bound{next, hi})
+		i := 1
+		for i < len(L)-1 && L[i].id.Compare(c.ID) < 0 {
+			i++
+		}
+		np, nn := L[i-1].id, L[i].id
+		if np == prev && nn == next {
+			return fmt.Errorf("woot: integrate %v made no progress in (%v,%v)", c.ID, prev, next)
+		}
+		prev, next = np, nn
+	}
+}
+
+// Stats reports WOOT's overheads: every character permanently stores three
+// identifiers, and tombstones are never collected.
+type Stats struct {
+	LiveAtoms   int
+	Tombstones  int
+	DocBytes    int
+	TotalIDBits int // 3 identifiers per character, tombstones included
+	NetBits     uint64
+	OpsApplied  uint64
+}
+
+// Stats measures the replica.
+func (d *Doc) Stats() Stats {
+	var s Stats
+	for i := range d.chars {
+		if d.chars[i].Visible {
+			s.LiveAtoms++
+			s.DocBytes += len(d.chars[i].Atom)
+		} else {
+			s.Tombstones++
+		}
+		s.TotalIDBits += 3 * IDBits
+	}
+	s.NetBits = d.netBits
+	s.OpsApplied = d.opsApplied
+	return s
+}
+
+// Check verifies internal invariants (tests): unique identifiers and
+// resolvable neighbours.
+func (d *Doc) Check() error {
+	seen := make(map[ID]bool, len(d.chars))
+	for i := range d.chars {
+		id := d.chars[i].ID
+		if seen[id] {
+			return fmt.Errorf("woot: duplicate identifier %v", id)
+		}
+		seen[id] = true
+		if d.indexOf(d.chars[i].Prev) == -2 || d.indexOf(d.chars[i].Next) == -2 {
+			return fmt.Errorf("woot: character %v has unresolved neighbours", id)
+		}
+	}
+	return nil
+}

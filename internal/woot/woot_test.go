@@ -1,0 +1,288 @@
+package woot
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/ident"
+)
+
+func newDoc(t *testing.T, site ident.SiteID) *Doc {
+	t.Helper()
+	d, err := New(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func docString(d *Doc) string { return strings.Join(d.Content(), "") }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("site 0 accepted")
+	}
+	if _, err := New(ident.MaxSiteID + 1); err == nil {
+		t.Error("oversized site accepted")
+	}
+}
+
+func TestIDCompareAndString(t *testing.T) {
+	if Begin.Compare(End) != -1 {
+		t.Error("Begin must sort before End")
+	}
+	a := ID{Site: 1, Clock: 2}
+	b := ID{Site: 1, Clock: 3}
+	c := ID{Site: 2, Clock: 1}
+	if a.Compare(b) != -1 || b.Compare(c) != -1 || a.Compare(a) != 0 {
+		t.Error("ID ordering broken")
+	}
+	if Begin.String() != "⊢" || End.String() != "⊣" || a.String() != "s1:2" {
+		t.Errorf("strings: %s %s %s", Begin, End, a)
+	}
+}
+
+func TestEditingSequence(t *testing.T) {
+	d := newDoc(t, 1)
+	for i, a := range []string{"a", "b", "c", "d"} {
+		if _, err := d.InsertAt(i, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if docString(d) != "abcd" {
+		t.Fatalf("doc = %q", docString(d))
+	}
+	if _, err := d.InsertAt(2, "X"); err != nil {
+		t.Fatal(err)
+	}
+	if docString(d) != "abXcd" {
+		t.Errorf("doc = %q", docString(d))
+	}
+	if _, err := d.DeleteAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if docString(d) != "aXcd" {
+		t.Errorf("doc = %q", docString(d))
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertAt(99, "x"); err == nil {
+		t.Error("out-of-range insert succeeded")
+	}
+	if _, err := d.DeleteAt(99); err == nil {
+		t.Error("out-of-range delete succeeded")
+	}
+}
+
+func TestTombstonesNeverCollected(t *testing.T) {
+	d := newDoc(t, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := d.InsertAt(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 9; i >= 0; i-- {
+		if _, err := d.DeleteAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.LiveAtoms != 0 {
+		t.Errorf("live = %d", s.LiveAtoms)
+	}
+	if s.Tombstones != 10 {
+		t.Errorf("tombstones = %d, want 10 (WOOT never collects)", s.Tombstones)
+	}
+	if s.TotalIDBits != 10*3*IDBits {
+		t.Errorf("id bits = %d, want %d", s.TotalIDBits, 10*3*IDBits)
+	}
+}
+
+// TestConcurrentInsertsSamePlace is the canonical WOOT scenario: two sites
+// insert concurrently at the same position; both replicas converge with the
+// concurrent atoms ordered by identifier.
+func TestConcurrentInsertsSamePlace(t *testing.T) {
+	a, b := newDoc(t, 1), newDoc(t, 2)
+	var hist []Op
+	for i, atom := range []string{"1", "2"} {
+		op, err := a.InsertAt(i, atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist = append(hist, op)
+	}
+	for _, op := range hist {
+		if err := b.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opA, err := a.InsertAt(1, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opB, err := b.InsertAt(1, "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(opB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(opA); err != nil {
+		t.Fatal(err)
+	}
+	if docString(a) != docString(b) {
+		t.Errorf("diverged: %q vs %q", docString(a), docString(b))
+	}
+	if docString(a) != "1XY2" {
+		t.Errorf("doc = %q, want 1XY2 (site order)", docString(a))
+	}
+}
+
+// TestThreeWayConcurrentIntegration exercises the recursive integrate with
+// three sites editing the same region concurrently, in all delivery orders
+// of the concurrent ops.
+func TestThreeWayConcurrentIntegration(t *testing.T) {
+	seedOps := func(t *testing.T, d *Doc) []Op {
+		var ops []Op
+		for i, atom := range []string{"L", "R"} {
+			op, err := d.InsertAt(i, atom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	base := newDoc(t, 9)
+	hist := seedOps(t, base)
+	mk := func(site ident.SiteID) *Doc {
+		d := newDoc(t, site)
+		for _, op := range hist {
+			if err := d.Apply(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	d1, d2, d3 := mk(1), mk(2), mk(3)
+	op1, _ := d1.InsertAt(1, "a")
+	op2, _ := d2.InsertAt(1, "b")
+	op3, _ := d3.InsertAt(1, "c")
+	ops := []Op{op1, op2, op3}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var want string
+	for pi, perm := range perms {
+		d := mk(ident.SiteID(10 + pi))
+		for _, k := range perm {
+			if err := d.Apply(ops[k]); err != nil {
+				t.Fatalf("perm %v: %v", perm, err)
+			}
+		}
+		if pi == 0 {
+			want = docString(d)
+			continue
+		}
+		if docString(d) != want {
+			t.Errorf("perm %v = %q, want %q", perm, docString(d), want)
+		}
+	}
+}
+
+func TestConvergenceRandom(t *testing.T) {
+	const sites = 3
+	rng := rand.New(rand.NewSource(8))
+	docs := make([]*Doc, sites)
+	for i := range docs {
+		docs[i] = newDoc(t, ident.SiteID(i+1))
+	}
+	hist := make([][]Op, sites)
+	seen := make([]int, sites)
+	for round := 0; round < 12; round++ {
+		for i, d := range docs {
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				if d.Len() == 0 || rng.Intn(100) < 70 {
+					op, err := d.InsertAt(rng.Intn(d.Len()+1), fmt.Sprintf("s%dr%d", i, round))
+					if err != nil {
+						t.Fatal(err)
+					}
+					hist[i] = append(hist[i], op)
+				} else {
+					op, err := d.DeleteAt(rng.Intn(d.Len()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					hist[i] = append(hist[i], op)
+				}
+			}
+		}
+		marks := make([]int, sites)
+		for i := range hist {
+			marks[i] = len(hist[i])
+		}
+		for i, d := range docs {
+			for _, j := range rng.Perm(sites) {
+				if j == i {
+					continue
+				}
+				for k := seen[j]; k < marks[j]; k++ {
+					if err := d.Apply(hist[j][k]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		copy(seen, marks)
+	}
+	want := docString(docs[0])
+	for i, d := range docs {
+		if docString(d) != want {
+			t.Fatalf("site %d diverged: %q vs %q", i, docString(d), want)
+		}
+		if err := d.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	d := newDoc(t, 1)
+	if err := d.Apply(Op{Kind: 9}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := d.Apply(Op{Kind: OpDelete, Char: WChar{ID: ID{Site: 5, Clock: 5}}}); err == nil {
+		t.Error("delete of unknown char accepted")
+	}
+	// Insert referencing unknown neighbours violates causality.
+	bad := Op{Kind: OpInsert, Char: WChar{
+		ID: ID{Site: 2, Clock: 1}, Atom: "x", Visible: true,
+		Prev: ID{Site: 3, Clock: 1}, Next: End,
+	}}
+	if err := d.Apply(bad); err == nil {
+		t.Error("insert with unknown prev accepted")
+	}
+	// Duplicate insert is idempotent.
+	op, err := d.InsertAt(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestNetworkBits(t *testing.T) {
+	ins := Op{Kind: OpInsert, Char: WChar{Atom: "ab"}}
+	if got := ins.NetworkBits(); got != 3*IDBits+16 {
+		t.Errorf("insert = %d bits", got)
+	}
+	del := Op{Kind: OpDelete}
+	if got := del.NetworkBits(); got != IDBits {
+		t.Errorf("delete = %d bits", got)
+	}
+}

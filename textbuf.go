@@ -1,0 +1,162 @@
+package treedoc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TextBuffer adapts a Treedoc replica to the interface of a text editor
+// buffer: rune-offset splices over a flat string, with one atom per rune.
+// It is the paper's stated next step — "implementing Treedoc within an
+// existing text editor" (Section 7) — packaged as a library layer: an
+// editor calls Splice for every keystroke or paste, ships the returned
+// operations, and applies remote operations as they arrive.
+//
+// All methods are safe for concurrent use.
+type TextBuffer struct {
+	mu  sync.Mutex
+	doc *Doc
+}
+
+// NewTextBuffer creates an empty character-granularity replica.
+func NewTextBuffer(opts ...Option) (*TextBuffer, error) {
+	d, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &TextBuffer{doc: d}, nil
+}
+
+// Len returns the buffer length in runes.
+func (b *TextBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Len()
+}
+
+// String returns the buffer contents.
+func (b *TextBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.text()
+}
+
+func (b *TextBuffer) text() string {
+	var sb strings.Builder
+	for _, a := range b.doc.Content() {
+		sb.WriteString(a)
+	}
+	return sb.String()
+}
+
+// Splice is the editor entry point: at rune offset off, delete delCount
+// runes and insert text. It returns the operations to broadcast — deletes
+// first, then inserts, matching the local execution order so remote
+// replicas can replay them in sequence.
+func (b *TextBuffer) Splice(off, delCount int, text string) ([]Op, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.doc.Len()
+	if off < 0 || off > n {
+		return nil, fmt.Errorf("treedoc: splice offset %d out of range [0,%d]", off, n)
+	}
+	if delCount < 0 || off+delCount > n {
+		return nil, fmt.Errorf("treedoc: splice delete %d out of range at offset %d (len %d)", delCount, off, n)
+	}
+	ops := make([]Op, 0, delCount+len(text))
+	for i := 0; i < delCount; i++ {
+		op, err := b.doc.DeleteAt(off)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if text != "" {
+		runes := []rune(text)
+		atoms := make([]string, len(runes))
+		for i, r := range runes {
+			atoms[i] = string(r)
+		}
+		ins, err := b.doc.InsertRunAt(off, atoms)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, ins...)
+	}
+	return ops, nil
+}
+
+// Insert inserts text at rune offset off.
+func (b *TextBuffer) Insert(off int, text string) ([]Op, error) {
+	return b.Splice(off, 0, text)
+}
+
+// Delete removes count runes at offset off.
+func (b *TextBuffer) Delete(off, count int) ([]Op, error) {
+	return b.Splice(off, count, "")
+}
+
+// Append adds text at the end of the buffer.
+func (b *TextBuffer) Append(text string) ([]Op, error) {
+	b.mu.Lock()
+	n := b.doc.Len()
+	b.mu.Unlock()
+	return b.Splice(n, 0, text)
+}
+
+// Apply replays a remote operation.
+func (b *TextBuffer) Apply(op Op) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Apply(op)
+}
+
+// ApplyAll replays remote operations in order.
+func (b *TextBuffer) ApplyAll(ops []Op) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, op := range ops {
+		if err := b.doc.Apply(op); err != nil {
+			return fmt.Errorf("treedoc: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Slice returns the text of the rune range [from, to).
+func (b *TextBuffer) Slice(from, to int) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.doc.Len()
+	if from < 0 || to < from || to > n {
+		return "", fmt.Errorf("treedoc: slice [%d,%d) out of range [0,%d]", from, to, n)
+	}
+	var sb strings.Builder
+	for i := from; i < to; i++ {
+		a, err := b.doc.AtomAt(i)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(a)
+	}
+	return sb.String(), nil
+}
+
+// Compact flattens the buffer to a zero-overhead array. Single-replica (or
+// externally coordinated) use only, as with Doc.Flatten.
+func (b *TextBuffer) Compact() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Flatten()
+}
+
+// Stats measures the replica's overheads.
+func (b *TextBuffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Stats()
+}
+
+// Doc exposes the underlying document replica (e.g. for snapshots).
+func (b *TextBuffer) Doc() *Doc { return b.doc }

@@ -1,0 +1,194 @@
+package treedoc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newBuf(t *testing.T, site SiteID) *TextBuffer {
+	t.Helper()
+	b, err := NewTextBuffer(WithSite(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTextBufferSplice(t *testing.T) {
+	b := newBuf(t, 1)
+	if _, err := b.Append("hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "hello world" {
+		t.Fatalf("buffer = %q", got)
+	}
+	if b.Len() != 11 {
+		t.Errorf("len = %d", b.Len())
+	}
+	// Replace "world" with "treedoc".
+	if _, err := b.Splice(6, 5, "treedoc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "hello treedoc" {
+		t.Errorf("buffer = %q", got)
+	}
+	if _, err := b.Insert(5, ","); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "hello, treedoc" {
+		t.Errorf("buffer = %q", got)
+	}
+	if _, err := b.Delete(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "treedoc" {
+		t.Errorf("buffer = %q", got)
+	}
+	s, err := b.Slice(1, 5)
+	if err != nil || s != "reed" {
+		t.Errorf("Slice = %q, %v", s, err)
+	}
+}
+
+func TestTextBufferUnicode(t *testing.T) {
+	b := newBuf(t, 1)
+	if _, err := b.Append("héllo wörld ✓"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 13 {
+		t.Errorf("rune len = %d, want 13", b.Len())
+	}
+	if _, err := b.Splice(6, 5, "mönde"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "héllo mönde ✓" {
+		t.Errorf("buffer = %q", got)
+	}
+}
+
+func TestTextBufferErrors(t *testing.T) {
+	b := newBuf(t, 1)
+	if _, err := b.Splice(-1, 0, "x"); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := b.Splice(1, 0, "x"); err == nil {
+		t.Error("offset beyond end accepted")
+	}
+	if _, err := b.Splice(0, 5, ""); err == nil {
+		t.Error("over-long delete accepted")
+	}
+	if _, err := b.Slice(0, 1); err == nil {
+		t.Error("slice beyond end accepted")
+	}
+	if _, err := b.Slice(-1, 0); err == nil {
+		t.Error("negative slice accepted")
+	}
+}
+
+func TestTextBufferConvergence(t *testing.T) {
+	a, b := newBuf(t, 1), newBuf(t, 2)
+	ops, err := a.Append("the quick fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyAll(ops); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent typing at different cursor positions.
+	opsA, err := a.Insert(4, "very ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsB, err := b.Splice(10, 3, "brown fox jumps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplyAll(opsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplyAll(opsA); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("diverged: %q vs %q", a.String(), b.String())
+	}
+	if want := "the very quick brown fox jumps"; a.String() != want {
+		t.Errorf("converged = %q, want %q", a.String(), want)
+	}
+}
+
+func TestTextBufferCompact(t *testing.T) {
+	b := newBuf(t, 1)
+	if _, err := b.Append(strings.Repeat("abcdefgh", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Delete(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.Tree.MemBytes != 0 {
+		t.Errorf("compact left %d bytes overhead", s.Tree.MemBytes)
+	}
+	if b.Len() != 300 {
+		t.Errorf("len = %d", b.Len())
+	}
+	// Editing after compaction re-explodes lazily.
+	if _, err := b.Insert(150, "X"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 301 {
+		t.Errorf("len = %d", b.Len())
+	}
+	if err := b.Doc().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTextBufferRandomTypists runs a differential test against a plain
+// string: two replicas splice randomly (non-overlapping sessions mirrored
+// through op exchange) and must match the reference after every exchange.
+func TestTextBufferRandomTypists(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a, b := newBuf(t, 1), newBuf(t, 2)
+	for round := 0; round < 60; round++ {
+		// a edits, b follows.
+		n := a.Len()
+		off := 0
+		if n > 0 {
+			off = rng.Intn(n + 1)
+		}
+		del := 0
+		if n-off > 0 && rng.Intn(3) == 0 {
+			del = rng.Intn(min(4, n-off+1))
+		}
+		ins := ""
+		if rng.Intn(4) > 0 {
+			ins = fmt.Sprintf("<%d>", round)
+		}
+		ops, err := a.Splice(off, del, ins)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := b.ApplyAll(ops); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("round %d: diverged\n%q\n%q", round, a.String(), b.String())
+		}
+	}
+	if err := a.Doc().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,320 @@
+package treedoc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/storage"
+)
+
+// Mode selects the disambiguator scheme (Section 3.3 of the paper).
+type Mode = ident.Mode
+
+// Disambiguator schemes.
+const (
+	// SDIS uses bare site identifiers; deletes leave tombstones until a
+	// flatten collects them.
+	SDIS = ident.SDIS
+	// UDIS uses (counter, site) pairs; deletes discard immediately.
+	UDIS = ident.UDIS
+)
+
+// Op is a replicable edit operation. Ops serialise with MarshalBinary /
+// UnmarshalBinary for transport.
+type Op = core.Op
+
+// Operation kinds.
+const (
+	OpInsert = core.OpInsert
+	OpDelete = core.OpDelete
+)
+
+// Stats bundles a replica's overhead measurements under the paper's cost
+// models (Section 5).
+type Stats = core.Stats
+
+// SiteID identifies a replica (48 bits, non-zero).
+type SiteID = ident.SiteID
+
+// Option configures a Doc.
+type Option func(*config) error
+
+type config struct {
+	core core.Config
+}
+
+// WithSite sets the replica's unique site identifier (required unless the
+// Doc is created by a Cluster).
+func WithSite(site SiteID) Option {
+	return func(c *config) error {
+		if site == 0 || site > ident.MaxSiteID {
+			return fmt.Errorf("treedoc: site must be in [1, 2^48)")
+		}
+		c.core.Site = site
+		return nil
+	}
+}
+
+// WithMode selects SDIS (default) or UDIS.
+func WithMode(m Mode) Option {
+	return func(c *config) error {
+		switch m {
+		case SDIS, UDIS:
+			c.core.Mode = m
+			return nil
+		default:
+			return fmt.Errorf("treedoc: invalid mode %v", m)
+		}
+	}
+}
+
+// WithNaiveAllocation selects the paper's Algorithm 1 without balancing,
+// mainly useful for comparison; the default is balanced allocation
+// (Section 4.1).
+func WithNaiveAllocation() Option {
+	return func(c *config) error {
+		c.core.Strategy = core.Naive{}
+		return nil
+	}
+}
+
+// WithBalancedAllocation selects the balancing strategy (the default).
+func WithBalancedAllocation() Option {
+	return func(c *config) error {
+		c.core.Strategy = core.Balanced{}
+		return nil
+	}
+}
+
+// WithFlattenEvery enables the local flatten heuristic: every interval
+// revisions (see EndRevision), the largest subtree quiet for coldRevisions
+// revisions is compacted. Use only on single-replica documents or under
+// external coordination; Cluster coordinates flatten itself.
+func WithFlattenEvery(interval int, coldRevisions int) Option {
+	return func(c *config) error {
+		if interval < 0 || coldRevisions < 0 {
+			return fmt.Errorf("treedoc: negative flatten policy")
+		}
+		c.core.Flatten = core.FlattenPolicy{Interval: interval, ColdRevisions: int64(coldRevisions), MinNodes: 2}
+		return nil
+	}
+}
+
+// WithCompactSiteIDs accounts overheads with 2-byte site identifiers (the
+// paper's known-membership variant, Section 3.3.2) instead of 6-byte ones.
+func WithCompactSiteIDs() Option {
+	return func(c *config) error {
+		c.core.Cost = ident.CompactCost()
+		return nil
+	}
+}
+
+// Doc is one replica of a Treedoc document. All methods are safe for
+// concurrent use by multiple goroutines.
+type Doc struct {
+	mu  sync.Mutex
+	doc *core.Document
+}
+
+// New creates an empty replica.
+func New(opts ...Option) (*Doc, error) {
+	var c config
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	d, err := core.NewDocument(c.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Doc{doc: d}, nil
+}
+
+// Site returns the replica's site identifier.
+func (d *Doc) Site() SiteID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Site()
+}
+
+// Len returns the number of atoms.
+func (d *Doc) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Len()
+}
+
+// Content returns the atoms in document order.
+func (d *Doc) Content() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Content()
+}
+
+// ContentString joins the atoms with newlines.
+func (d *Doc) ContentString() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.ContentString()
+}
+
+// AtomAt returns the atom at index i.
+func (d *Doc) AtomAt(i int) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.AtomAt(i)
+}
+
+// InsertAt inserts atom at index i (0 ≤ i ≤ Len) and returns the operation
+// to broadcast to other replicas.
+func (d *Doc) InsertAt(i int, atom string) (Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.InsertAt(i, atom)
+}
+
+// Append inserts atom at the end of the document.
+func (d *Doc) Append(atom string) (Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.InsertAt(d.doc.Len(), atom)
+}
+
+// InsertRunAt inserts consecutive atoms starting at index i, packing them
+// into a minimal subtree under balanced allocation (Section 4.1). One
+// operation per atom is returned.
+func (d *Doc) InsertRunAt(i int, atoms []string) ([]Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.InsertRunAt(i, atoms)
+}
+
+// DeleteAt removes the atom at index i and returns the operation to
+// broadcast.
+func (d *Doc) DeleteAt(i int) (Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.DeleteAt(i)
+}
+
+// Apply replays a remote operation. Operations must be delivered in
+// happened-before order (each replica's operations in sequence, and an
+// atom's insert before any of its deletes); under that contract concurrent
+// operations commute and replicas converge.
+func (d *Doc) Apply(op Op) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Apply(op)
+}
+
+// ApplyAll replays a batch of operations in order.
+func (d *Doc) ApplyAll(ops []Op) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, op := range ops {
+		if err := d.doc.Apply(op); err != nil {
+			return fmt.Errorf("treedoc: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EndRevision marks the end of an edit session, driving the flatten
+// heuristic configured with WithFlattenEvery.
+func (d *Doc) EndRevision() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.doc.EndRevision()
+}
+
+// Flatten compacts the whole document into a plain array with zero
+// metadata (the paper's best case). It must not run concurrently with
+// remote edits: coordinate with the commitment protocol (see Cluster) or
+// use it on single-replica documents.
+func (d *Doc) Flatten() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.FlattenAll()
+}
+
+// Stats measures the replica's overheads.
+func (d *Doc) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Stats()
+}
+
+// Check verifies internal invariants; it is used by tests and returns nil
+// on healthy documents.
+func (d *Doc) Check() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Check()
+}
+
+// snapshot format: magic, site, seq, counter, mode, tree bytes.
+var snapMagic = []byte{'T', 'D', 'S', '1'}
+
+// MarshalBinary snapshots the replica — document tree plus the persistent
+// allocation state — using the heap-array on-disk format of Section 5.2.
+func (d *Doc) MarshalBinary() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.AppendUvarint(buf, uint64(d.doc.Site()))
+	buf = binary.AppendUvarint(buf, d.doc.Seq())
+	buf = binary.AppendUvarint(buf, uint64(d.doc.Counter()))
+	buf = append(buf, byte(d.doc.Config().Mode))
+	return append(buf, storage.Encode(d.doc.Tree())...), nil
+}
+
+// Open restores a replica from a snapshot. Options may override the
+// allocation strategy or cost model but not the site or mode, which are
+// part of the snapshot.
+func Open(data []byte, opts ...Option) (*Doc, error) {
+	if len(data) < len(snapMagic)+4 || string(data[:4]) != string(snapMagic) {
+		return nil, fmt.Errorf("treedoc: bad snapshot header")
+	}
+	off := len(snapMagic)
+	site, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("treedoc: truncated snapshot site")
+	}
+	off += n
+	seq, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("treedoc: truncated snapshot seq")
+	}
+	off += n
+	counter, n := binary.Uvarint(data[off:])
+	if n <= 0 || counter > 1<<32-1 {
+		return nil, fmt.Errorf("treedoc: truncated snapshot counter")
+	}
+	off += n
+	if off >= len(data) {
+		return nil, fmt.Errorf("treedoc: truncated snapshot mode")
+	}
+	mode := Mode(data[off])
+	off++
+	tree, err := storage.Decode(data[off:])
+	if err != nil {
+		return nil, fmt.Errorf("treedoc: snapshot tree: %w", err)
+	}
+	var c config
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	c.core.Site = SiteID(site)
+	c.core.Mode = mode
+	doc, err := core.Restore(c.core, tree, seq, uint32(counter))
+	if err != nil {
+		return nil, err
+	}
+	return &Doc{doc: doc}, nil
+}

@@ -1,0 +1,397 @@
+package treedoc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestDoc(t *testing.T, opts ...Option) *Doc {
+	t.Helper()
+	d, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("doc without site accepted")
+	}
+	if _, err := New(WithSite(0)); err == nil {
+		t.Error("site 0 accepted")
+	}
+	if _, err := New(WithSite(1), WithMode(Mode(9))); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := New(WithSite(1), WithFlattenEvery(-1, 0)); err == nil {
+		t.Error("negative flatten interval accepted")
+	}
+	if _, err := New(WithSite(1), WithLatencyIgnored()); err == nil {
+		_ = err // placeholder to keep the linter happy if unused
+	}
+}
+
+// WithLatencyIgnored is a compile-time check that Option composition fails
+// loudly for misuse; it always errors.
+func WithLatencyIgnored() Option {
+	return func(*config) error { return fmt.Errorf("not a doc option") }
+}
+
+func TestBasicEditing(t *testing.T) {
+	d := newTestDoc(t, WithSite(1))
+	if _, err := d.InsertAt(0, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append("world"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertAt(1, "brave"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ContentString(); got != "hello\nbrave\nworld" {
+		t.Errorf("content = %q", got)
+	}
+	if d.Len() != 3 {
+		t.Errorf("len = %d", d.Len())
+	}
+	if a, err := d.AtomAt(1); err != nil || a != "brave" {
+		t.Errorf("AtomAt(1) = %q, %v", a, err)
+	}
+	if _, err := d.DeleteAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ContentString(); got != "hello\nworld" {
+		t.Errorf("content = %q", got)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Site() != 1 {
+		t.Errorf("site = %d", d.Site())
+	}
+}
+
+func TestTwoReplicaConvergence(t *testing.T) {
+	alice := newTestDoc(t, WithSite(1))
+	bob := newTestDoc(t, WithSite(2))
+
+	var history []Op
+	for i, s := range []string{"a", "b", "c"} {
+		op, err := alice.InsertAt(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, op)
+	}
+	if err := bob.ApplyAll(history); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent edits, exchanged.
+	opA, err := alice.InsertAt(1, "from-alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opB, err := bob.DeleteAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Apply(opB); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Apply(opA); err != nil {
+		t.Fatal(err)
+	}
+	if alice.ContentString() != bob.ContentString() {
+		t.Errorf("diverged: %q vs %q", alice.ContentString(), bob.ContentString())
+	}
+}
+
+func TestInsertRunAtPublic(t *testing.T) {
+	d := newTestDoc(t, WithSite(1))
+	ops, err := d.InsertRunAt(0, []string{"1", "2", "3", "4", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 5 {
+		t.Errorf("ops = %d", len(ops))
+	}
+	if got := d.ContentString(); got != "1\n2\n3\n4\n5" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestOpCodecPublic(t *testing.T) {
+	d := newTestDoc(t, WithSite(1))
+	op, err := d.InsertAt(0, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := op.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Op
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	e := newTestDoc(t, WithSite(2))
+	if err := e.Apply(back); err != nil {
+		t.Fatal(err)
+	}
+	if e.ContentString() != "payload" {
+		t.Errorf("replayed = %q", e.ContentString())
+	}
+}
+
+func TestFlattenAndStats(t *testing.T) {
+	d := newTestDoc(t, WithSite(1))
+	for i := 0; i < 50; i++ {
+		if _, err := d.Append(fmt.Sprintf("line %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := d.DeleteAt(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats()
+	if before.Tree.DeadMinis != 10 {
+		t.Errorf("tombstones = %d", before.Tree.DeadMinis)
+	}
+	if err := d.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after.Tree.MemBytes != 0 || after.Tree.Nodes != 0 {
+		t.Errorf("flattened overheads: mem=%d nodes=%d", after.Tree.MemBytes, after.Tree.Nodes)
+	}
+	if d.Len() != 40 {
+		t.Errorf("len = %d", d.Len())
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenHeuristicViaEndRevision(t *testing.T) {
+	d := newTestDoc(t, WithSite(1), WithFlattenEvery(2, 0))
+	for i := 0; i < 20; i++ {
+		if _, err := d.Append(fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.EndRevision()
+	if _, err := d.InsertAt(0, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	d.EndRevision() // revision 2: flatten fires on the cold remainder
+	s := d.Stats()
+	if s.Tree.FlatAtoms == 0 {
+		t.Error("heuristic flatten never fired")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := newTestDoc(t, WithSite(7), WithMode(UDIS))
+	for i := 0; i < 12; i++ {
+		if _, err := d.Append(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.DeleteAt(3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ContentString() != d.ContentString() {
+		t.Errorf("restored content %q, want %q", got.ContentString(), d.ContentString())
+	}
+	if got.Site() != 7 {
+		t.Errorf("restored site = %d", got.Site())
+	}
+	// The restored replica can keep editing without identifier collisions:
+	// its counter and sequence survived the snapshot.
+	op1, err := d.InsertAt(0, "orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := got.InsertAt(0, "restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op1.Seq != op2.Seq {
+		t.Errorf("sequence diverged after restore: %d vs %d", op1.Seq, op2.Seq)
+	}
+	if err := got.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt snapshots error.
+	if _, err := Open(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if _, err := Open(data[:8]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestDocConcurrencySafety(t *testing.T) {
+	d := newTestDoc(t, WithSite(1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				n := d.Len()
+				if n == 0 || rng.Intn(3) > 0 {
+					_, _ = d.InsertAt(rng.Intn(n+1), "x")
+				} else {
+					_, _ = d.DeleteAt(rng.Intn(n))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Error("empty after concurrent editing")
+	}
+}
+
+func TestClusterPublicAPI(t *testing.T) {
+	c, err := NewCluster(3, WithLatency(1, 10), WithSeed(5), WithClusterMode(UDIS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sites()) != 3 {
+		t.Fatalf("sites = %d", len(c.Sites()))
+	}
+	r1, err := c.Replica(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Replica(99); err == nil {
+		t.Error("unknown replica returned")
+	}
+	for i := 0; i < 10; i++ {
+		if err := r1.InsertAt(i, fmt.Sprintf("l%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(0)
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+	r2, err := c.Replica(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ContentString() != r1.ContentString() {
+		t.Error("replica contents differ")
+	}
+	if r2.Len() != 10 {
+		t.Errorf("len = %d", r2.Len())
+	}
+
+	// Partition, diverge, heal, converge.
+	if err := c.Partition(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Append("from-one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Append("from-two"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	c.HealAll()
+	c.Run(0)
+	if !c.Converged() {
+		t.Fatal("not converged after heal")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed flatten through the commitment protocol.
+	r1.ProposeFlatten()
+	c.Run(0)
+	if r1.FlattensApplied() != 1 {
+		t.Errorf("flattens = %d", r1.FlattensApplied())
+	}
+	if r1.Stats().Tree.Nodes != 0 {
+		t.Error("not compacted")
+	}
+	if !c.Converged() {
+		t.Fatal("not converged after flatten")
+	}
+	if c.Now() == 0 {
+		t.Error("clock did not advance")
+	}
+	r1.EndRevision()
+	_ = r1.ProposeFlattenCold(1)
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := NewCluster(2, WithLatency(-1, 5)); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewCluster(2, WithLatency(10, 5)); err == nil {
+		t.Error("inverted latency accepted")
+	}
+	if _, err := NewCluster(2, WithClusterMode(Mode(9))); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := NewCluster(2, WithLoss(1.5)); err == nil {
+		t.Error("loss > 1 accepted")
+	}
+	if _, err := NewCluster(2, WithLoss(-0.1)); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestClusterLossAndSync(t *testing.T) {
+	c, err := NewCluster(2, WithLoss(1), WithSeed(3), WithLatency(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c.Replica(1)
+	r2, _ := c.Replica(2)
+	if err := r1.Append("dropped"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	if r2.Len() != 0 {
+		t.Fatalf("len = %d under total loss", r2.Len())
+	}
+	r2.SyncWith(1)
+	c.Run(0)
+	if r2.Len() != 1 {
+		t.Fatalf("sync did not recover: len = %d", r2.Len())
+	}
+	if !c.Converged() {
+		t.Fatal("not converged")
+	}
+}
