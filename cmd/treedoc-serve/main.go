@@ -1,0 +1,54 @@
+// Treedoc-serve is the replication hub: a relay server that accepts framed
+// TCP connections from Treedoc replicas (transport.Dial / treedoc.Dial)
+// and fans every operation frame out to all other clients. The hub holds
+// no document state; causal buffering at the edges orders, deduplicates
+// and — via each engine's periodic anti-entropy exchange — repairs any
+// frames a slow client's queue had to drop.
+//
+// Usage:
+//
+//	treedoc-serve -addr :9707 -queue 256 -v
+//
+// Wire a replica to it:
+//
+//	buf, _ := treedoc.NewTextBuffer(treedoc.WithSite(site))
+//	eng, _ := treedoc.NewEngine(site, buf)
+//	link, _ := treedoc.Dial("host:9707")
+//	eng.Connect(link)
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/treedoc/treedoc/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":9707", "listen address")
+	queue := flag.Int("queue", 256, "per-client outbound queue depth")
+	verbose := flag.Bool("v", false, "log client connects and disconnects")
+	flag.Parse()
+
+	opts := []transport.HubOption{transport.WithHubQueueDepth(*queue)}
+	if *verbose {
+		opts = append(opts, transport.WithHubLogger(log.Printf))
+	}
+	hub, err := transport.ListenHub(*addr, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("treedoc-serve: relaying on %s", hub.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped)",
+		hub.Relays(), hub.Drops())
+	if err := hub.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

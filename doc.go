@@ -45,11 +45,30 @@
 // commitment protocol (two-phase commit where any replica that observed a
 // concurrent edit in the region votes No).
 //
-// # Simulation
+// # Distribution: simulated and real
+//
+// Two transports share the causal-delivery contract at different layers of
+// realism:
 //
 // Cluster wires several replicas over a deterministic discrete-event
-// network with random latency, partitions and healing, plus causal
-// delivery. It is how the repository's examples, integration tests and
-// benchmarks exercise distributed behaviour; real deployments substitute
-// their own transport and should preserve the causal-delivery contract.
+// network (internal/simnet) with random latency, partitions and healing.
+// Everything runs in one goroutine with virtual time, so protocol
+// behaviour — convergence, the flatten commitment protocol, chaos
+// schedules — is exactly reproducible from a seed. It is how integration
+// tests and benchmarks exercise distributed behaviour.
+//
+// Engine (internal/transport) is the real concurrent replication engine:
+// it carries the same operations between live replicas over goroutines and
+// sockets. Each Engine wraps a Doc or TextBuffer behind an actor loop,
+// stamps and batches local edits to peers, applies remote operations in
+// causal order, and runs a periodic anti-entropy exchange that repairs
+// losses from full queues, slow consumers or late joiners. Links are
+// in-process channel pairs (NewChanPair) or length-prefixed TCP framing
+// (Dial), typically relayed by the cmd/treedoc-serve hub. Convergence
+// under genuine parallelism is exercised by the race and soak tests in
+// internal/transport.
+//
+// The layering is deliberate: algorithms are debugged on the simulator,
+// where failures replay deterministically, and deployed on the transport,
+// where the race detector and soak tests stand guard.
 package treedoc

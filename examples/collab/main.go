@@ -1,87 +1,169 @@
-// Collab: a four-site cooperative editing session over a simulated network
-// with random latency and a partition, the setting of the paper's
-// peer-to-peer scenario. Disconnected sites keep editing ("to allow users
-// to make contributions while disconnected") and everything converges after
-// healing.
+// Collab: a four-site cooperative editing session over the real concurrent
+// transport — the deployment shape of the paper's peer-to-peer scenario,
+// not a simulation. An in-process relay hub (the same code as
+// cmd/treedoc-serve) listens on TCP loopback; four replicas dial it, edit
+// concurrently from their own goroutines with zero latency, and the
+// engines synchronise in the background: "common edit operations execute
+// optimistically, with no latency; replicas synchronise only in the
+// background" (Section 6).
+//
+// A fifth replica joins late, after thousands of edits, and catches up
+// purely through the anti-entropy exchange — the same mechanism that heals
+// frames dropped under backpressure.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"github.com/treedoc/treedoc"
 )
 
+const (
+	writers      = 4
+	editsPerSite = 300
+)
+
+type site struct {
+	id  treedoc.SiteID
+	buf *treedoc.TextBuffer
+	eng *treedoc.Engine
+}
+
 func main() {
-	cluster, err := treedoc.NewCluster(4,
-		treedoc.WithLatency(5, 60),
-		treedoc.WithSeed(2009), // the paper's vintage; any seed reproduces
-	)
+	hub, err := treedoc.ListenHub("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer hub.Close()
+	fmt.Printf("hub relaying on %s\n", hub.Addr())
 
-	// Site 1 seeds a shared outline; the cluster replicates it.
-	one := replica(cluster, 1)
-	for i, s := range []string{"# Design notes", "## Goals", "## Non-goals", "## Open questions"} {
-		must(one.InsertAt(i, s))
-	}
-	cluster.Run(0)
-	fmt.Printf("seeded %d lines, replicated to %d sites\n\n", one.Len(), len(cluster.Sites()))
-
-	// Everyone edits concurrently for a few rounds with messages in flight.
-	rng := rand.New(rand.NewSource(7))
-	for round := 0; round < 10; round++ {
-		for _, site := range cluster.Sites() {
-			r := replica(cluster, site)
-			line := fmt.Sprintf("note from site %d, round %d", site, round)
-			must(r.InsertAt(rng.Intn(r.Len()+1), line))
+	dial := func(id treedoc.SiteID) *site {
+		buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
+		if err != nil {
+			log.Fatal(err)
 		}
-		cluster.Run(rng.Intn(8)) // deliver a few messages mid-round
+		eng, err := treedoc.NewEngine(id, buf, treedoc.WithSyncInterval(25*time.Millisecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		link, err := treedoc.Dial(hub.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng.Connect(link)
+		return &site{id: id, buf: buf, eng: eng}
 	}
-	cluster.Run(0)
-	fmt.Printf("after 10 concurrent rounds: converged=%v, %d lines\n\n",
-		cluster.Converged(), one.Len())
 
-	// Partition site 4 away; both sides keep editing.
-	must(cluster.Partition(1, 4))
-	must(cluster.Partition(2, 4))
-	must(cluster.Partition(3, 4))
-	four := replica(cluster, 4)
-	for i := 0; i < 5; i++ {
-		must(four.Append(fmt.Sprintf("offline edit %d from site 4", i)))
-		must(one.Append(fmt.Sprintf("online edit %d from site 1", i)))
+	sites := make([]*site, 0, writers)
+	for id := treedoc.SiteID(1); id <= writers; id++ {
+		sites = append(sites, dial(id))
 	}
-	cluster.Run(0)
-	fmt.Printf("during partition: converged=%v (expected false)\n", cluster.Converged())
 
-	// Heal: the held operations flow, replicas converge automatically.
-	cluster.HealAll()
-	cluster.Run(0)
-	fmt.Printf("after healing:    converged=%v, %d lines\n", cluster.Converged(), one.Len())
+	// Site 1 seeds a shared outline; everyone else receives it over TCP.
+	seed := sites[0]
+	for _, line := range []string{"# Design notes\n", "## Goals\n", "## Open questions\n"} {
+		ops, err := seed.buf.Append(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := seed.eng.Broadcast(ops...); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	if !cluster.Converged() {
-		log.Fatal("BUG: cluster did not converge")
+	// Everyone edits concurrently, one writer goroutine per replica: random
+	// inserts with occasional deletes, no coordination, no waiting.
+	var wg sync.WaitGroup
+	for _, s := range sites {
+		wg.Add(1)
+		go func(s *site) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s.id)))
+			for i := 0; i < editsPerSite; i++ {
+				n := s.buf.Len()
+				var ops []treedoc.Op
+				var err error
+				if n > 0 && rng.Intn(5) == 0 {
+					ops, err = s.buf.Delete(rng.Intn(n), 1)
+				} else {
+					text := fmt.Sprintf("s%d-%d ", s.id, i)
+					ops, err = s.buf.Insert(rng.Intn(n+1), text)
+				}
+				if errors.Is(err, treedoc.ErrOutOfRange) {
+					// A remote delete shrank the buffer since Len; retry
+					// with fresh offsets, as a live editor would.
+					i--
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := s.eng.Broadcast(ops...); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(s)
 	}
-	if err := cluster.Check(); err != nil {
-		log.Fatal(err)
+	wg.Wait()
+	fmt.Printf("%d sites broadcast %d edits each, synchronising in the background\n",
+		writers, editsPerSite)
+
+	// A latecomer joins after the burst and catches up via anti-entropy.
+	late := dial(writers + 1)
+	sites = append(sites, late)
+
+	if !converge(sites, 30*time.Second) {
+		log.Fatal("BUG: replicas did not converge")
 	}
-	st := one.Stats()
-	fmt.Printf("\nreplica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
+	want := sites[0].buf.String()
+	for _, s := range sites {
+		if s.buf.String() != want {
+			log.Fatalf("BUG: site %d diverged", s.id)
+		}
+		if err := s.buf.Doc().Check(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("converged: %d sites, %d runes each (late joiner included)\n",
+		len(sites), sites[0].buf.Len())
+
+	var drops uint64
+	for _, s := range sites {
+		drops += s.eng.Drops()
+		s.eng.Stop()
+	}
+	st := sites[0].buf.Stats()
+	fmt.Printf("hub relayed %d frames (%d dropped and healed); engine drops %d\n",
+		hub.Relays(), hub.Drops(), drops)
+	fmt.Printf("replica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
 		st.Tree.LiveAtoms, st.Tree.AvgIDBits(), st.Tree.Nodes)
 }
 
-func replica(c *treedoc.Cluster, site treedoc.SiteID) *treedoc.Replica {
-	r, err := c.Replica(site)
-	if err != nil {
-		log.Fatal(err)
+// converge polls until every engine's delivered clock is identical (all
+// broadcast operations applied everywhere) or the deadline passes.
+func converge(sites []*site, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		clocks := make([]string, len(sites))
+		for i, s := range sites {
+			clocks[i] = s.eng.Clock().String()
+		}
+		same := true
+		for _, c := range clocks[1:] {
+			if c != clocks[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
-	return r
-}
-
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	return false
 }

@@ -1,0 +1,3 @@
+module github.com/treedoc/treedoc
+
+go 1.22

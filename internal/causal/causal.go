@@ -59,6 +59,23 @@ func (b *Buffer) Clock() vclock.VC { return b.delivered.Clone() }
 // Pending returns the number of buffered undeliverable messages.
 func (b *Buffer) Pending() int { return len(b.pending) }
 
+// Prune discards buffered undeliverable messages beyond max, oldest first,
+// and returns how many were dropped. A transport calls it to bound the
+// memory a hostile or broken peer can pin with wire-valid messages whose
+// causal dependencies never arrive; legitimate pruned messages are
+// recovered by anti-entropy retransmission.
+func (b *Buffer) Prune(max int) int {
+	if max < 0 {
+		max = 0
+	}
+	n := len(b.pending) - max
+	if n <= 0 {
+		return 0
+	}
+	b.pending = append(b.pending[:0], b.pending[n:]...)
+	return n
+}
+
 // deliverable reports whether m can be delivered now.
 func (b *Buffer) deliverable(m Message) bool {
 	for s, n := range m.TS {

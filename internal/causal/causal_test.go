@@ -180,3 +180,36 @@ func TestRandomDeliveryAllArrive(t *testing.T) {
 		seen.Tick(m.From)
 	}
 }
+
+func TestPruneBoundsPending(t *testing.T) {
+	b := NewBuffer(1)
+	// Messages from site 7 with a permanent causal gap (seq 1 never sent)
+	// stay pending forever.
+	for i := 0; i < 100; i++ {
+		if _, err := b.Add(Message{From: 7, TS: vclock.VC{7: uint64(i) + 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Pending(); got != 100 {
+		t.Fatalf("Pending = %d, want 100", got)
+	}
+	if n := b.Prune(150); n != 0 {
+		t.Fatalf("Prune above backlog dropped %d", n)
+	}
+	if n := b.Prune(30); n != 70 {
+		t.Fatalf("Prune(30) dropped %d, want 70", n)
+	}
+	if got := b.Pending(); got != 30 {
+		t.Fatalf("Pending after prune = %d, want 30", got)
+	}
+	// Delivery still works for messages that survived or arrive later: the
+	// newest 30 gap messages remain, and a fresh deliverable message from
+	// another site goes straight through.
+	out, err := b.Add(Message{From: 9, TS: vclock.VC{9: 1}})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("Add after prune = %v, %v", out, err)
+	}
+	if n := b.Prune(-1); n != 30 {
+		t.Fatalf("Prune(-1) dropped %d, want 30", n)
+	}
+}

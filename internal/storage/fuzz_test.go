@@ -1,0 +1,109 @@
+package storage_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/storage"
+)
+
+// seedEncodings builds snapshot corpora from real documents: an empty
+// tree, a tree with live and dead minis, and a flattened (compacted) tree,
+// so the fuzzer starts from every slot-token kind.
+func seedEncodings(f *testing.F) [][]byte {
+	var seeds [][]byte
+
+	empty, err := core.NewDocument(core.Config{Site: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, storage.Encode(empty.Tree()))
+
+	doc, err := core.NewDocument(core.Config{Site: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, atom := range []string{"one", "two", "three", "four", "five"} {
+		if _, err := doc.InsertAt(i, atom); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := doc.DeleteAt(1); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, storage.Encode(doc.Tree()))
+
+	flat, err := core.NewDocument(core.Config{Site: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, atom := range []string{"a", "b", "c"} {
+		if _, err := flat.InsertAt(i, atom); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := flat.FlattenAll(); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, storage.Encode(flat.Tree()))
+
+	return seeds
+}
+
+// FuzzStorageDecode is the snapshot-boundary fuzz target: arbitrary bytes
+// must never panic Decode, and any accepted tree must satisfy the
+// structural invariants and survive an encode/decode round trip.
+func FuzzStorageDecode(f *testing.F) {
+	for _, s := range seedEncodings(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("TDC1"))
+	f.Add([]byte{'T', 'D', 'C', '1', 0x00, 0x01})
+	f.Add([]byte{'T', 'D', 'C', '1', 0x01, 0x01, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := storage.Decode(data)
+		if err != nil {
+			return
+		}
+		if err := tree.Check(); err != nil {
+			t.Fatalf("Decode accepted a tree violating invariants: %v", err)
+		}
+		re := storage.Encode(tree)
+		again, err := storage.Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded tree rejected: %v", err)
+		}
+		if !bytes.Equal(storage.Encode(again), re) {
+			t.Fatal("tree not stable under encode/decode round trip")
+		}
+	})
+}
+
+// TestDecodeRoundTripSeeds pins the seed corpus through the full
+// round trip outside fuzzing mode, so plain `go test` exercises it.
+func TestDecodeRoundTripSeeds(t *testing.T) {
+	doc, err := core.NewDocument(core.Config{Site: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, atom := range []string{"alpha", "beta", "gamma", "delta"} {
+		if _, err := doc.InsertAt(i, atom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := doc.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	enc := storage.Encode(doc.Tree())
+	tree, err := storage.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(storage.Encode(tree), enc) {
+		t.Fatal("encode/decode/encode not stable")
+	}
+}

@@ -138,6 +138,12 @@ func (d *decoder) next() (doctree.ExportNode, error) {
 		if err != nil {
 			return doctree.ExportNode{}, err
 		}
+		// Each atom costs at least its one-byte length prefix, so a count
+		// beyond the remaining bytes is corrupt; checking before make()
+		// keeps a hostile prefix from forcing an arbitrary allocation.
+		if n > uint64(len(d.buf)-d.off) {
+			return doctree.ExportNode{}, fmt.Errorf("storage: flat count %d exceeds buffer", n)
+		}
 		atoms := make([]string, 0, n)
 		for i := uint64(0); i < n; i++ {
 			alen, err := d.uvarint()
@@ -155,6 +161,10 @@ func (d *decoder) next() (doctree.ExportNode, error) {
 		n, err := d.uvarint()
 		if err != nil {
 			return doctree.ExportNode{}, err
+		}
+		// Each mini costs at least its flags byte; see the tokFlat bound.
+		if n > uint64(len(d.buf)-d.off) {
+			return doctree.ExportNode{}, fmt.Errorf("storage: mini count %d exceeds buffer", n)
 		}
 		minis := make([]doctree.ExportMini, 0, n)
 		for i := uint64(0); i < n; i++ {
@@ -198,13 +208,24 @@ func (d *decoder) next() (doctree.ExportNode, error) {
 	}
 }
 
-// Decode reconstructs a document tree.
+// Decode reconstructs a document tree. The result is validated against the
+// structural invariants before it is returned: a snapshot is an external
+// input (disk, network), and a byte pattern no encoder produces — such as
+// a live mini-node at the root, whose empty path is not a legal atom
+// identifier — must not become a corrupt in-memory tree.
 func Decode(data []byte) (*doctree.Tree, error) {
 	if len(data) < len(magic) || string(data[:4]) != string(magic[:]) {
 		return nil, fmt.Errorf("storage: bad magic")
 	}
 	d := &decoder{buf: data, off: len(magic)}
-	return doctree.BuildFromBFS(d.next)
+	t, err := doctree.BuildFromBFS(d.next)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Check(); err != nil {
+		return nil, fmt.Errorf("storage: invalid snapshot: %w", err)
+	}
+	return t, nil
 }
 
 // Measurement separates document content from structural overhead, as the

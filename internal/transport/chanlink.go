@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"io"
+	"sync"
+)
+
+// ChanLink is the in-process Link: one end of a pair of bounded frame
+// channels. Send blocks while the peer's queue is full (backpressure) and
+// both ends unblock when either end closes. Frames still travel in the
+// binary wire encoding, so in-process transport exercises exactly the same
+// codec as TCP.
+type ChanLink struct {
+	send chan<- []byte
+	recv <-chan []byte
+	pipe *chanPipe
+}
+
+// chanPipe is the shared state of a link pair.
+type chanPipe struct {
+	ab     chan []byte
+	ba     chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ChanPair creates a connected pair of in-process links with the given
+// queue depth per direction.
+func ChanPair(depth int) (*ChanLink, *ChanLink) {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &chanPipe{
+		ab:     make(chan []byte, depth),
+		ba:     make(chan []byte, depth),
+		closed: make(chan struct{}),
+	}
+	a := &ChanLink{send: p.ab, recv: p.ba, pipe: p}
+	b := &ChanLink{send: p.ba, recv: p.ab, pipe: p}
+	return a, b
+}
+
+// Send queues one frame for the peer, blocking while the queue is full.
+func (l *ChanLink) Send(frame []byte) error {
+	select {
+	case <-l.pipe.closed:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case l.send <- frame:
+		return nil
+	case <-l.pipe.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+// Recv returns the next frame from the peer.
+func (l *ChanLink) Recv() ([]byte, error) {
+	select {
+	case f := <-l.recv:
+		return f, nil
+	case <-l.pipe.closed:
+		// Drain frames that raced the close so a graceful shutdown loses
+		// as little as possible.
+		select {
+		case f := <-l.recv:
+			return f, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// Close tears down both ends of the pair.
+func (l *ChanLink) Close() error {
+	l.pipe.once.Do(func() { close(l.pipe.closed) })
+	return nil
+}

@@ -1,0 +1,548 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/treedoc/treedoc/internal/causal"
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// Applier is the replica interface the engine drives: anything that can
+// replay Treedoc operations (the public Doc and TextBuffer both qualify).
+// Apply must be safe to call concurrently with the caller's local edits.
+type Applier interface {
+	Apply(op core.Op) error
+}
+
+// ErrStopped is returned by Broadcast after Stop.
+var ErrStopped = fmt.Errorf("transport: engine stopped")
+
+// Engine defaults.
+const (
+	defaultBatchSize    = 64
+	defaultQueueDepth   = 256
+	defaultSyncInterval = 200 * time.Millisecond
+	// syncChunk bounds the operations per anti-entropy reply frame.
+	syncChunk = 256
+	// maxPending caps the causal buffer's undeliverable backlog: wire-valid
+	// messages with permanent causal gaps (a hostile or broken peer) must
+	// not pin unbounded memory. Pruned legitimate messages come back via
+	// anti-entropy.
+	maxPending = 1 << 14
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBatchSize sets the maximum operations packed into one outbound frame
+// (default 64). Larger batches amortise framing; smaller ones cut latency.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 && n <= maxBatch {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithSyncInterval sets the anti-entropy period (default 200ms). Each tick
+// the engine sends its delivered clock to every peer; peers retransmit
+// whatever the clock does not cover.
+func WithSyncInterval(d time.Duration) Option {
+	return func(e *Engine) {
+		if d > 0 {
+			e.syncEvery = d
+		}
+	}
+}
+
+// WithQueueDepth sets the per-peer outbound queue depth (default 256).
+// When a peer's queue is full, frames to it are dropped — anti-entropy
+// retransmits them later — so a slow consumer never stalls the actor.
+func WithQueueDepth(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.queueDepth = n
+		}
+	}
+}
+
+// command is one unit of work on the actor inbox. Exactly one field group
+// is set: local ops to stamp and broadcast, inbound remote messages, an
+// inbound sync digest, or a control closure.
+type command struct {
+	ops  []core.Op
+	msgs []causal.Message
+	sync *SyncReqFrame
+	from *peer
+	ctl  func()
+}
+
+// Engine runs one replica's replication: causal delivery in, stamped
+// batches out, periodic anti-entropy. All distribution state (causal
+// buffer, message log, peer set) is owned by a single actor goroutine that
+// drains the inbox channel, so none of it needs a lock.
+type Engine struct {
+	site       ident.SiteID
+	doc        Applier
+	batchSize  int
+	queueDepth int
+	syncEvery  time.Duration
+
+	inbox chan command
+	done  chan struct{}
+	wg    sync.WaitGroup
+	// lifeMu orders Connect against Stop: Connect's wg.Add must not race
+	// a Stop whose wg.Wait already returned.
+	lifeMu  sync.Mutex
+	stopped bool
+
+	drops    atomic.Uint64
+	wireErrs atomic.Uint64
+	applied  atomic.Uint64
+
+	// Actor-owned state: touched only from run().
+	buf    *causal.Buffer
+	msgLog []causal.Message
+	batch  []causal.Message
+	peers  []*peer
+
+	// firstErr outlives the actor so Err stays truthful after Stop.
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// NewEngine creates and starts an engine for the given site wrapping the
+// given replica. The replica must not have applied remote operations
+// already: the engine's causal clock starts empty and must match the
+// document's history.
+func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) {
+	if site == 0 || site > ident.MaxSiteID {
+		return nil, fmt.Errorf("transport: site must be in [1, 2^48)")
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("transport: nil replica")
+	}
+	e := &Engine{
+		site:       site,
+		doc:        doc,
+		batchSize:  defaultBatchSize,
+		queueDepth: defaultQueueDepth,
+		syncEvery:  defaultSyncInterval,
+		done:       make(chan struct{}),
+		buf:        causal.NewBuffer(site),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	depth := 4 * e.queueDepth
+	if depth < 1024 {
+		depth = 1024
+	}
+	e.inbox = make(chan command, depth)
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Site returns the engine's site identifier.
+func (e *Engine) Site() ident.SiteID { return e.site }
+
+// Drops counts outbound frames discarded because a peer queue was full.
+// Anti-entropy repairs the loss; a steadily climbing count means a peer is
+// persistently slower than the local edit rate.
+func (e *Engine) Drops() uint64 { return e.drops.Load() }
+
+// WireErrs counts malformed frames and messages discarded on receive.
+func (e *Engine) WireErrs() uint64 { return e.wireErrs.Load() }
+
+// Applied counts remote operations replayed into the replica.
+func (e *Engine) Applied() uint64 { return e.applied.Load() }
+
+// Broadcast stamps local operations and queues them for delivery to every
+// peer. Ops must be passed in generation order; per-replica local edits
+// must be serialised by the caller (one writer goroutine, or a lock around
+// edit+Broadcast) so stamps match generation order.
+func (e *Engine) Broadcast(ops ...core.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	select {
+	case <-e.done:
+		return ErrStopped
+	default:
+	}
+	cp := make([]core.Op, len(ops))
+	copy(cp, ops)
+	select {
+	case e.inbox <- command{ops: cp}:
+		return nil
+	case <-e.done:
+		return ErrStopped
+	}
+}
+
+// Connect attaches a peer link and starts its reader and writer
+// goroutines. The engine immediately sends the peer an anti-entropy digest
+// so a late joiner catches up on history. Connect may be called at any
+// time, from any goroutine.
+func (e *Engine) Connect(link Link) {
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
+	if e.stopped {
+		link.Close()
+		return
+	}
+	p := &peer{eng: e, link: link, out: make(chan []byte, e.queueDepth), gone: make(chan struct{})}
+	e.wg.Add(3)
+	go p.writer()
+	go p.reader()
+	go p.closer()
+	e.ctl(func() {
+		e.peers = append(e.peers, p)
+		if f, err := EncodeSyncReq(e.site, e.buf.Clock()); err == nil {
+			p.trySend(f)
+		}
+	})
+}
+
+// Clock returns the delivered vector clock (nil after Stop). Entry s is the
+// count of site s's operations applied here; comparing clocks across
+// engines is the quiescence test.
+func (e *Engine) Clock() vclock.VC {
+	ch := make(chan vclock.VC, 1)
+	if !e.ctl(func() { ch <- e.buf.Clock() }) {
+		return nil
+	}
+	select {
+	case vc := <-ch:
+		return vc
+	case <-e.done:
+		return nil
+	}
+}
+
+// Err returns the first replica apply error, if any — including after
+// Stop, so teardown-order checks stay truthful. A non-nil result means the
+// causal delivery contract was violated upstream.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+func (e *Engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+}
+
+// Stop shuts the engine down: the actor exits, links close, goroutines
+// drain. Stop blocks until everything has wound down; it is idempotent.
+func (e *Engine) Stop() {
+	e.lifeMu.Lock()
+	if !e.stopped {
+		e.stopped = true
+		close(e.done)
+	}
+	e.lifeMu.Unlock()
+	e.wg.Wait()
+}
+
+// ctl queues a control closure for the actor, reporting false if the
+// engine already stopped.
+func (e *Engine) ctl(fn func()) bool {
+	select {
+	case <-e.done:
+		return false
+	default:
+	}
+	select {
+	case e.inbox <- command{ctl: fn}:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// run is the actor loop: the only goroutine touching buf, msgLog, batch
+// and peers.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.syncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case cmd := <-e.inbox:
+			e.handle(cmd)
+			// Opportunistic drain: batch whatever else is already queued
+			// before flushing, without blocking.
+		drain:
+			for len(e.batch) < e.batchSize {
+				select {
+				case cmd := <-e.inbox:
+					e.handle(cmd)
+				default:
+					break drain
+				}
+			}
+			e.flush()
+		case <-ticker.C:
+			e.flush()
+			e.syncAll()
+		case <-e.done:
+			// Best-effort drain: Broadcast returned nil for anything already
+			// in the inbox, so stamp and flush it rather than losing it —
+			// a stopped engine's unsent ops are unrecoverable, unlike the
+			// drop-and-heal losses anti-entropy repairs.
+			for {
+				select {
+				case cmd := <-e.inbox:
+					e.handle(cmd)
+					continue
+				default:
+				}
+				break
+			}
+			e.flush()
+			return
+		}
+	}
+}
+
+func (e *Engine) handle(cmd command) {
+	switch {
+	case cmd.ctl != nil:
+		cmd.ctl()
+	case cmd.ops != nil:
+		for _, op := range cmd.ops {
+			m := e.buf.Stamp(op)
+			e.msgLog = append(e.msgLog, m)
+			e.batch = append(e.batch, m)
+			if len(e.batch) >= e.batchSize {
+				e.flush()
+			}
+		}
+	case cmd.msgs != nil:
+		for _, m := range cmd.msgs {
+			e.ingest(m)
+		}
+	case cmd.sync != nil:
+		e.handleSyncReq(cmd.sync, cmd.from)
+	}
+}
+
+// ingest feeds one stamped message to the causal buffer and applies
+// whatever becomes deliverable. Delivered messages (own or relayed) are
+// retained for anti-entropy: a replica can heal a third party's loss.
+func (e *Engine) ingest(m causal.Message) {
+	deliverable, err := e.buf.Add(m)
+	if err != nil {
+		e.wireErrs.Add(1)
+		return
+	}
+	if n := e.buf.Prune(maxPending); n > 0 {
+		e.wireErrs.Add(uint64(n))
+	}
+	for _, dm := range deliverable {
+		e.msgLog = append(e.msgLog, dm)
+		op, ok := dm.Payload.(core.Op)
+		if !ok {
+			continue
+		}
+		if err := e.doc.Apply(op); err != nil {
+			e.setErr(fmt.Errorf("transport: apply op from s%d: %w", dm.From, err))
+			continue
+		}
+		e.applied.Add(1)
+	}
+}
+
+// handleSyncReq answers an anti-entropy digest with everything retained
+// that the requester's clock does not cover, chunked into frames. The
+// reply goes back through the peer the request arrived on (which may be a
+// relay hub; the causal buffers at the edges deduplicate).
+func (e *Engine) handleSyncReq(req *SyncReqFrame, from *peer) {
+	if from == nil || req.From == e.site {
+		return
+	}
+	var missing []causal.Message
+	for _, m := range e.msgLog {
+		if m.TS.Get(m.From) > req.Clock.Get(m.From) {
+			missing = append(missing, m)
+		}
+	}
+	for len(missing) > 0 {
+		n := len(missing)
+		if n > syncChunk {
+			n = syncChunk
+		}
+		chunk := missing[:n]
+		missing = missing[n:]
+		frame, err := EncodeOps(chunk)
+		if err != nil {
+			// Oversized chunk (large atoms): fall back to one frame per op,
+			// as flush does, so one fat chunk cannot starve the rest of the
+			// retransmission and leave the peer permanently behind.
+			for _, m := range chunk {
+				f, err := EncodeOps([]causal.Message{m})
+				if err != nil {
+					e.wireErrs.Add(1)
+					continue
+				}
+				from.trySend(f)
+			}
+			continue
+		}
+		from.trySend(frame)
+	}
+}
+
+// flush frames the pending batch and fans it out to every live peer, then
+// prunes peers whose links died.
+func (e *Engine) flush() {
+	if len(e.batch) > 0 {
+		frame, err := EncodeOps(e.batch)
+		if err != nil {
+			// Oversized batch (giant atom): retry per-op so one outlier
+			// cannot poison the rest.
+			for _, m := range e.batch {
+				f, err := EncodeOps([]causal.Message{m})
+				if err != nil {
+					e.wireErrs.Add(1)
+					continue
+				}
+				e.fanout(f)
+			}
+		} else {
+			e.fanout(frame)
+		}
+		e.batch = e.batch[:0]
+	}
+	live := e.peers[:0]
+	for _, p := range e.peers {
+		if !p.dead() {
+			live = append(live, p)
+		}
+	}
+	e.peers = live
+}
+
+func (e *Engine) fanout(frame []byte) {
+	for _, p := range e.peers {
+		if !p.dead() {
+			p.trySend(frame)
+		}
+	}
+}
+
+// syncAll sends the anti-entropy digest to every live peer.
+func (e *Engine) syncAll() {
+	if len(e.peers) == 0 {
+		return
+	}
+	frame, err := EncodeSyncReq(e.site, e.buf.Clock())
+	if err != nil {
+		e.wireErrs.Add(1)
+		return
+	}
+	e.fanout(frame)
+}
+
+// peer is one attached link: a bounded outbound queue drained by a writer
+// goroutine, and a reader goroutine decoding inbound frames into the
+// engine inbox (blocking there is the inbound backpressure path).
+type peer struct {
+	eng      *Engine
+	link     Link
+	out      chan []byte
+	gone     chan struct{}
+	goneOnce sync.Once
+}
+
+// fail marks the peer dead, which stops its writer and makes closer tear
+// the link down.
+func (p *peer) fail() { p.goneOnce.Do(func() { close(p.gone) }) }
+
+func (p *peer) dead() bool {
+	select {
+	case <-p.gone:
+		return true
+	default:
+		return false
+	}
+}
+
+// trySend queues a frame without blocking; a full queue drops the frame
+// and counts it (anti-entropy will retransmit).
+func (p *peer) trySend(frame []byte) {
+	select {
+	case p.out <- frame:
+	default:
+		p.eng.drops.Add(1)
+	}
+}
+
+func (p *peer) writer() {
+	defer p.eng.wg.Done()
+	for {
+		select {
+		case f := <-p.out:
+			if err := p.link.Send(f); err != nil {
+				p.fail()
+				return
+			}
+		case <-p.gone:
+			return
+		case <-p.eng.done:
+			return
+		}
+	}
+}
+
+func (p *peer) reader() {
+	defer p.eng.wg.Done()
+	defer p.fail()
+	for {
+		frame, err := p.link.Recv()
+		if err != nil {
+			return
+		}
+		decoded, err := DecodeFrame(frame)
+		if err != nil {
+			p.eng.wireErrs.Add(1)
+			continue
+		}
+		var cmd command
+		switch f := decoded.(type) {
+		case *OpsFrame:
+			cmd = command{msgs: f.Msgs, from: p}
+		case *SyncReqFrame:
+			cmd = command{sync: f, from: p}
+		default:
+			continue
+		}
+		select {
+		case p.eng.inbox <- cmd:
+		case <-p.eng.done:
+			return
+		}
+	}
+}
+
+// closer tears the link down on engine stop or peer failure, unblocking
+// any Send or Recv in flight.
+func (p *peer) closer() {
+	defer p.eng.wg.Done()
+	select {
+	case <-p.eng.done:
+	case <-p.gone:
+	}
+	p.link.Close()
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Hub is the relay server behind cmd/treedoc-serve: it accepts framed TCP
+// connections and fans every inbound frame out to all other clients. The
+// hub holds no replica and never decodes operations — the causal buffers
+// at the edges deduplicate, order, and repair — so it scales with wire
+// throughput, not document size. A slow client's queue overflowing drops
+// frames for that client only; its engine heals via anti-entropy.
+type Hub struct {
+	ln         net.Listener
+	queueDepth int
+	logf       func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[int64]*hubConn
+	nextID int64
+	closed bool
+	// snap is an immutable snapshot of conns, rebuilt under mu on connect
+	// and disconnect, so the per-frame relay path reads it lock-free and
+	// allocation-free.
+	snap atomic.Pointer[[]*hubConn]
+
+	drops  atomic.Uint64
+	relays atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+// HubOption configures a Hub.
+type HubOption func(*Hub)
+
+// WithHubQueueDepth sets the per-client outbound queue depth (default 256).
+func WithHubQueueDepth(n int) HubOption {
+	return func(h *Hub) {
+		if n > 0 {
+			h.queueDepth = n
+		}
+	}
+}
+
+// WithHubLogger directs connection logging (default: silent).
+func WithHubLogger(logf func(format string, args ...any)) HubOption {
+	return func(h *Hub) { h.logf = logf }
+}
+
+// ListenHub starts a hub on addr (e.g. ":9707" or "127.0.0.1:0") and
+// begins accepting clients in the background.
+func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		ln:         ln,
+		queueDepth: defaultQueueDepth,
+		logf:       func(string, ...any) {},
+		conns:      make(map[int64]*hubConn),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
+
+// Drops counts frames discarded because a client queue was full.
+func (h *Hub) Drops() uint64 { return h.drops.Load() }
+
+// Relays counts frames fanned out (one per receiving client).
+func (h *Hub) Relays() uint64 { return h.relays.Load() }
+
+// Close stops accepting, disconnects every client, and waits for the
+// hub's goroutines to drain.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*hubConn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		c.shut()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		h.nextID++
+		c := &hubConn{
+			hub:  h,
+			id:   h.nextID,
+			conn: conn,
+			out:  make(chan []byte, h.queueDepth),
+			gone: make(chan struct{}),
+		}
+		h.conns[c.id] = c
+		h.rebuild()
+		n := len(h.conns)
+		h.mu.Unlock()
+		h.logf("hub: client %d connected from %s (%d online)", c.id, conn.RemoteAddr(), n)
+		h.wg.Add(2)
+		go c.reader()
+		go c.writer()
+	}
+}
+
+// rebuild refreshes the lock-free snapshot; call with mu held.
+func (h *Hub) rebuild() {
+	s := make([]*hubConn, 0, len(h.conns))
+	for _, c := range h.conns {
+		s = append(s, c)
+	}
+	h.snap.Store(&s)
+}
+
+// relay fans one frame out to every client except the origin. It runs on
+// every inbound frame, so it reads the connection snapshot without taking
+// the hub lock or allocating.
+func (h *Hub) relay(from int64, frame []byte) {
+	s := h.snap.Load()
+	if s == nil {
+		return
+	}
+	for _, c := range *s {
+		if c.id == from {
+			continue
+		}
+		select {
+		case c.out <- frame:
+			h.relays.Add(1)
+		default:
+			h.drops.Add(1)
+		}
+	}
+}
+
+func (h *Hub) drop(c *hubConn) {
+	h.mu.Lock()
+	_, present := h.conns[c.id]
+	delete(h.conns, c.id)
+	h.rebuild()
+	n := len(h.conns)
+	h.mu.Unlock()
+	c.shut()
+	if present {
+		h.logf("hub: client %d disconnected (%d online)", c.id, n)
+	}
+}
+
+// hubConn is one relayed client: reader fans frames in, writer drains the
+// bounded outbound queue.
+type hubConn struct {
+	hub      *Hub
+	id       int64
+	conn     net.Conn
+	out      chan []byte
+	gone     chan struct{}
+	goneOnce sync.Once
+}
+
+func (c *hubConn) shut() {
+	c.goneOnce.Do(func() { close(c.gone) })
+	c.conn.Close()
+}
+
+func (c *hubConn) reader() {
+	defer c.hub.wg.Done()
+	defer c.hub.drop(c)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		frame, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		c.hub.relay(c.id, frame)
+	}
+}
+
+func (c *hubConn) writer() {
+	defer c.hub.wg.Done()
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		select {
+		case f := <-c.out:
+			if err := WriteFrame(bw, f); err != nil {
+				c.hub.drop(c)
+				return
+			}
+			// Flush opportunistically: drain whatever else is queued first.
+			for {
+				select {
+				case f := <-c.out:
+					if err := WriteFrame(bw, f); err != nil {
+						c.hub.drop(c)
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				c.hub.drop(c)
+				return
+			}
+		case <-c.gone:
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// TCPLink frames the wire protocol over a net.Conn: each frame is a 4-byte
+// big-endian length followed by the frame bytes (WriteFrame/ReadFrame).
+// Backpressure is the socket's own: Send blocks once the kernel buffers
+// fill because the peer stopped reading.
+type TCPLink struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+// NewTCPLink wraps an established connection (TCP, Unix socket, or
+// anything else satisfying net.Conn).
+func NewTCPLink(conn net.Conn) *TCPLink {
+	return &TCPLink{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Dial connects to a listening peer or hub (e.g. cmd/treedoc-serve) and
+// returns the framed link.
+func Dial(addr string) (*TCPLink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPLink(conn), nil
+}
+
+// Send writes one length-prefixed frame. Frames are flushed immediately:
+// the engine already batches operations, so a frame is the unit of
+// transmission.
+func (l *TCPLink) Send(frame []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := WriteFrame(l.bw, frame); err != nil {
+		return err
+	}
+	return l.bw.Flush()
+}
+
+// Recv reads one length-prefixed frame.
+func (l *TCPLink) Recv() ([]byte, error) {
+	return ReadFrame(l.br)
+}
+
+// Close closes the underlying connection, unblocking Send and Recv.
+func (l *TCPLink) Close() error {
+	return l.conn.Close()
+}

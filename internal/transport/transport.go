@@ -1,0 +1,52 @@
+// Package transport is the real concurrent replication engine: it carries
+// Treedoc operations between live replicas over goroutines and sockets,
+// where internal/simnet only simulates delivery inside one discrete-event
+// loop. The paper's deployment story — "common edit operations execute
+// optimistically, with no latency; replicas synchronise only in the
+// background" (Section 6) — maps onto three layers here:
+//
+//   - Engine owns one replica's distribution state (causal delivery buffer,
+//     retained message log, outbound batch) behind an actor loop: a single
+//     goroutine draining an inbox channel. The replica document itself stays
+//     whatever the caller hands in (any Applier, e.g. the public Doc or
+//     TextBuffer); the engine applies remote operations to it in causal
+//     order and stamps local operations for broadcast.
+//
+//   - Link is the wire: a bidirectional, frame-oriented connection. Two
+//     implementations share one binary protocol built on Op's
+//     MarshalBinary/UnmarshalBinary — ChanPair (in-process channel pairs
+//     with bounded queues and backpressure, for tests and co-located
+//     replicas) and TCPLink (length-prefixed framing over net.Conn).
+//
+//   - Hub is a relay server (cmd/treedoc-serve): clients connect over TCP
+//     and every inbound frame is fanned out to all other clients. The hub
+//     holds no replica; the causal buffers at the edges deduplicate and
+//     order.
+//
+// Operation gossip is lossy by design: bounded queues drop frames under
+// overload rather than stalling the actor, and a periodic anti-entropy
+// exchange (the vector-clock digest protocol of internal/cluster/sync.go)
+// retransmits whatever a peer is missing, so delivery is eventual even
+// across drops, slow consumers, or a peer that connected late.
+//
+// Concurrency contract: the engine may be fed from any number of
+// goroutines, but each replica's local edits must be generated and
+// broadcast in order (one writer goroutine per replica, or external
+// serialisation), because causal delivery preserves per-site FIFO only if
+// the stamps are issued in generation order.
+package transport
+
+// Link is a bidirectional frame pipe between two engines (or an engine and
+// a hub). Send may block — that is the backpressure path — and must be safe
+// for concurrent use; Recv is called from one reader goroutine. Close
+// unblocks both directions.
+type Link interface {
+	// Send transmits one frame. It may block while the peer is slow; it
+	// returns an error once the link is closed or broken.
+	Send(frame []byte) error
+	// Recv returns the next frame, blocking until one arrives. It returns
+	// an error once the link is closed or broken.
+	Recv() ([]byte, error)
+	// Close tears the link down, unblocking pending Send and Recv calls.
+	Close() error
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/treedoc/treedoc/internal/causal"
+	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// Frame kinds. A frame is one length-delimited unit on a Link: a kind byte
+// followed by the kind-specific body.
+const (
+	// kindOps carries a batch of causally-stamped operations.
+	kindOps = 0x01
+	// kindSyncReq is an anti-entropy digest: the sender's delivered clock.
+	// The receiver answers with a kindOps frame of everything it retains
+	// that the clock does not cover.
+	kindSyncReq = 0x02
+)
+
+// Wire limits. Frames above MaxFrameSize are refused on read and write so a
+// corrupt or hostile length prefix cannot force an arbitrary allocation.
+const (
+	// MaxFrameSize bounds one frame's encoded size.
+	MaxFrameSize = 1 << 20
+	// maxBatch bounds the operations in one kindOps frame.
+	maxBatch = 1 << 16
+	// maxClockEntries bounds the sites in one encoded vector clock.
+	maxClockEntries = 1 << 12
+)
+
+// OpsFrame is a decoded kindOps frame.
+type OpsFrame struct {
+	Msgs []causal.Message // every Payload is a core.Op
+}
+
+// SyncReqFrame is a decoded kindSyncReq frame.
+type SyncReqFrame struct {
+	From  ident.SiteID
+	Clock vclock.VC
+}
+
+// appendVC appends a vector clock: uvarint entry count, then (site, count)
+// pairs with sites ascending so encodings are deterministic.
+func appendVC(dst []byte, vc vclock.VC) []byte {
+	sites := make([]ident.SiteID, 0, len(vc))
+	for s, n := range vc {
+		if n > 0 {
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(sites)))
+	for _, s := range sites {
+		dst = binary.AppendUvarint(dst, uint64(s))
+		dst = binary.AppendUvarint(dst, vc[s])
+	}
+	return dst
+}
+
+// decodeVC decodes a vector clock from the front of buf, returning the
+// bytes consumed.
+func decodeVC(buf []byte) (vclock.VC, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("transport: truncated clock size")
+	}
+	if n > maxClockEntries {
+		return nil, 0, fmt.Errorf("transport: clock with %d entries exceeds limit", n)
+	}
+	// Each entry costs at least two bytes; bound before allocating.
+	if n > uint64(len(buf)-off) {
+		return nil, 0, fmt.Errorf("transport: clock entry count %d exceeds buffer", n)
+	}
+	vc := make(vclock.VC, n)
+	for i := uint64(0); i < n; i++ {
+		site, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("transport: truncated clock site")
+		}
+		off += k
+		if site == 0 || ident.SiteID(site) > ident.MaxSiteID {
+			return nil, 0, fmt.Errorf("transport: clock site %d out of range", site)
+		}
+		count, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("transport: truncated clock count")
+		}
+		off += k
+		if count == 0 {
+			return nil, 0, fmt.Errorf("transport: zero clock entry for site %d", site)
+		}
+		vc[ident.SiteID(site)] = count
+	}
+	return vc, off, nil
+}
+
+// EncodeOps encodes a batch of stamped operations as one kindOps frame.
+// Every message payload must be a core.Op.
+func EncodeOps(msgs []causal.Message) ([]byte, error) {
+	if len(msgs) > maxBatch {
+		return nil, fmt.Errorf("transport: batch of %d ops exceeds limit", len(msgs))
+	}
+	buf := []byte{kindOps}
+	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		op, ok := m.Payload.(core.Op)
+		if !ok {
+			return nil, fmt.Errorf("transport: message payload %T is not an op", m.Payload)
+		}
+		buf = binary.AppendUvarint(buf, uint64(m.From))
+		buf = appendVC(buf, m.TS)
+		buf = op.AppendBinary(buf)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: ops frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// EncodeSyncReq encodes an anti-entropy digest frame.
+func EncodeSyncReq(from ident.SiteID, clock vclock.VC) ([]byte, error) {
+	buf := []byte{kindSyncReq}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = appendVC(buf, clock)
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: sync frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses one frame into an *OpsFrame or *SyncReqFrame. Every
+// decoded message is validated: sites in range, clocks well-formed, the
+// op's own stamp present.
+func DecodeFrame(frame []byte) (any, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("transport: empty frame")
+	}
+	if len(frame) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	body := frame[1:]
+	switch frame[0] {
+	case kindOps:
+		n, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated ops count")
+		}
+		if n > maxBatch {
+			return nil, fmt.Errorf("transport: ops frame with %d ops exceeds limit", n)
+		}
+		// Each op costs several bytes on the wire, so a count beyond the
+		// remaining body is corrupt; checking before make() keeps a tiny
+		// hostile frame from forcing a large allocation.
+		if n > uint64(len(body)-off) {
+			return nil, fmt.Errorf("transport: ops count %d exceeds frame", n)
+		}
+		f := &OpsFrame{Msgs: make([]causal.Message, 0, n)}
+		for i := uint64(0); i < n; i++ {
+			from, k := binary.Uvarint(body[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("transport: truncated op sender")
+			}
+			off += k
+			if from == 0 || ident.SiteID(from) > ident.MaxSiteID {
+				return nil, fmt.Errorf("transport: op sender %d out of range", from)
+			}
+			vc, k, err := decodeVC(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			if vc.Get(ident.SiteID(from)) == 0 {
+				return nil, fmt.Errorf("transport: op from s%d without own stamp", from)
+			}
+			op, k, err := core.DecodeOp(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			f.Msgs = append(f.Msgs, causal.Message{From: ident.SiteID(from), TS: vc, Payload: op})
+		}
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after ops frame", len(body)-off)
+		}
+		return f, nil
+	case kindSyncReq:
+		from, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated sync sender")
+		}
+		if from == 0 || ident.SiteID(from) > ident.MaxSiteID {
+			return nil, fmt.Errorf("transport: sync sender %d out of range", from)
+		}
+		vc, k, err := decodeVC(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after sync frame", len(body)-off)
+		}
+		return &SyncReqFrame{From: ident.SiteID(from), Clock: vc}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown frame kind %#x", frame[0])
+	}
+}
+
+// WriteFrame writes one length-prefixed frame: a 4-byte big-endian length
+// followed by the frame bytes. Callers serialise concurrent writers.
+func WriteFrame(w io.Writer, frame []byte) error {
+	if len(frame) == 0 || len(frame) > MaxFrameSize {
+		return fmt.Errorf("transport: frame size %d out of range", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, refusing oversized lengths
+// before allocating.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,10 +1,18 @@
 package treedoc
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 )
+
+// ErrOutOfRange reports a splice or slice whose offsets fall outside the
+// buffer. Concurrent editors hit it benignly: between reading Len and
+// calling Splice, a remote delete applied by a replication engine may have
+// shrunk the buffer. Detect it with errors.Is and retry with fresh
+// offsets.
+var ErrOutOfRange = errors.New("treedoc: offset out of range")
 
 // TextBuffer adapts a Treedoc replica to the interface of a text editor
 // buffer: rune-offset splices over a flat string, with one atom per rune.
@@ -57,12 +65,17 @@ func (b *TextBuffer) text() string {
 func (b *TextBuffer) Splice(off, delCount int, text string) ([]Op, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.splice(off, delCount, text)
+}
+
+// splice implements Splice with b.mu held.
+func (b *TextBuffer) splice(off, delCount int, text string) ([]Op, error) {
 	n := b.doc.Len()
 	if off < 0 || off > n {
-		return nil, fmt.Errorf("treedoc: splice offset %d out of range [0,%d]", off, n)
+		return nil, fmt.Errorf("treedoc: splice offset %d outside [0,%d]: %w", off, n, ErrOutOfRange)
 	}
 	if delCount < 0 || off+delCount > n {
-		return nil, fmt.Errorf("treedoc: splice delete %d out of range at offset %d (len %d)", delCount, off, n)
+		return nil, fmt.Errorf("treedoc: splice delete %d at offset %d (len %d): %w", delCount, off, n, ErrOutOfRange)
 	}
 	ops := make([]Op, 0, delCount+len(text))
 	for i := 0; i < delCount; i++ {
@@ -97,12 +110,13 @@ func (b *TextBuffer) Delete(off, count int) ([]Op, error) {
 	return b.Splice(off, count, "")
 }
 
-// Append adds text at the end of the buffer.
+// Append adds text at the end of the buffer. The length is read and the
+// splice performed under one lock, so Append cannot race a concurrent
+// remote delete into ErrOutOfRange.
 func (b *TextBuffer) Append(text string) ([]Op, error) {
 	b.mu.Lock()
-	n := b.doc.Len()
-	b.mu.Unlock()
-	return b.Splice(n, 0, text)
+	defer b.mu.Unlock()
+	return b.splice(b.doc.Len(), 0, text)
 }
 
 // Apply replays a remote operation.
@@ -130,7 +144,7 @@ func (b *TextBuffer) Slice(from, to int) (string, error) {
 	defer b.mu.Unlock()
 	n := b.doc.Len()
 	if from < 0 || to < from || to > n {
-		return "", fmt.Errorf("treedoc: slice [%d,%d) out of range [0,%d]", from, to, n)
+		return "", fmt.Errorf("treedoc: slice [%d,%d) outside [0,%d]: %w", from, to, n, ErrOutOfRange)
 	}
 	var sb strings.Builder
 	for i := from; i < to; i++ {

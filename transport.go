@@ -1,0 +1,91 @@
+package treedoc
+
+import (
+	"time"
+
+	"github.com/treedoc/treedoc/internal/transport"
+)
+
+// This file re-exports the real concurrent replication engine
+// (internal/transport). Where Cluster simulates a replica group inside one
+// discrete-event loop, an Engine replicates a live Doc or TextBuffer
+// across goroutines and sockets: local edits are stamped and batched to
+// peers, remote operations are applied in causal order, and a periodic
+// anti-entropy exchange repairs anything lost to full queues, slow
+// consumers, or late joiners.
+//
+// Typical wiring, one replica per process, all relayed by a hub
+// (cmd/treedoc-serve):
+//
+//	buf, _ := treedoc.NewTextBuffer(treedoc.WithSite(site))
+//	eng, _ := treedoc.NewEngine(site, buf)
+//	link, _ := treedoc.Dial("hub-host:9707")
+//	eng.Connect(link)
+//
+//	ops, _ := buf.Splice(off, del, text) // local edit, no latency
+//	_ = eng.Broadcast(ops...)            // background replication
+//
+// Each replica's local edits must be generated and broadcast in order
+// (one writer goroutine per replica, or a lock around edit+Broadcast).
+
+// Engine replicates one Doc or TextBuffer over real links. See
+// internal/transport for the full contract.
+type Engine = transport.Engine
+
+// EngineOption configures an Engine.
+type EngineOption = transport.Option
+
+// Link is a frame pipe between two engines (or an engine and a hub).
+type Link = transport.Link
+
+// Hub is the relay server behind cmd/treedoc-serve, embeddable for tests
+// and in-process deployments.
+type Hub = transport.Hub
+
+// HubOption configures a Hub.
+type HubOption = transport.HubOption
+
+// NewEngine creates and starts a replication engine for site wrapping
+// replica (a *Doc, *TextBuffer, or anything applying operations).
+func NewEngine(site SiteID, replica transport.Applier, opts ...EngineOption) (*Engine, error) {
+	return transport.NewEngine(site, replica, opts...)
+}
+
+// NewChanPair creates a connected pair of in-process links with the given
+// queue depth per direction: the zero-copy transport for replicas sharing
+// a process.
+func NewChanPair(depth int) (Link, Link) {
+	a, b := transport.ChanPair(depth)
+	return a, b
+}
+
+// Dial connects to a listening hub or peer over TCP and returns the
+// framed link.
+func Dial(addr string) (Link, error) {
+	return transport.Dial(addr)
+}
+
+// ListenHub starts a relay hub on addr (see cmd/treedoc-serve for the
+// standalone binary).
+func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
+	return transport.ListenHub(addr, opts...)
+}
+
+// WithBatchSize sets the maximum operations packed into one outbound
+// frame (default 64).
+func WithBatchSize(n int) EngineOption { return transport.WithBatchSize(n) }
+
+// WithSyncInterval sets the anti-entropy period (default 200ms).
+func WithSyncInterval(d time.Duration) EngineOption { return transport.WithSyncInterval(d) }
+
+// WithQueueDepth sets the per-peer outbound queue depth (default 256);
+// frames to a saturated peer are dropped and healed by anti-entropy.
+func WithQueueDepth(n int) EngineOption { return transport.WithQueueDepth(n) }
+
+// WithHubQueueDepth sets a hub's per-client outbound queue depth.
+func WithHubQueueDepth(n int) HubOption { return transport.WithHubQueueDepth(n) }
+
+// WithHubLogger directs a hub's connection logging.
+func WithHubLogger(logf func(format string, args ...any)) HubOption {
+	return transport.WithHubLogger(logf)
+}
