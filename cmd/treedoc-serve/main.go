@@ -5,9 +5,16 @@
 // and — via each engine's periodic anti-entropy exchange — repairs any
 // frames a slow client's queue had to drop.
 //
+// With -log, the hub additionally runs an archivist: an in-process replica
+// backed by a durable operation log that absorbs everything relayed,
+// compacts it behind document snapshots, and serves snapshot catch-up to
+// late joiners — so a client that connects long after everyone else left
+// still recovers the document, without any long-lived peer online.
+//
 // Usage:
 //
 //	treedoc-serve -addr :9707 -queue 256 -v
+//	treedoc-serve -addr :9707 -log /var/lib/treedoc -archive-site 281474976710655
 //
 // Wire a replica to it:
 //
@@ -23,7 +30,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"github.com/treedoc/treedoc"
+	"github.com/treedoc/treedoc/internal/ident"
 	"github.com/treedoc/treedoc/internal/transport"
 )
 
@@ -31,6 +41,10 @@ func main() {
 	addr := flag.String("addr", ":9707", "listen address")
 	queue := flag.Int("queue", 256, "per-client outbound queue depth")
 	verbose := flag.Bool("v", false, "log client connects and disconnects")
+	logDir := flag.String("log", "", "archivist log directory (empty disables the archivist)")
+	archiveSite := flag.Uint64("archive-site", uint64(ident.MaxSiteID), "site id of the archivist replica (must not collide with any editor)")
+	compactEvery := flag.Int("compact", 16384, "archivist: retained ops before snapshot+truncate")
+	snapThreshold := flag.Int("snap-threshold", 8192, "archivist: digest gap that triggers snapshot catch-up")
 	flag.Parse()
 
 	opts := []transport.HubOption{transport.WithHubQueueDepth(*queue)}
@@ -43,11 +57,42 @@ func main() {
 	}
 	log.Printf("treedoc-serve: relaying on %s", hub.Addr())
 
+	var archive *treedoc.Engine
+	if *logDir != "" {
+		buf, err := treedoc.NewTextBuffer(treedoc.WithSite(treedoc.SiteID(*archiveSite)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		archive, err = treedoc.NewEngine(treedoc.SiteID(*archiveSite), buf,
+			treedoc.WithLogDir(*logDir),
+			treedoc.WithCompactEvery(*compactEvery),
+			treedoc.WithSnapshotThreshold(*snapThreshold),
+			treedoc.WithSyncInterval(500*time.Millisecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		link, err := treedoc.Dial(hub.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		archive.Connect(link)
+		log.Printf("treedoc-serve: archivist s%d persisting to %s (%d runes restored)",
+			*archiveSite, *logDir, buf.Len())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped)",
 		hub.Relays(), hub.Drops())
+	if archive != nil {
+		archive.Stop()
+		log.Printf("treedoc-serve: archivist flushed (%d ops applied, %d snapshots served, %d pruned)",
+			archive.Applied(), archive.SnapshotsSent(), archive.Pruned())
+		if err := archive.Err(); err != nil {
+			log.Printf("treedoc-serve: archivist error: %v", err)
+		}
+	}
 	if err := hub.Close(); err != nil {
 		log.Fatal(err)
 	}

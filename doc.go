@@ -68,6 +68,32 @@
 // under genuine parallelism is exercised by the race and soak tests in
 // internal/transport.
 //
+// # Durability and snapshot catch-up
+//
+// WithLogDir gives an Engine a durable operation log (internal/oplog): an
+// append-only, CRC-checked segment store that every stamped and delivered
+// operation is written to, and that NewEngine replays on start. What
+// survives a crash: the stored snapshot plus every log record synced
+// before the crash — a torn tail record (a crash mid-append) is detected
+// by its checksum and truncated on reopen. Under the default FsyncBatch
+// policy the log is synced once per flushed batch, before frames fan out,
+// so no peer can ever have seen a stamp the log could forget; a restarted
+// replica therefore resumes its sequence exactly and re-stamps nothing.
+//
+// The log is bounded by compaction (WithCompactEvery): the engine
+// periodically snapshots the replica — Doc.Snapshot captures state and an
+// applied version vector atomically — and truncates, in memory and on
+// disk, everything the snapshot covers. Truncation trails the newest
+// barrier by a few anti-entropy rounds so live peers a moment behind are
+// still served plain operations. A peer whose digest falls below the
+// truncation floor (typically a late joiner) is missing operations that
+// no longer exist as messages; it receives the barrier snapshot in a
+// single frame plus the retained suffix, installs it if its version
+// dominates local state (Doc.InstallSnapshot), and replays only the tail
+// — never the full history. WithSnapshotThreshold serves snapshots to
+// deeply-behind-but-servable peers too, trading one big frame for a long
+// op replay.
+//
 // The layering is deliberate: algorithms are debugged on the simulator,
 // where failures replay deterministically, and deployed on the transport,
 // where the race detector and soak tests stand guard.

@@ -7,9 +7,12 @@
 // optimistically, with no latency; replicas synchronise only in the
 // background" (Section 6).
 //
-// A fifth replica joins late, after thousands of edits, and catches up
-// purely through the anti-entropy exchange — the same mechanism that heals
-// frames dropped under backpressure.
+// A fifth replica joins late, after thousands of edits. Each engine runs
+// the compaction policy — snapshot the document, truncate the operation
+// log below it — so nobody retains the full history; the joiner's digest
+// falls below the compaction barrier and it catches up from a snapshot
+// frame plus the retained log suffix, replaying only the tail instead of
+// the whole edit history.
 package main
 
 import (
@@ -26,6 +29,12 @@ import (
 const (
 	writers      = 4
 	editsPerSite = 300
+	// compactEvery keeps every engine's retained op log below ~256
+	// messages: with 1200+ edits in the session, the late joiner is
+	// guaranteed to be below everyone's compaction barrier and must catch
+	// up via snapshot.
+	compactEvery  = 256
+	snapThreshold = 128
 )
 
 type site struct {
@@ -47,7 +56,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng, err := treedoc.NewEngine(id, buf, treedoc.WithSyncInterval(25*time.Millisecond))
+		eng, err := treedoc.NewEngine(id, buf,
+			treedoc.WithSyncInterval(25*time.Millisecond),
+			treedoc.WithCompactEvery(compactEvery),
+			treedoc.WithSnapshotThreshold(snapThreshold))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,7 +125,18 @@ func main() {
 	fmt.Printf("%d sites broadcast %d edits each, synchronising in the background\n",
 		writers, editsPerSite)
 
-	// A latecomer joins after the burst and catches up via anti-entropy.
+	// Let the session settle: engines drain their backlogs, snapshot, and
+	// promote their truncation floors — after which nobody retains the
+	// full op history any more.
+	if !converge(sites, 30*time.Second) {
+		log.Fatal("BUG: writers did not converge")
+	}
+	time.Sleep(1 * time.Second)
+
+	// A latecomer joins long after the burst. Its empty digest is below
+	// every truncation floor, so the missing ops no longer exist as
+	// messages anywhere: catch-up arrives as one snapshot frame plus the
+	// retained suffix, not a full history replay.
 	late := dial(writers + 1)
 	sites = append(sites, late)
 
@@ -131,15 +154,22 @@ func main() {
 	}
 	fmt.Printf("converged: %d sites, %d runes each (late joiner included)\n",
 		len(sites), sites[0].buf.Len())
+	totalOps := uint64(writers*editsPerSite) + 3
+	fmt.Printf("late joiner: %d snapshots installed, %d tail ops replayed (history: %d+ ops)\n",
+		late.eng.SnapshotsInstalled(), late.eng.Applied(), totalOps)
+	if late.eng.SnapshotsInstalled() == 0 {
+		log.Fatal("BUG: late joiner converged without snapshot catch-up")
+	}
 
-	var drops uint64
+	var drops, snapsSent uint64
 	for _, s := range sites {
 		drops += s.eng.Drops()
+		snapsSent += s.eng.SnapshotsSent()
 		s.eng.Stop()
 	}
 	st := sites[0].buf.Stats()
-	fmt.Printf("hub relayed %d frames (%d dropped and healed); engine drops %d\n",
-		hub.Relays(), hub.Drops(), drops)
+	fmt.Printf("hub relayed %d frames (%d dropped and healed); engine drops %d; snapshots served %d\n",
+		hub.Relays(), hub.Drops(), drops, snapsSent)
 	fmt.Printf("replica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
 		st.Tree.LiveAtoms, st.Tree.AvgIDBits(), st.Tree.Nodes)
 }

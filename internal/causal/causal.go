@@ -76,6 +76,37 @@ func (b *Buffer) Prune(max int) int {
 	return n
 }
 
+// Advance raises the delivered clock to cover vc (pointwise maximum) and
+// returns any buffered messages that become deliverable, in causal order.
+// A transport calls it after installing a state snapshot: the snapshot's
+// version vector stands in for the messages it contains, so everything at
+// or below it counts as delivered and buffered successors may now flow.
+func (b *Buffer) Advance(vc vclock.VC) []Message {
+	b.delivered.Merge(vc)
+	var out []Message
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(b.pending); i++ {
+			p := b.pending[i]
+			if p.TS.Get(p.From) <= b.delivered.Get(p.From) {
+				// Covered by the snapshot (or a duplicate): drop.
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				i--
+				continue
+			}
+			if !b.deliverable(p) {
+				continue
+			}
+			b.delivered.Merge(p.TS)
+			out = append(out, p)
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			i--
+			progress = true
+		}
+	}
+	return out
+}
+
 // deliverable reports whether m can be delivered now.
 func (b *Buffer) deliverable(m Message) bool {
 	for s, n := range m.TS {

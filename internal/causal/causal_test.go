@@ -213,3 +213,41 @@ func TestPruneBoundsPending(t *testing.T) {
 		t.Fatalf("Prune(-1) dropped %d, want 30", n)
 	}
 }
+
+func TestAdvanceFlushesPendingAndDropsCovered(t *testing.T) {
+	a := NewBuffer(1)
+	b := NewBuffer(2)
+	m1 := a.Stamp("one")
+	m2 := a.Stamp("two")
+	m3 := a.Stamp("three")
+	// b receives m2 and m3 out of order: both buffered behind missing m1.
+	if got, _ := b.Add(m2); len(got) != 0 {
+		t.Fatalf("m2 delivered early: %v", got)
+	}
+	if got, _ := b.Add(m3); len(got) != 0 {
+		t.Fatalf("m3 delivered early: %v", got)
+	}
+	// A snapshot covering m1 and m2 arrives: m2 is dropped as covered, m3
+	// becomes deliverable.
+	got := b.Advance(vclock.VC{1: 2})
+	if len(got) != 1 || got[0].Payload != "three" {
+		t.Fatalf("advance delivered %v", got)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d", b.Pending())
+	}
+	if b.Clock().Get(1) != 3 {
+		t.Errorf("clock = %v", b.Clock())
+	}
+	_ = m1
+}
+
+func TestAdvanceOnEmptyBuffer(t *testing.T) {
+	b := NewBuffer(2)
+	if got := b.Advance(vclock.VC{1: 5, 3: 2}); len(got) != 0 {
+		t.Fatalf("advance delivered %v", got)
+	}
+	if b.Clock().Get(1) != 5 || b.Clock().Get(3) != 2 {
+		t.Errorf("clock = %v", b.Clock())
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/treedoc/treedoc/internal/doctree"
 	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
 )
 
 // Config parameterises a Document replica.
@@ -53,6 +55,13 @@ type Document struct {
 	seq      uint64 // local operation sequence
 	revision int64  // revision clock for the flatten heuristic
 
+	// version is the replica's applied version vector: per site, the
+	// highest operation sequence number whose effects are in the tree —
+	// local edits at generation, remote operations at Apply. It is the
+	// clock a state snapshot carries, telling a receiver exactly which
+	// messages the snapshot stands in for.
+	version vclock.VC
+
 	// applied tracks per-site op counts for duplicate detection in direct
 	// Apply use; the causal layer performs the authoritative filtering.
 	opsApplied uint64
@@ -77,13 +86,16 @@ func NewDocument(cfg Config) (*Document, error) {
 	if cfg.Flatten.MinNodes == 0 {
 		cfg.Flatten.MinNodes = 2
 	}
-	return &Document{cfg: cfg, tree: doctree.New(), strategy: cfg.Strategy}, nil
+	return &Document{cfg: cfg, tree: doctree.New(), strategy: cfg.Strategy, version: vclock.New()}, nil
 }
 
 // Restore rebuilds a replica from a deserialised tree and its persistent
 // allocation state (the per-site operation sequence and UDIS counter, which
-// must survive restarts so the site never re-mints identifiers).
-func Restore(cfg Config, tree *doctree.Tree, seq uint64, counter uint32) (*Document, error) {
+// must survive restarts so the site never re-mints identifiers). version is
+// the applied version vector the snapshot was taken at; nil derives the
+// pre-versioned form {site: seq}, which is correct for single-site
+// snapshots and a safe under-approximation otherwise.
+func Restore(cfg Config, tree *doctree.Tree, seq uint64, counter uint32, version vclock.VC) (*Document, error) {
 	d, err := NewDocument(cfg)
 	if err != nil {
 		return nil, err
@@ -91,7 +103,60 @@ func Restore(cfg Config, tree *doctree.Tree, seq uint64, counter uint32) (*Docum
 	d.tree = tree
 	d.seq = seq
 	d.counter = counter
+	if version != nil {
+		d.version = version.Clone()
+	} else if seq > 0 {
+		d.version[cfg.Site] = seq
+	}
+	if d.version.Get(cfg.Site) > d.seq {
+		d.seq = d.version.Get(cfg.Site)
+	}
 	return d, nil
+}
+
+// Version returns a copy of the applied version vector.
+func (d *Document) Version() vclock.VC { return d.version.Clone() }
+
+// ErrStaleSnapshot reports an InstallSnapshot whose version vector does
+// not dominate the replica's applied state: installing it would silently
+// discard operations the replica has already executed.
+var ErrStaleSnapshot = errors.New("core: snapshot does not cover replica state")
+
+// InstallSnapshot replaces the replica's document state with a decoded
+// snapshot taken elsewhere, used by snapshot-based catch-up: a receiver
+// whose whole history is covered by the snapshot's version vector adopts
+// the state instead of replaying the operation log. The replica's own
+// identity (site) is kept; its allocation state advances so it never
+// re-mints a sequence number or disambiguator the snapshot already
+// contains — from the snapshot's recorded seq/counter when the snapshot
+// originated here (origin == site), otherwise from the version vector and
+// a scan of the adopted tree's disambiguators.
+func (d *Document) InstallSnapshot(tree *doctree.Tree, version vclock.VC, origin ident.SiteID, originSeq uint64, originCounter uint32) error {
+	if !version.Dominates(d.version) {
+		return ErrStaleSnapshot
+	}
+	d.tree = tree
+	d.version = version.Clone()
+	if v := d.version.Get(d.cfg.Site); v > d.seq {
+		d.seq = v
+	}
+	if origin == d.cfg.Site {
+		if originSeq > d.seq {
+			d.seq = originSeq
+		}
+		if originCounter > d.counter {
+			d.counter = originCounter
+		}
+	} else {
+		tree.ExportBFS(func(en doctree.ExportNode) {
+			for _, m := range en.Minis {
+				if m.Dis.Site == d.cfg.Site && m.Dis.Counter > d.counter {
+					d.counter = m.Dis.Counter
+				}
+			}
+		})
+	}
+	return nil
 }
 
 // Seq returns the local operation sequence number (persisted by snapshots).
@@ -255,6 +320,23 @@ func (d *Document) apply(op Op) error {
 	case OpDelete:
 		if _, err := d.tree.DeleteID(op.ID, d.cfg.Mode == ident.UDIS); err != nil {
 			return err
+		}
+	}
+	if op.Seq > d.version.Get(op.Site) {
+		d.version[op.Site] = op.Seq
+	}
+	if op.Site == d.cfg.Site {
+		// Our own operation replayed from a durable log or a snapshot: the
+		// allocation state must advance past it, or a restarted replica
+		// would re-mint the same sequence numbers and disambiguators for
+		// fresh edits and peers would discard them as duplicates.
+		if op.Seq > d.seq {
+			d.seq = op.Seq
+		}
+		for _, el := range op.ID {
+			if el.Kind == ident.Mini && el.Dis.Site == d.cfg.Site && el.Dis.Counter > d.counter {
+				d.counter = el.Dis.Counter
+			}
 		}
 	}
 	d.opsApplied++

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"github.com/treedoc/treedoc/internal/causal"
 	"github.com/treedoc/treedoc/internal/core"
 	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/oplog"
 	"github.com/treedoc/treedoc/internal/vclock"
 )
 
@@ -19,6 +21,36 @@ type Applier interface {
 	Apply(op core.Op) error
 }
 
+// Snapshotter is the optional replica interface behind log compaction and
+// snapshot catch-up (the public Doc and TextBuffer both qualify). Snapshot
+// must capture the state and the version vector describing it atomically:
+// the version covers exactly the operations whose effects are in the
+// bytes. InstallSnapshot must reject (with an error wrapping
+// core.ErrStaleSnapshot) any snapshot whose version does not dominate the
+// replica's state, and must return the installed version on success.
+type Snapshotter interface {
+	Applier
+	Snapshot() (data []byte, version vclock.VC, err error)
+	InstallSnapshot(data []byte) (version vclock.VC, err error)
+}
+
+// FsyncMode re-exports the oplog durability policy.
+type FsyncMode = oplog.FsyncMode
+
+// Fsync policies for WithLogDir engines.
+const (
+	// FsyncBatch (default): the engine syncs the log once per flushed
+	// batch, before frames fan out to peers — locally generated operations
+	// are on stable storage before any peer can have seen their stamps.
+	FsyncBatch = oplog.FsyncBatch
+	// FsyncAlways syncs after every append.
+	FsyncAlways = oplog.FsyncAlways
+	// FsyncOff never syncs (benchmarks and tests only): a crash may forget
+	// stamps that peers remember, which permanently desynchronises the
+	// site's sequence numbers.
+	FsyncOff = oplog.FsyncOff
+)
+
 // ErrStopped is returned by Broadcast after Stop.
 var ErrStopped = fmt.Errorf("transport: engine stopped")
 
@@ -27,6 +59,12 @@ const (
 	defaultBatchSize    = 64
 	defaultQueueDepth   = 256
 	defaultSyncInterval = 200 * time.Millisecond
+	// defaultCompactEvery is the retained-message count that triggers a
+	// snapshot + truncate cycle when the replica supports snapshots.
+	defaultCompactEvery = 16384
+	// defaultSnapThreshold is how many operations behind a digest must be
+	// before the engine answers with a snapshot instead of an op replay.
+	defaultSnapThreshold = 8192
 	// syncChunk bounds the operations per anti-entropy reply frame.
 	syncChunk = 256
 	// maxPending caps the causal buffer's undeliverable backlog: wire-valid
@@ -34,6 +72,13 @@ const (
 	// not pin unbounded memory. Pruned legitimate messages come back via
 	// anti-entropy.
 	maxPending = 1 << 14
+	// stopDrainTimeout bounds how long a peer writer keeps flushing its
+	// queue after Stop before the link is torn down anyway.
+	stopDrainTimeout = 2 * time.Second
+	// snapResendAfter is how long the engine waits before offering the
+	// same barrier snapshot to the same peer again (covering the case
+	// where the first offer was dropped by a full queue).
+	snapResendAfter = time.Second
 )
 
 // Option configures an Engine.
@@ -71,45 +116,129 @@ func WithQueueDepth(n int) Option {
 	}
 }
 
+// WithLogDir enables the durable operation log in dir: every stamped and
+// delivered message is appended to an internal/oplog segment store, and
+// NewEngine replays the directory on start — restoring the replica's
+// state, clock and allocation sequence, so a restarted site re-stamps
+// nothing. The replica handed to NewEngine must be fresh (no history);
+// the engine rebuilds it from the stored snapshot and log suffix.
+func WithLogDir(dir string) Option {
+	return func(e *Engine) { e.logDir = dir }
+}
+
+// WithFsync sets the durable log's fsync policy (default FsyncBatch).
+// Only meaningful together with WithLogDir.
+func WithFsync(mode FsyncMode) Option {
+	return func(e *Engine) { e.fsync = mode }
+}
+
+// WithCompactEvery sets how many retained messages accumulate before the
+// engine snapshots the replica and truncates everything the snapshot
+// covers — the in-memory message log always, and the on-disk segments
+// when WithLogDir is set (default 16384; 0 disables compaction). Requires
+// a replica implementing Snapshotter to take effect.
+func WithCompactEvery(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.compactEvery = n
+		}
+	}
+}
+
+// WithSnapshotThreshold sets how many operations behind a peer's
+// anti-entropy digest must be before the engine serves a snapshot plus
+// log suffix instead of replaying the full op history (default 8192; 0
+// disables threshold-based snapshots — peers below the compaction barrier
+// still receive snapshots, because the ops below the barrier no longer
+// exist). Requires a replica implementing Snapshotter to take effect.
+func WithSnapshotThreshold(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.snapThreshold = n
+		}
+	}
+}
+
 // command is one unit of work on the actor inbox. Exactly one field group
 // is set: local ops to stamp and broadcast, inbound remote messages, an
-// inbound sync digest, or a control closure.
+// inbound digest or snapshot frame, or a control closure.
 type command struct {
-	ops  []core.Op
-	msgs []causal.Message
-	sync *SyncReqFrame
-	from *peer
-	ctl  func()
+	ops     []core.Op
+	msgs    []causal.Message
+	sync    *SyncReqFrame
+	snapReq *SnapReqFrame
+	snap    *SnapFrame
+	from    *peer
+	ctl     func()
 }
 
 // Engine runs one replica's replication: causal delivery in, stamped
-// batches out, periodic anti-entropy. All distribution state (causal
-// buffer, message log, peer set) is owned by a single actor goroutine that
-// drains the inbox channel, so none of it needs a lock.
+// batches out, periodic anti-entropy, and (optionally) a durable, pruned
+// operation log with snapshot catch-up. All distribution state (causal
+// buffer, message log, peer set, compaction barrier) is owned by a single
+// actor goroutine that drains the inbox channel, so none of it needs a
+// lock.
 type Engine struct {
 	site       ident.SiteID
 	doc        Applier
+	snap       Snapshotter // doc, when it supports snapshots; else nil
 	batchSize  int
 	queueDepth int
 	syncEvery  time.Duration
 
+	logDir        string
+	fsync         FsyncMode
+	compactEvery  int
+	snapThreshold int
+
 	inbox chan command
 	done  chan struct{}
-	wg    sync.WaitGroup
+	// drained closes after the actor's final flush on Stop: peer writers
+	// wait for it so Broadcast-accepted ops reach their queues before the
+	// final drain.
+	drained chan struct{}
+	wg      sync.WaitGroup
 	// lifeMu orders Connect against Stop: Connect's wg.Add must not race
 	// a Stop whose wg.Wait already returned.
 	lifeMu  sync.Mutex
 	stopped bool
 
-	drops    atomic.Uint64
-	wireErrs atomic.Uint64
-	applied  atomic.Uint64
+	drops          atomic.Uint64
+	wireErrs       atomic.Uint64
+	pruned         atomic.Uint64
+	applied        atomic.Uint64
+	snapsSent      atomic.Uint64
+	snapsInstalled atomic.Uint64
 
 	// Actor-owned state: touched only from run().
 	buf    *causal.Buffer
 	msgLog []causal.Message
 	batch  []causal.Message
 	peers  []*peer
+	log    *oplog.Log
+	// logBroken latches after the first append failure: see record.
+	logBroken bool
+	// snapData/snapVC are the serving barrier: the latest snapshot and the
+	// version vector of exactly what it contains. truncVC is the
+	// truncation floor — the previous barrier — below which messages have
+	// been dropped from msgLog and the sealed log segments. Keeping one
+	// generation of slack between the two means a live peer slightly
+	// behind the newest barrier is still served operations; only a digest
+	// below the floor (whose missing ops no longer exist as messages)
+	// forces a snapshot.
+	snapData []byte
+	snapVC   vclock.VC
+	truncVC  vclock.VC
+	// barrierAt is when the serving barrier was adopted; once it has aged
+	// past floorDelay, the floor is promoted up to it (live peers have had
+	// time to catch up past the barrier, so truncating below it can no
+	// longer force snapshots on them).
+	barrierAt time.Time
+	// sinceSnap counts retained messages since the serving barrier,
+	// driving the compaction policy.
+	sinceSnap int
+	// snapReqSent limits explicit snapshot requests to one per sync tick.
+	snapReqSent bool
 
 	// firstErr outlives the actor so Err stays truthful after Stop.
 	errMu    sync.Mutex
@@ -117,9 +246,13 @@ type Engine struct {
 }
 
 // NewEngine creates and starts an engine for the given site wrapping the
-// given replica. The replica must not have applied remote operations
-// already: the engine's causal clock starts empty and must match the
-// document's history.
+// given replica. Without WithLogDir, the replica must not have applied
+// remote operations already: the engine's causal clock starts empty and
+// must match the document's history. With WithLogDir, the replica must be
+// completely fresh — NewEngine restores its state from the stored
+// snapshot and replays the log suffix before the engine goes live, so an
+// engine restarted over the same directory resumes exactly where it
+// crashed and re-stamps nothing.
 func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) {
 	if site == 0 || site > ident.MaxSiteID {
 		return nil, fmt.Errorf("transport: site must be in [1, 2^48)")
@@ -128,16 +261,25 @@ func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) 
 		return nil, fmt.Errorf("transport: nil replica")
 	}
 	e := &Engine{
-		site:       site,
-		doc:        doc,
-		batchSize:  defaultBatchSize,
-		queueDepth: defaultQueueDepth,
-		syncEvery:  defaultSyncInterval,
-		done:       make(chan struct{}),
-		buf:        causal.NewBuffer(site),
+		site:          site,
+		doc:           doc,
+		batchSize:     defaultBatchSize,
+		queueDepth:    defaultQueueDepth,
+		syncEvery:     defaultSyncInterval,
+		compactEvery:  defaultCompactEvery,
+		snapThreshold: defaultSnapThreshold,
+		done:          make(chan struct{}),
+		drained:       make(chan struct{}),
+		buf:           causal.NewBuffer(site),
 	}
+	e.snap, _ = doc.(Snapshotter)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.logDir != "" {
+		if err := e.openAndReplay(); err != nil {
+			return nil, err
+		}
 	}
 	depth := 4 * e.queueDepth
 	if depth < 1024 {
@@ -147,6 +289,68 @@ func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) 
 	e.wg.Add(1)
 	go e.run()
 	return e, nil
+}
+
+// openAndReplay opens the durable log and rebuilds the replica: install
+// the stored snapshot (if any), then replay every retained record the
+// snapshot does not cover, advancing the causal clock as it goes.
+func (e *Engine) openAndReplay() error {
+	l, err := oplog.Open(e.logDir, oplog.Options{Fsync: e.fsync})
+	if err != nil {
+		return err
+	}
+	clock := vclock.New()
+	if data, snapClock, err := l.Snapshot(); err != nil {
+		l.Close()
+		return err
+	} else if data != nil {
+		if e.snap == nil {
+			l.Close()
+			return fmt.Errorf("transport: log %s holds a snapshot but the replica cannot install one", e.logDir)
+		}
+		version, err := e.snap.InstallSnapshot(data)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("transport: restore snapshot: %w", err)
+		}
+		clock = version
+		e.snapData, e.snapVC = data, snapClock.Clone()
+		// Nothing below the stored snapshot survives a restart, so the
+		// msgLog floor starts at the snapshot clock.
+		e.truncVC = snapClock.Clone()
+	}
+	replayErr := l.Replay(func(site ident.SiteID, seq uint64, body []byte) error {
+		if seq <= clock.Get(site) {
+			return nil // covered by the snapshot (or a segment overlap)
+		}
+		m, err := DecodeMsgBody(body)
+		if err != nil {
+			return fmt.Errorf("transport: log record s%d#%d: %w", site, seq, err)
+		}
+		op, ok := m.Payload.(core.Op)
+		if !ok {
+			return fmt.Errorf("transport: log record s%d#%d is not an op", site, seq)
+		}
+		// Mirror the live delivery path: an op the replica rejects was
+		// tolerated (setErr + continue) when it first arrived, so it must
+		// be tolerated on replay too — aborting here would brick every
+		// restart over this directory. The message still counts as
+		// delivered, exactly as it did live.
+		if err := e.doc.Apply(op); err != nil {
+			e.setErr(fmt.Errorf("transport: replay s%d#%d: %w", site, seq, err))
+		}
+		clock.Merge(m.TS)
+		e.msgLog = append(e.msgLog, m)
+		return nil
+	})
+	if replayErr != nil {
+		l.Close()
+		return replayErr
+	}
+	e.buf.Advance(clock)
+	e.log = l
+	e.sinceSnap = len(e.msgLog)
+	return nil
 }
 
 // Site returns the engine's site identifier.
@@ -160,13 +364,30 @@ func (e *Engine) Drops() uint64 { return e.drops.Load() }
 // WireErrs counts malformed frames and messages discarded on receive.
 func (e *Engine) WireErrs() uint64 { return e.wireErrs.Load() }
 
-// Applied counts remote operations replayed into the replica.
+// Pruned counts wire-valid messages discarded from the causal buffer to
+// bound its undeliverable backlog (see maxPending). Pruning is load
+// shedding, not corruption — anti-entropy redelivers legitimate messages —
+// so it is counted apart from WireErrs.
+func (e *Engine) Pruned() uint64 { return e.pruned.Load() }
+
+// Applied counts remote operations replayed into the replica (live
+// delivery only; restart replay from the durable log is not counted).
 func (e *Engine) Applied() uint64 { return e.applied.Load() }
+
+// SnapshotsSent counts snapshot catch-up frames served to peers.
+func (e *Engine) SnapshotsSent() uint64 { return e.snapsSent.Load() }
+
+// SnapshotsInstalled counts snapshot catch-up frames installed into the
+// replica.
+func (e *Engine) SnapshotsInstalled() uint64 { return e.snapsInstalled.Load() }
 
 // Broadcast stamps local operations and queues them for delivery to every
 // peer. Ops must be passed in generation order; per-replica local edits
 // must be serialised by the caller (one writer goroutine, or a lock around
-// edit+Broadcast) so stamps match generation order.
+// edit+Broadcast) so stamps match generation order. Ops accepted before
+// Stop is called are stamped and flushed to peer queues during shutdown,
+// and peer writers drain their queues (bounded by a deadline) before the
+// links close.
 func (e *Engine) Broadcast(ops ...core.Op) error {
 	if len(ops) == 0 {
 		return nil
@@ -197,7 +418,7 @@ func (e *Engine) Connect(link Link) {
 		link.Close()
 		return
 	}
-	p := &peer{eng: e, link: link, out: make(chan []byte, e.queueDepth), gone: make(chan struct{})}
+	p := &peer{eng: e, link: link, out: make(chan []byte, e.queueDepth), gone: make(chan struct{}), wdone: make(chan struct{})}
 	e.wg.Add(3)
 	go p.writer()
 	go p.reader()
@@ -226,9 +447,10 @@ func (e *Engine) Clock() vclock.VC {
 	}
 }
 
-// Err returns the first replica apply error, if any — including after
-// Stop, so teardown-order checks stay truthful. A non-nil result means the
-// causal delivery contract was violated upstream.
+// Err returns the first replica apply or log error, if any — including
+// after Stop, so teardown-order checks stay truthful. A non-nil result
+// means the causal delivery contract was violated upstream, or the
+// durable log could not be written.
 func (e *Engine) Err() error {
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
@@ -243,8 +465,11 @@ func (e *Engine) setErr(err error) {
 	e.errMu.Unlock()
 }
 
-// Stop shuts the engine down: the actor exits, links close, goroutines
-// drain. Stop blocks until everything has wound down; it is idempotent.
+// Stop shuts the engine down: the actor stamps and flushes everything
+// already accepted, peer writers drain their queues (bounded by
+// stopDrainTimeout), links close, goroutines drain, and the durable log
+// is synced and closed. Stop blocks until everything has wound down; it
+// is idempotent.
 func (e *Engine) Stop() {
 	e.lifeMu.Lock()
 	if !e.stopped {
@@ -271,8 +496,8 @@ func (e *Engine) ctl(fn func()) bool {
 	}
 }
 
-// run is the actor loop: the only goroutine touching buf, msgLog, batch
-// and peers.
+// run is the actor loop: the only goroutine touching buf, msgLog, batch,
+// peers, the durable log and the compaction barrier.
 func (e *Engine) run() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(e.syncEvery)
@@ -295,7 +520,10 @@ func (e *Engine) run() {
 			e.flush()
 		case <-ticker.C:
 			e.flush()
+			e.maybeCompact()
+			e.promoteFloor()
 			e.syncAll()
+			e.snapReqSent = false
 		case <-e.done:
 			// Best-effort drain: Broadcast returned nil for anything already
 			// in the inbox, so stamp and flush it rather than losing it —
@@ -311,6 +539,13 @@ func (e *Engine) run() {
 				break
 			}
 			e.flush()
+			// Frames are in the peer queues; let the writers drain them.
+			close(e.drained)
+			if e.log != nil {
+				if err := e.log.Close(); err != nil {
+					e.setErr(err)
+				}
+			}
 			return
 		}
 	}
@@ -323,7 +558,7 @@ func (e *Engine) handle(cmd command) {
 	case cmd.ops != nil:
 		for _, op := range cmd.ops {
 			m := e.buf.Stamp(op)
-			e.msgLog = append(e.msgLog, m)
+			e.record(m)
 			e.batch = append(e.batch, m)
 			if len(e.batch) >= e.batchSize {
 				e.flush()
@@ -335,6 +570,35 @@ func (e *Engine) handle(cmd command) {
 		}
 	case cmd.sync != nil:
 		e.handleSyncReq(cmd.sync, cmd.from)
+	case cmd.snapReq != nil:
+		e.handleSnapReq(cmd.snapReq, cmd.from)
+	case cmd.snap != nil:
+		e.handleSnap(cmd.snap)
+	}
+}
+
+// record retains one stamped message for anti-entropy and appends it to
+// the durable log when one is configured. The first append failure
+// disables the log for the rest of the session: writing successors of a
+// missing record would leave a causal hole that restart replay applies
+// over (corrupting the tree), whereas a clean prefix merely restarts the
+// replica further in the past, which anti-entropy heals. Err reports the
+// lost durability.
+func (e *Engine) record(m causal.Message) {
+	e.msgLog = append(e.msgLog, m)
+	e.sinceSnap++
+	if e.log == nil || e.logBroken {
+		return
+	}
+	body, err := EncodeMsgBody(m)
+	if err != nil {
+		e.logBroken = true
+		e.setErr(fmt.Errorf("transport: log encode: %w", err))
+		return
+	}
+	if err := e.log.Append(m.From, m.TS.Get(m.From), body); err != nil {
+		e.logBroken = true
+		e.setErr(err)
 	}
 }
 
@@ -348,10 +612,15 @@ func (e *Engine) ingest(m causal.Message) {
 		return
 	}
 	if n := e.buf.Prune(maxPending); n > 0 {
-		e.wireErrs.Add(uint64(n))
+		e.pruned.Add(uint64(n))
 	}
-	for _, dm := range deliverable {
-		e.msgLog = append(e.msgLog, dm)
+	e.deliver(deliverable)
+}
+
+// deliver records and applies causally-ready messages.
+func (e *Engine) deliver(msgs []causal.Message) {
+	for _, dm := range msgs {
+		e.record(dm)
 		op, ok := dm.Payload.(core.Op)
 		if !ok {
 			continue
@@ -364,17 +633,263 @@ func (e *Engine) ingest(m causal.Message) {
 	}
 }
 
-// handleSyncReq answers an anti-entropy digest with everything retained
-// that the requester's clock does not cover, chunked into frames. The
-// reply goes back through the peer the request arrived on (which may be a
-// relay hub; the causal buffers at the edges deduplicate).
+// gap returns how far behind clock is relative to ahead: the number of
+// operations ahead covers that clock does not.
+func gap(ahead, clock vclock.VC) uint64 {
+	var n uint64
+	for s, a := range ahead {
+		if c := clock.Get(s); a > c {
+			n += a - c
+		}
+	}
+	return n
+}
+
+// vcEqual reports clock equality (mutual domination).
+func vcEqual(a, b vclock.VC) bool {
+	return a.Dominates(b) && b.Dominates(a)
+}
+
+// handleSyncReq answers an anti-entropy digest. A requester below the
+// compaction barrier — or further behind than the snapshot threshold —
+// receives the barrier snapshot followed by the retained suffix; anyone
+// else gets the retained messages their clock does not cover, chunked
+// into frames. The reply goes back through the peer the request arrived
+// on (which may be a relay hub; the causal buffers at the edges
+// deduplicate). Replies to a torn-down link are skipped: encoding frames
+// for a dead peer only wastes cycles and inflates the drop counter.
 func (e *Engine) handleSyncReq(req *SyncReqFrame, from *peer) {
-	if from == nil || req.From == e.site {
+	if from == nil || from.dead() || req.From == e.site {
 		return
 	}
+	// The digest cuts both ways: if it shows this engine is the one far
+	// behind, ask that peer for a snapshot instead of waiting out a long
+	// op replay (at most one request per sync tick).
+	if e.snap != nil && e.snapThreshold > 0 && !e.snapReqSent &&
+		gap(req.Clock, e.buf.Clock()) >= uint64(e.snapThreshold) {
+		if f, err := EncodeSnapReq(e.site, e.buf.Clock()); err == nil {
+			from.trySend(f)
+			e.snapReqSent = true
+		}
+	}
+	if e.truncVC != nil && !req.Clock.Dominates(e.truncVC) {
+		// Below the truncation floor: some ops the requester is missing no
+		// longer exist as messages. Snapshot, then the retained suffix.
+		e.sendSnapshot(from)
+		e.sendMissing(from, req.Clock)
+		return
+	}
+	if e.snapThreshold > 0 && gap(e.buf.Clock(), req.Clock) >= uint64(e.snapThreshold) && e.ensureBarrier() {
+		e.sendSnapshot(from)
+		e.sendMissing(from, req.Clock)
+		return
+	}
+	e.sendMissing(from, req.Clock)
+}
+
+// handleSnapReq answers an explicit snapshot request: barrier snapshot
+// plus retained suffix when possible, full op replay otherwise.
+func (e *Engine) handleSnapReq(req *SnapReqFrame, from *peer) {
+	if from == nil || from.dead() || req.From == e.site {
+		return
+	}
+	if e.ensureBarrier() {
+		e.sendSnapshot(from)
+	}
+	e.sendMissing(from, req.Clock)
+}
+
+// handleSnap installs a snapshot catch-up frame: if its version dominates
+// local state, the replica adopts it, the causal clock advances to cover
+// it, buffered successors deliver, and the snapshot becomes this engine's
+// own compaction barrier (persisted when a log is configured). Stale or
+// duplicate snapshots are ignored — through a relay hub, one digest can
+// draw snapshots from several peers at once.
+func (e *Engine) handleSnap(f *SnapFrame) {
+	if f.From == e.site || e.snap == nil {
+		return
+	}
+	if e.buf.Clock().Dominates(f.Version) {
+		return // already covered: duplicate or stale
+	}
+	version, err := e.snap.InstallSnapshot(f.Data)
+	if err != nil {
+		if errors.Is(err, core.ErrStaleSnapshot) {
+			// Concurrent local edits the snapshot does not cover: not
+			// corrupt, just not installable; anti-entropy converges the
+			// slow way.
+			return
+		}
+		// Undecodable or otherwise malformed snapshot bytes: count it, or
+		// a never-converging catch-up is undiagnosable.
+		e.wireErrs.Add(1)
+		return
+	}
+	e.snapsInstalled.Add(1)
+	delivered := e.buf.Advance(version)
+	e.adoptBarrier(f.Data, version, version)
+	e.deliver(delivered)
+}
+
+// adoptBarrier makes (data, version) the engine's serving barrier and
+// floor the truncation floor: messages the floor covers are dropped from
+// the in-memory log and, when a durable log is configured, from its
+// sealed segments. Local compaction passes the previous barrier as the
+// floor (one generation of slack keeps the window (floor, barrier]
+// servable as plain operations); installing a received snapshot passes
+// the installed version itself, because this engine never held the
+// messages below it.
+func (e *Engine) adoptBarrier(data []byte, version, floor vclock.VC) {
+	if e.log != nil {
+		if err := e.log.WriteSnapshot(data, version); err != nil {
+			e.setErr(err)
+			return
+		}
+		// A stored snapshot supersedes every record below it, including
+		// any suffix a failed append hole-punched out of the log — the
+		// directory is consistent again, so appending may resume.
+		e.logBroken = false
+		if floor != nil {
+			if _, err := e.log.Compact(floor); err != nil {
+				e.setErr(err)
+			}
+		}
+	}
+	e.snapData, e.snapVC = data, version.Clone()
+	e.barrierAt = time.Now()
+	if floor != nil {
+		e.truncVC = floor.Clone()
+		e.truncateMsgLog(floor)
+	}
+	e.sinceSnap = 0
+	for _, m := range e.msgLog {
+		if m.TS.Get(m.From) > version.Get(m.From) {
+			e.sinceSnap++
+		}
+	}
+}
+
+// truncateMsgLog drops retained messages the floor covers, releasing the
+// tail for GC.
+func (e *Engine) truncateMsgLog(floor vclock.VC) {
+	kept := e.msgLog[:0]
+	for _, m := range e.msgLog {
+		if m.TS.Get(m.From) > floor.Get(m.From) {
+			kept = append(kept, m)
+		}
+	}
+	for i := len(kept); i < len(e.msgLog); i++ {
+		e.msgLog[i] = causal.Message{}
+	}
+	e.msgLog = kept
+}
+
+// promoteFloor raises the truncation floor to the serving barrier once
+// the barrier has aged past floorDelay: everything below the barrier is
+// then dropped from the in-memory log and the sealed segments, bounding
+// both even when no further traffic triggers another compaction.
+func (e *Engine) promoteFloor() {
+	if e.snapVC == nil || (e.truncVC != nil && vcEqual(e.truncVC, e.snapVC)) {
+		return
+	}
+	if time.Since(e.barrierAt) < e.floorDelay() {
+		return
+	}
+	e.truncVC = e.snapVC.Clone()
+	if e.log != nil {
+		if _, err := e.log.Compact(e.truncVC); err != nil {
+			e.setErr(err)
+		}
+	}
+	e.truncateMsgLog(e.truncVC)
+}
+
+// floorDelay is how long the serving barrier ages before the floor
+// catches up to it: a few anti-entropy rounds, so every live peer has had
+// digest exchanges covering the window below the barrier.
+func (e *Engine) floorDelay() time.Duration {
+	return 4 * e.syncEvery
+}
+
+// maybeCompact runs the compaction policy: once enough messages have
+// accumulated past the barrier, snapshot the replica and truncate
+// everything the snapshot covers. It runs from the anti-entropy ticker
+// only — Snapshot() is O(document), and attempting it after every inbox
+// drain would re-marshal the document continuously whenever racing local
+// edits (or a tolerated apply error) keep the version and the delivered
+// clock apart.
+func (e *Engine) maybeCompact() {
+	if e.snap == nil || e.compactEvery <= 0 || e.sinceSnap < e.compactEvery {
+		return
+	}
+	e.compactNow()
+}
+
+// compactNow snapshots the replica and adopts it as the barrier. The
+// snapshot is only adopted when its version equals the delivered clock
+// exactly: a caller may have applied a local edit whose Broadcast the
+// actor has not stamped yet, and a barrier covering an unstamped
+// operation would hand peers a clock entry for a message that does not
+// exist. Skipping is cheap — the next flush retries once the stamp lands.
+func (e *Engine) compactNow() bool {
+	data, version, err := e.snap.Snapshot()
+	if err != nil {
+		e.setErr(fmt.Errorf("transport: snapshot: %w", err))
+		return false
+	}
+	if len(version) == 0 {
+		// An empty document has nothing to snapshot, and peers reject a
+		// snap frame with an empty version as malformed.
+		return false
+	}
+	if !vcEqual(version, e.buf.Clock()) {
+		return false
+	}
+	e.adoptBarrier(data, version, e.snapVC)
+	return true
+}
+
+// ensureBarrier reports whether a barrier snapshot is available to serve,
+// compacting on demand if none exists yet.
+func (e *Engine) ensureBarrier() bool {
+	if e.snapData != nil {
+		return true
+	}
+	if e.snap == nil {
+		return false
+	}
+	return e.compactNow()
+}
+
+// sendSnapshot queues the barrier snapshot to one peer. The same barrier
+// is offered to the same peer at most once per snapResendAfter: repeated
+// digests from a catching-up peer must not draw a snapshot per tick, but
+// an offer lost to a full queue is eventually repeated.
+func (e *Engine) sendSnapshot(to *peer) {
+	if e.snapData == nil || to.dead() {
+		return
+	}
+	if to.lastSnapVC != nil && vcEqual(to.lastSnapVC, e.snapVC) && time.Since(to.lastSnapAt) < snapResendAfter {
+		return
+	}
+	frame, err := EncodeSnapReply(e.site, e.snapVC, e.snapData)
+	if err != nil {
+		e.wireErrs.Add(1)
+		return
+	}
+	to.trySend(frame)
+	to.lastSnapVC, to.lastSnapAt = e.snapVC, time.Now()
+	e.snapsSent.Add(1)
+}
+
+// sendMissing queues every retained message the clock does not cover,
+// chunked into frames. The log is synced first: retransmissions may carry
+// locally stamped operations that no flush has synced yet.
+func (e *Engine) sendMissing(to *peer, clock vclock.VC) {
+	e.syncLog()
 	var missing []causal.Message
 	for _, m := range e.msgLog {
-		if m.TS.Get(m.From) > req.Clock.Get(m.From) {
+		if m.TS.Get(m.From) > clock.Get(m.From) {
 			missing = append(missing, m)
 		}
 	}
@@ -396,17 +911,33 @@ func (e *Engine) handleSyncReq(req *SyncReqFrame, from *peer) {
 					e.wireErrs.Add(1)
 					continue
 				}
-				from.trySend(f)
+				to.trySend(f)
 			}
 			continue
 		}
-		from.trySend(frame)
+		to.trySend(frame)
 	}
 }
 
-// flush frames the pending batch and fans it out to every live peer, then
-// prunes peers whose links died.
+// flush syncs the durable log (so no peer can see a stamp that is not on
+// stable storage), frames the pending batch and fans it out to every live
+// peer, then prunes peers whose links died.
+// syncLog flushes appended records to stable storage under FsyncBatch. It
+// must run before any frame carrying a locally stamped operation can
+// reach a peer — the batch fanout and the anti-entropy retransmission
+// path both — or a crash could forget a stamp a peer remembers, and the
+// restarted site would re-mint it.
+func (e *Engine) syncLog() {
+	if e.log != nil && !e.logBroken && e.fsync == FsyncBatch {
+		if err := e.log.Sync(); err != nil {
+			e.logBroken = true
+			e.setErr(err)
+		}
+	}
+}
+
 func (e *Engine) flush() {
+	e.syncLog()
 	if len(e.batch) > 0 {
 		frame, err := EncodeOps(e.batch)
 		if err != nil {
@@ -464,6 +995,12 @@ type peer struct {
 	out      chan []byte
 	gone     chan struct{}
 	goneOnce sync.Once
+	// wdone closes when the writer returns; closer waits for it on
+	// shutdown so the link stays open while the writer drains its queue.
+	wdone chan struct{}
+	// lastSnapVC/lastSnapAt rate-limit snapshot offers (actor-owned).
+	lastSnapVC vclock.VC
+	lastSnapAt time.Time
 }
 
 // fail marks the peer dead, which stops its writer and makes closer tear
@@ -491,6 +1028,7 @@ func (p *peer) trySend(frame []byte) {
 
 func (p *peer) writer() {
 	defer p.eng.wg.Done()
+	defer close(p.wdone)
 	for {
 		select {
 		case f := <-p.out:
@@ -501,17 +1039,53 @@ func (p *peer) writer() {
 		case <-p.gone:
 			return
 		case <-p.eng.done:
+			p.drainOnStop()
 			return
 		}
 	}
 }
 
+// drainOnStop empties the outbound queue before shutdown: Broadcast
+// accepted these ops, so exiting with frames still queued would silently
+// drop them — and a stopped engine cannot heal the loss via anti-entropy.
+// The drain waits for the actor's final flush (which fans the last stamps
+// into the queues), then sends until the queue is empty, the link fails,
+// or the deadline tears the peer down.
+func (p *peer) drainOnStop() {
+	select {
+	case <-p.eng.drained:
+	case <-p.gone:
+		return
+	}
+	timer := time.AfterFunc(stopDrainTimeout, p.fail)
+	defer timer.Stop()
+	for {
+		if p.dead() {
+			return
+		}
+		select {
+		case f := <-p.out:
+			if err := p.link.Send(f); err != nil {
+				p.fail()
+				return
+			}
+		default:
+			return // queue drained
+		}
+	}
+}
+
+// reader fails the peer only on link errors: exiting because the engine
+// is shutting down must leave the peer alive, or the writer's stop-time
+// drain would be cut short and Broadcast-accepted frames silently lost
+// (the closer tears the link down once the writer finishes, which in turn
+// unblocks and ends the reader).
 func (p *peer) reader() {
 	defer p.eng.wg.Done()
-	defer p.fail()
 	for {
 		frame, err := p.link.Recv()
 		if err != nil {
+			p.fail()
 			return
 		}
 		decoded, err := DecodeFrame(frame)
@@ -525,6 +1099,10 @@ func (p *peer) reader() {
 			cmd = command{msgs: f.Msgs, from: p}
 		case *SyncReqFrame:
 			cmd = command{sync: f, from: p}
+		case *SnapReqFrame:
+			cmd = command{snapReq: f, from: p}
+		case *SnapFrame:
+			cmd = command{snap: f, from: p}
 		default:
 			continue
 		}
@@ -537,12 +1115,19 @@ func (p *peer) reader() {
 }
 
 // closer tears the link down on engine stop or peer failure, unblocking
-// any Send or Recv in flight.
+// any Send or Recv in flight. On engine stop it waits for the writer to
+// drain its queue first (the writer bounds that wait with
+// stopDrainTimeout), so flushed frames reach the wire before the link
+// closes.
 func (p *peer) closer() {
 	defer p.eng.wg.Done()
 	select {
-	case <-p.eng.done:
 	case <-p.gone:
+	case <-p.eng.done:
+		select {
+		case <-p.wdone:
+		case <-p.gone:
+		}
 	}
 	p.link.Close()
 }

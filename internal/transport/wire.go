@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"github.com/treedoc/treedoc/internal/causal"
 	"github.com/treedoc/treedoc/internal/core"
@@ -20,20 +19,44 @@ const (
 	kindOps = 0x01
 	// kindSyncReq is an anti-entropy digest: the sender's delivered clock.
 	// The receiver answers with a kindOps frame of everything it retains
-	// that the clock does not cover.
+	// that the clock does not cover — or, when the sender is below the
+	// receiver's compaction barrier or further behind than the snapshot
+	// threshold, with a kindSnap frame.
 	kindSyncReq = 0x02
+	// kindSnapReq asks the receiver for a snapshot: the sender has learned
+	// (from a digest) that it is too far behind for op replay to be cheap.
+	kindSnapReq = 0x03
+	// kindSnap is snapshot catch-up: a replica state snapshot plus the
+	// version vector of exactly the operations it stands in for. The
+	// receiver installs it (if it dominates local state) and advances its
+	// causal clock; the log suffix above the version arrives as ordinary
+	// kindOps frames.
+	kindSnap = 0x04
 )
 
-// Wire limits. Frames above MaxFrameSize are refused on read and write so a
-// corrupt or hostile length prefix cannot force an arbitrary allocation.
+// Wire limits. Frames above the per-kind size limit are refused on read
+// and write so a corrupt or hostile length prefix cannot force an
+// arbitrary allocation.
 const (
-	// MaxFrameSize bounds one frame's encoded size.
+	// MaxFrameSize bounds one frame's encoded size for every kind except
+	// kindSnap.
 	MaxFrameSize = 1 << 20
+	// MaxSnapFrameSize bounds a kindSnap frame: snapshots carry whole
+	// documents, so they get a higher ceiling than op gossip.
+	MaxSnapFrameSize = 1 << 26
 	// maxBatch bounds the operations in one kindOps frame.
 	maxBatch = 1 << 16
 	// maxClockEntries bounds the sites in one encoded vector clock.
 	maxClockEntries = 1 << 12
 )
+
+// frameSizeLimit returns the size ceiling for a frame of the given kind.
+func frameSizeLimit(kind byte) int {
+	if kind == kindSnap {
+		return MaxSnapFrameSize
+	}
+	return MaxFrameSize
+}
 
 // OpsFrame is a decoded kindOps frame.
 type OpsFrame struct {
@@ -46,59 +69,93 @@ type SyncReqFrame struct {
 	Clock vclock.VC
 }
 
-// appendVC appends a vector clock: uvarint entry count, then (site, count)
-// pairs with sites ascending so encodings are deterministic.
+// SnapReqFrame is a decoded kindSnapReq frame: an explicit snapshot
+// request carrying the requester's delivered clock.
+type SnapReqFrame struct {
+	From  ident.SiteID
+	Clock vclock.VC
+}
+
+// SnapFrame is a decoded kindSnap frame: a replica snapshot and the
+// version vector of the operations it contains.
+type SnapFrame struct {
+	From    ident.SiteID
+	Version vclock.VC
+	Data    []byte
+}
+
+// appendVC appends a vector clock in the canonical vclock encoding
+// (uvarint entry count, then ascending (site, count) pairs).
 func appendVC(dst []byte, vc vclock.VC) []byte {
-	sites := make([]ident.SiteID, 0, len(vc))
-	for s, n := range vc {
-		if n > 0 {
-			sites = append(sites, s)
-		}
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	dst = binary.AppendUvarint(dst, uint64(len(sites)))
-	for _, s := range sites {
-		dst = binary.AppendUvarint(dst, uint64(s))
-		dst = binary.AppendUvarint(dst, vc[s])
-	}
-	return dst
+	return vc.AppendBinary(dst)
 }
 
 // decodeVC decodes a vector clock from the front of buf, returning the
-// bytes consumed.
+// bytes consumed; entry counts are bounded by maxClockEntries.
 func decodeVC(buf []byte) (vclock.VC, int, error) {
-	n, off := binary.Uvarint(buf)
+	vc, n, err := vclock.DecodeBinary(buf, maxClockEntries)
+	if err != nil {
+		return nil, 0, fmt.Errorf("transport: %w", err)
+	}
+	return vc, n, nil
+}
+
+// appendMsg appends one stamped message — uvarint sender, vector clock,
+// op bytes — the unit shared by kindOps frames and oplog record bodies.
+func appendMsg(dst []byte, m causal.Message) ([]byte, error) {
+	op, ok := m.Payload.(core.Op)
+	if !ok {
+		return nil, fmt.Errorf("transport: message payload %T is not an op", m.Payload)
+	}
+	dst = binary.AppendUvarint(dst, uint64(m.From))
+	dst = appendVC(dst, m.TS)
+	return op.AppendBinary(dst), nil
+}
+
+// decodeMsg decodes one stamped message from the front of buf, returning
+// the bytes consumed. The message is validated: sender in range, clock
+// well-formed, the op's own stamp present.
+func decodeMsg(buf []byte) (causal.Message, int, error) {
+	from, off := binary.Uvarint(buf)
 	if off <= 0 {
-		return nil, 0, fmt.Errorf("transport: truncated clock size")
+		return causal.Message{}, 0, fmt.Errorf("transport: truncated op sender")
 	}
-	if n > maxClockEntries {
-		return nil, 0, fmt.Errorf("transport: clock with %d entries exceeds limit", n)
+	if from == 0 || ident.SiteID(from) > ident.MaxSiteID {
+		return causal.Message{}, 0, fmt.Errorf("transport: op sender %d out of range", from)
 	}
-	// Each entry costs at least two bytes; bound before allocating.
-	if n > uint64(len(buf)-off) {
-		return nil, 0, fmt.Errorf("transport: clock entry count %d exceeds buffer", n)
+	vc, k, err := decodeVC(buf[off:])
+	if err != nil {
+		return causal.Message{}, 0, err
 	}
-	vc := make(vclock.VC, n)
-	for i := uint64(0); i < n; i++ {
-		site, k := binary.Uvarint(buf[off:])
-		if k <= 0 {
-			return nil, 0, fmt.Errorf("transport: truncated clock site")
-		}
-		off += k
-		if site == 0 || ident.SiteID(site) > ident.MaxSiteID {
-			return nil, 0, fmt.Errorf("transport: clock site %d out of range", site)
-		}
-		count, k := binary.Uvarint(buf[off:])
-		if k <= 0 {
-			return nil, 0, fmt.Errorf("transport: truncated clock count")
-		}
-		off += k
-		if count == 0 {
-			return nil, 0, fmt.Errorf("transport: zero clock entry for site %d", site)
-		}
-		vc[ident.SiteID(site)] = count
+	off += k
+	if vc.Get(ident.SiteID(from)) == 0 {
+		return causal.Message{}, 0, fmt.Errorf("transport: op from s%d without own stamp", from)
 	}
-	return vc, off, nil
+	op, k, err := core.DecodeOp(buf[off:])
+	if err != nil {
+		return causal.Message{}, 0, err
+	}
+	off += k
+	return causal.Message{From: ident.SiteID(from), TS: vc, Payload: op}, off, nil
+}
+
+// EncodeMsgBody encodes one stamped message as a durable log record body
+// (the same layout as a message inside a kindOps frame).
+func EncodeMsgBody(m causal.Message) ([]byte, error) {
+	return appendMsg(nil, m)
+}
+
+// DecodeMsgBody decodes a durable log record body, requiring full
+// consumption.
+func DecodeMsgBody(body []byte) (causal.Message, error) {
+	m, n, err := decodeMsg(body)
+	if err != nil {
+		return causal.Message{}, err
+	}
+	if n != len(body) {
+		return causal.Message{}, fmt.Errorf("transport: %d trailing bytes after log record", len(body)-n)
+	}
+	return m, nil
 }
 
 // EncodeOps encodes a batch of stamped operations as one kindOps frame.
@@ -109,14 +166,11 @@ func EncodeOps(msgs []causal.Message) ([]byte, error) {
 	}
 	buf := []byte{kindOps}
 	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+	var err error
 	for _, m := range msgs {
-		op, ok := m.Payload.(core.Op)
-		if !ok {
-			return nil, fmt.Errorf("transport: message payload %T is not an op", m.Payload)
+		if buf, err = appendMsg(buf, m); err != nil {
+			return nil, err
 		}
-		buf = binary.AppendUvarint(buf, uint64(m.From))
-		buf = appendVC(buf, m.TS)
-		buf = op.AppendBinary(buf)
 	}
 	if len(buf) > MaxFrameSize {
 		return nil, fmt.Errorf("transport: ops frame of %d bytes exceeds limit", len(buf))
@@ -135,14 +189,38 @@ func EncodeSyncReq(from ident.SiteID, clock vclock.VC) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeFrame parses one frame into an *OpsFrame or *SyncReqFrame. Every
-// decoded message is validated: sites in range, clocks well-formed, the
-// op's own stamp present.
+// EncodeSnapReq encodes an explicit snapshot request frame.
+func EncodeSnapReq(from ident.SiteID, clock vclock.VC) ([]byte, error) {
+	buf := []byte{kindSnapReq}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = appendVC(buf, clock)
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: snap request frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// EncodeSnapReply encodes a snapshot catch-up frame: the sender's replica
+// snapshot and the version vector of exactly the operations it contains.
+func EncodeSnapReply(from ident.SiteID, version vclock.VC, data []byte) ([]byte, error) {
+	buf := []byte{kindSnap}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = appendVC(buf, version)
+	buf = append(buf, data...)
+	if len(buf) > MaxSnapFrameSize {
+		return nil, fmt.Errorf("transport: snap frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses one frame into an *OpsFrame, *SyncReqFrame,
+// *SnapReqFrame or *SnapFrame. Every decoded message is validated: sites
+// in range, clocks well-formed, the op's own stamp present.
 func DecodeFrame(frame []byte) (any, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("transport: empty frame")
 	}
-	if len(frame) > MaxFrameSize {
+	if len(frame) > frameSizeLimit(frame[0]) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
 	}
 	body := frame[1:]
@@ -163,34 +241,18 @@ func DecodeFrame(frame []byte) (any, error) {
 		}
 		f := &OpsFrame{Msgs: make([]causal.Message, 0, n)}
 		for i := uint64(0); i < n; i++ {
-			from, k := binary.Uvarint(body[off:])
-			if k <= 0 {
-				return nil, fmt.Errorf("transport: truncated op sender")
-			}
-			off += k
-			if from == 0 || ident.SiteID(from) > ident.MaxSiteID {
-				return nil, fmt.Errorf("transport: op sender %d out of range", from)
-			}
-			vc, k, err := decodeVC(body[off:])
+			m, k, err := decodeMsg(body[off:])
 			if err != nil {
 				return nil, err
 			}
 			off += k
-			if vc.Get(ident.SiteID(from)) == 0 {
-				return nil, fmt.Errorf("transport: op from s%d without own stamp", from)
-			}
-			op, k, err := core.DecodeOp(body[off:])
-			if err != nil {
-				return nil, err
-			}
-			off += k
-			f.Msgs = append(f.Msgs, causal.Message{From: ident.SiteID(from), TS: vc, Payload: op})
+			f.Msgs = append(f.Msgs, m)
 		}
 		if off != len(body) {
 			return nil, fmt.Errorf("transport: %d trailing bytes after ops frame", len(body)-off)
 		}
 		return f, nil
-	case kindSyncReq:
+	case kindSyncReq, kindSnapReq:
 		from, off := binary.Uvarint(body)
 		if off <= 0 {
 			return nil, fmt.Errorf("transport: truncated sync sender")
@@ -206,7 +268,27 @@ func DecodeFrame(frame []byte) (any, error) {
 		if off != len(body) {
 			return nil, fmt.Errorf("transport: %d trailing bytes after sync frame", len(body)-off)
 		}
+		if frame[0] == kindSnapReq {
+			return &SnapReqFrame{From: ident.SiteID(from), Clock: vc}, nil
+		}
 		return &SyncReqFrame{From: ident.SiteID(from), Clock: vc}, nil
+	case kindSnap:
+		from, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated snap sender")
+		}
+		if from == 0 || ident.SiteID(from) > ident.MaxSiteID {
+			return nil, fmt.Errorf("transport: snap sender %d out of range", from)
+		}
+		vc, k, err := decodeVC(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		if len(vc) == 0 {
+			return nil, fmt.Errorf("transport: snap frame with empty version")
+		}
+		return &SnapFrame{From: ident.SiteID(from), Version: vc, Data: body[off:]}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown frame kind %#x", frame[0])
 	}
@@ -215,7 +297,7 @@ func DecodeFrame(frame []byte) (any, error) {
 // WriteFrame writes one length-prefixed frame: a 4-byte big-endian length
 // followed by the frame bytes. Callers serialise concurrent writers.
 func WriteFrame(w io.Writer, frame []byte) error {
-	if len(frame) == 0 || len(frame) > MaxFrameSize {
+	if len(frame) == 0 || len(frame) > frameSizeLimit(frame[0]) {
 		return fmt.Errorf("transport: frame size %d out of range", len(frame))
 	}
 	var hdr [4]byte
@@ -228,15 +310,33 @@ func WriteFrame(w io.Writer, frame []byte) error {
 }
 
 // ReadFrame reads one length-prefixed frame, refusing oversized lengths
-// before allocating.
+// before allocating. Lengths above MaxFrameSize are tolerated only for
+// kindSnap frames (checked against the kind byte before the body is
+// read), so a hostile length prefix cannot force a large allocation by
+// claiming any other kind.
 func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxFrameSize {
+	if n == 0 || n > MaxSnapFrameSize {
 		return nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	if n > MaxFrameSize {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if kind != kindSnap {
+			return nil, fmt.Errorf("transport: frame length %d out of range for kind %#x", n, kind)
+		}
+		frame := make([]byte, n)
+		frame[0] = kind
+		if _, err := io.ReadFull(r, frame[1:]); err != nil {
+			return nil, err
+		}
+		return frame, nil
 	}
 	frame := make([]byte, n)
 	if _, err := io.ReadFull(r, frame); err != nil {

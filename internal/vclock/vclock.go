@@ -7,6 +7,7 @@
 package vclock
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,4 +122,63 @@ func (v VC) String() string {
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// AppendBinary appends the canonical encoding of v: a uvarint entry
+// count, then (site, count) uvarint pairs with sites ascending, zero
+// entries omitted. The same layout is shared by the transport wire
+// format, the oplog snapshot header, and the document snapshot format.
+func (v VC) AppendBinary(dst []byte) []byte {
+	sites := make([]ident.SiteID, 0, len(v))
+	for s, n := range v {
+		if n > 0 {
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(sites)))
+	for _, s := range sites {
+		dst = binary.AppendUvarint(dst, uint64(s))
+		dst = binary.AppendUvarint(dst, v[s])
+	}
+	return dst
+}
+
+// DecodeBinary decodes a clock from the front of buf, returning the bytes
+// consumed. Entries are validated (site in range and non-zero count) and
+// the entry count is bounded by maxEntries and by the remaining buffer,
+// so a hostile count cannot force a large allocation.
+func DecodeBinary(buf []byte, maxEntries int) (VC, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("vclock: truncated clock size")
+	}
+	if maxEntries >= 0 && n > uint64(maxEntries) {
+		return nil, 0, fmt.Errorf("vclock: clock with %d entries exceeds limit", n)
+	}
+	// Each entry costs at least two bytes; bound before allocating.
+	if n > uint64(len(buf)-off) {
+		return nil, 0, fmt.Errorf("vclock: clock entry count %d exceeds buffer", n)
+	}
+	vc := make(VC, n)
+	for i := uint64(0); i < n; i++ {
+		site, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("vclock: truncated clock site")
+		}
+		off += k
+		if site == 0 || ident.SiteID(site) > ident.MaxSiteID {
+			return nil, 0, fmt.Errorf("vclock: clock site %d out of range", site)
+		}
+		count, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("vclock: truncated clock count")
+		}
+		off += k
+		if count == 0 {
+			return nil, 0, fmt.Errorf("vclock: zero clock entry for site %d", site)
+		}
+		vc[ident.SiteID(site)] = count
+	}
+	return vc, off, nil
 }

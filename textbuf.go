@@ -172,5 +172,21 @@ func (b *TextBuffer) Stats() Stats {
 	return b.doc.Stats()
 }
 
+// Snapshot captures the buffer state and its version vector atomically,
+// for compaction barriers and snapshot catch-up (see Doc.Snapshot).
+func (b *TextBuffer) Snapshot() ([]byte, Version, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Snapshot()
+}
+
+// InstallSnapshot replaces the buffer state with a snapshot whose version
+// dominates the buffer's own (see Doc.InstallSnapshot).
+func (b *TextBuffer) InstallSnapshot(data []byte) (Version, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.InstallSnapshot(data)
+}
+
 // Doc exposes the underlying document replica (e.g. for snapshots).
 func (b *TextBuffer) Doc() *Doc { return b.doc }

@@ -35,8 +35,31 @@ type Engine = transport.Engine
 // EngineOption configures an Engine.
 type EngineOption = transport.Option
 
+// FsyncMode selects when the durable log (WithLogDir) reaches stable
+// storage: FsyncBatch (default), FsyncAlways, or FsyncOff.
+type FsyncMode = transport.FsyncMode
+
+// Durable log fsync policies.
+const (
+	// FsyncBatch syncs once per flushed batch, before frames reach peers:
+	// no peer can ever have seen a stamp the log could forget.
+	FsyncBatch = transport.FsyncBatch
+	// FsyncAlways syncs every append.
+	FsyncAlways = transport.FsyncAlways
+	// FsyncOff never syncs (benchmarks only): a crash may forget stamps
+	// peers remember, permanently desynchronising the site.
+	FsyncOff = transport.FsyncOff
+)
+
 // Link is a frame pipe between two engines (or an engine and a hub).
 type Link = transport.Link
+
+// Doc and TextBuffer satisfy the engine's snapshot contract, so engines
+// wrapping them can compact their logs and serve snapshot catch-up.
+var (
+	_ transport.Snapshotter = (*Doc)(nil)
+	_ transport.Snapshotter = (*TextBuffer)(nil)
+)
 
 // Hub is the relay server behind cmd/treedoc-serve, embeddable for tests
 // and in-process deployments.
@@ -81,6 +104,30 @@ func WithSyncInterval(d time.Duration) EngineOption { return transport.WithSyncI
 // WithQueueDepth sets the per-peer outbound queue depth (default 256);
 // frames to a saturated peer are dropped and healed by anti-entropy.
 func WithQueueDepth(n int) EngineOption { return transport.WithQueueDepth(n) }
+
+// WithLogDir enables the durable operation log in dir: every stamped and
+// delivered operation is appended to an append-only, CRC-checked segment
+// store, and NewEngine replays the directory on start, so a restarted
+// replica resumes exactly where it crashed and re-stamps nothing. The
+// replica handed to NewEngine must be fresh; the engine rebuilds it from
+// the stored snapshot and log suffix.
+func WithLogDir(dir string) EngineOption { return transport.WithLogDir(dir) }
+
+// WithFsync sets the durable log's fsync policy (default FsyncBatch).
+func WithFsync(mode FsyncMode) EngineOption { return transport.WithFsync(mode) }
+
+// WithCompactEvery sets how many retained operations accumulate before
+// the engine snapshots the replica and truncates everything the snapshot
+// covers — in memory always, on disk when WithLogDir is set (default
+// 16384; 0 disables). This is what bounds a long-lived document's log.
+func WithCompactEvery(n int) EngineOption { return transport.WithCompactEvery(n) }
+
+// WithSnapshotThreshold sets how many operations behind a peer's
+// anti-entropy digest must be before the engine serves a snapshot plus
+// log suffix instead of a full op replay (default 8192; 0 disables
+// threshold snapshots — peers below the compaction barrier still get
+// them, since the ops below the barrier no longer exist).
+func WithSnapshotThreshold(n int) EngineOption { return transport.WithSnapshotThreshold(n) }
 
 // WithHubQueueDepth sets a hub's per-client outbound queue depth.
 func WithHubQueueDepth(n int) HubOption { return transport.WithHubQueueDepth(n) }

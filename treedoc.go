@@ -6,8 +6,10 @@ import (
 	"sync"
 
 	"github.com/treedoc/treedoc/internal/core"
+	"github.com/treedoc/treedoc/internal/doctree"
 	"github.com/treedoc/treedoc/internal/ident"
 	"github.com/treedoc/treedoc/internal/storage"
+	"github.com/treedoc/treedoc/internal/vclock"
 )
 
 // Mode selects the disambiguator scheme (Section 3.3 of the paper).
@@ -38,6 +40,10 @@ type Stats = core.Stats
 
 // SiteID identifies a replica (48 bits, non-zero).
 type SiteID = ident.SiteID
+
+// Version is an applied version vector: per site, the highest operation
+// sequence number whose effects are in a replica (or a snapshot of one).
+type Version = vclock.VC
 
 // Option configures a Doc.
 type Option func(*config) error
@@ -256,53 +262,154 @@ func (d *Doc) Check() error {
 	return d.doc.Check()
 }
 
-// snapshot format: magic, site, seq, counter, mode, tree bytes.
-var snapMagic = []byte{'T', 'D', 'S', '1'}
+// Snapshot formats. TDS1 (magic, site, seq, counter, mode, tree bytes)
+// predates version vectors; TDS2 inserts the applied version vector
+// between the mode byte and the tree so a snapshot says exactly which
+// operations it stands in for. MarshalBinary writes TDS2; Open and
+// InstallSnapshot read both.
+var (
+	snapMagic   = []byte{'T', 'D', 'S', '2'}
+	snapMagicV1 = []byte{'T', 'D', 'S', '1'}
+)
 
-// MarshalBinary snapshots the replica — document tree plus the persistent
-// allocation state — using the heap-array on-disk format of Section 5.2.
+// snapshot is a decoded replica snapshot.
+type snapshot struct {
+	site    SiteID
+	seq     uint64
+	counter uint32
+	mode    Mode
+	version vclock.VC
+	// exactVersion is false for legacy TDS1 snapshots, whose version is
+	// derived as {site: seq} and may omit remote entries.
+	exactVersion bool
+	tree         *doctree.Tree
+}
+
+// MarshalBinary snapshots the replica — document tree, persistent
+// allocation state, and applied version vector — using the heap-array
+// on-disk format of Section 5.2 for the tree.
 func (d *Doc) MarshalBinary() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.marshalLocked(), nil
+}
+
+func (d *Doc) marshalLocked() []byte {
 	buf := append([]byte(nil), snapMagic...)
 	buf = binary.AppendUvarint(buf, uint64(d.doc.Site()))
 	buf = binary.AppendUvarint(buf, d.doc.Seq())
 	buf = binary.AppendUvarint(buf, uint64(d.doc.Counter()))
 	buf = append(buf, byte(d.doc.Config().Mode))
-	return append(buf, storage.Encode(d.doc.Tree())...), nil
+	buf = d.doc.Version().AppendBinary(buf)
+	return append(buf, storage.Encode(d.doc.Tree())...)
+}
+
+// Snapshot captures the replica state and the version vector describing
+// it in one atomic step: the returned version covers exactly the
+// operations whose effects are in the returned bytes. The replication
+// engine uses it for compaction barriers and snapshot catch-up.
+func (d *Doc) Snapshot() ([]byte, Version, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.marshalLocked(), d.doc.Version(), nil
+}
+
+// Version returns a copy of the applied version vector: per site, the
+// highest operation sequence number reflected in the document.
+func (d *Doc) Version() Version {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.Version()
+}
+
+// InstallSnapshot replaces the replica's state with a snapshot whose
+// version vector dominates the replica's own — snapshot-based catch-up
+// for a joiner too far behind to replay the operation log. The replica
+// keeps its site identity; its sequence and disambiguator counters
+// advance past anything the snapshot contains, so it never re-mints an
+// identifier. A snapshot that does not cover the replica's applied state
+// is rejected with an error wrapping core.ErrStaleSnapshot, leaving the
+// replica untouched. The installed version vector is returned.
+func (d *Doc) InstallSnapshot(data []byte) (Version, error) {
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if !snap.exactVersion {
+		// A TDS1 version is an under-approximation ({site: seq}, remote
+		// entries unknown): it could pass the dominance check while the
+		// snapshot is missing remote operations this replica has applied,
+		// silently discarding them. Legacy snapshots restore via Open only.
+		return nil, fmt.Errorf("treedoc: cannot install a TDS1 snapshot (no version vector); re-save it with MarshalBinary")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if snap.mode != d.doc.Config().Mode {
+		return nil, fmt.Errorf("treedoc: snapshot mode %v does not match replica mode %v", snap.mode, d.doc.Config().Mode)
+	}
+	if err := d.doc.InstallSnapshot(snap.tree, snap.version, snap.site, snap.seq, snap.counter); err != nil {
+		return nil, fmt.Errorf("treedoc: %w", err)
+	}
+	return d.doc.Version(), nil
+}
+
+// decodeSnapshot parses and validates a TDS1 or TDS2 snapshot.
+func decodeSnapshot(data []byte) (snapshot, error) {
+	var snap snapshot
+	if len(data) < len(snapMagic)+4 {
+		return snap, fmt.Errorf("treedoc: bad snapshot header")
+	}
+	v2 := string(data[:4]) == string(snapMagic)
+	if !v2 && string(data[:4]) != string(snapMagicV1) {
+		return snap, fmt.Errorf("treedoc: bad snapshot header")
+	}
+	off := len(snapMagic)
+	site, n := binary.Uvarint(data[off:])
+	if n <= 0 || site == 0 || SiteID(site) > ident.MaxSiteID {
+		return snap, fmt.Errorf("treedoc: bad snapshot site")
+	}
+	off += n
+	seq, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return snap, fmt.Errorf("treedoc: truncated snapshot seq")
+	}
+	off += n
+	counter, n := binary.Uvarint(data[off:])
+	if n <= 0 || counter > 1<<32-1 {
+		return snap, fmt.Errorf("treedoc: truncated snapshot counter")
+	}
+	off += n
+	if off >= len(data) {
+		return snap, fmt.Errorf("treedoc: truncated snapshot mode")
+	}
+	mode := Mode(data[off])
+	off++
+	version := vclock.New()
+	if v2 {
+		vc, k, err := vclock.DecodeBinary(data[off:], -1)
+		if err != nil {
+			return snap, fmt.Errorf("treedoc: snapshot version: %w", err)
+		}
+		off += k
+		version = vc
+	} else if seq > 0 {
+		version[SiteID(site)] = seq
+	}
+	tree, err := storage.Decode(data[off:])
+	if err != nil {
+		return snap, fmt.Errorf("treedoc: snapshot tree: %w", err)
+	}
+	snap = snapshot{site: SiteID(site), seq: seq, counter: uint32(counter), mode: mode, version: version, exactVersion: v2, tree: tree}
+	return snap, nil
 }
 
 // Open restores a replica from a snapshot. Options may override the
 // allocation strategy or cost model but not the site or mode, which are
 // part of the snapshot.
 func Open(data []byte, opts ...Option) (*Doc, error) {
-	if len(data) < len(snapMagic)+4 || string(data[:4]) != string(snapMagic) {
-		return nil, fmt.Errorf("treedoc: bad snapshot header")
-	}
-	off := len(snapMagic)
-	site, n := binary.Uvarint(data[off:])
-	if n <= 0 {
-		return nil, fmt.Errorf("treedoc: truncated snapshot site")
-	}
-	off += n
-	seq, n := binary.Uvarint(data[off:])
-	if n <= 0 {
-		return nil, fmt.Errorf("treedoc: truncated snapshot seq")
-	}
-	off += n
-	counter, n := binary.Uvarint(data[off:])
-	if n <= 0 || counter > 1<<32-1 {
-		return nil, fmt.Errorf("treedoc: truncated snapshot counter")
-	}
-	off += n
-	if off >= len(data) {
-		return nil, fmt.Errorf("treedoc: truncated snapshot mode")
-	}
-	mode := Mode(data[off])
-	off++
-	tree, err := storage.Decode(data[off:])
+	snap, err := decodeSnapshot(data)
 	if err != nil {
-		return nil, fmt.Errorf("treedoc: snapshot tree: %w", err)
+		return nil, err
 	}
 	var c config
 	for _, o := range opts {
@@ -310,9 +417,9 @@ func Open(data []byte, opts ...Option) (*Doc, error) {
 			return nil, err
 		}
 	}
-	c.core.Site = SiteID(site)
-	c.core.Mode = mode
-	doc, err := core.Restore(c.core, tree, seq, uint32(counter))
+	c.core.Site = snap.site
+	c.core.Mode = snap.mode
+	doc, err := core.Restore(c.core, snap.tree, snap.seq, snap.counter, snap.version)
 	if err != nil {
 		return nil, err
 	}

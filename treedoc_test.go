@@ -1,10 +1,13 @@
 package treedoc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
+
+	"github.com/treedoc/treedoc/internal/core"
 )
 
 func newTestDoc(t *testing.T, opts ...Option) *Doc {
@@ -393,5 +396,92 @@ func TestClusterLossAndSync(t *testing.T) {
 	}
 	if !c.Converged() {
 		t.Fatal("not converged")
+	}
+}
+
+func TestSnapshotInstall(t *testing.T) {
+	// Site 1 builds history; site 2 must adopt it via InstallSnapshot and
+	// end up byte-identical, with a version vector that stands in for the
+	// operations it skipped replaying.
+	src := newTestDoc(t, WithSite(1))
+	var ops []Op
+	for i := 0; i < 20; i++ {
+		op, err := src.Append(fmt.Sprintf("line-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	data, version, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version.Get(1) != 20 {
+		t.Fatalf("snapshot version = %v, want {1:20}", version)
+	}
+
+	dst := newTestDoc(t, WithSite(2))
+	installed, err := dst.InstallSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed.Get(1) != 20 {
+		t.Fatalf("installed version = %v", installed)
+	}
+	if dst.ContentString() != src.ContentString() {
+		t.Fatalf("installed content %q, want %q", dst.ContentString(), src.ContentString())
+	}
+	if dst.Site() != 2 {
+		t.Fatalf("install changed site to %d", dst.Site())
+	}
+	if err := dst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver keeps editing under its own identity.
+	if _, err := dst.Append("by-site-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale snapshot (covering less than the replica has) is rejected
+	// and leaves the replica untouched.
+	third := newTestDoc(t, WithSite(3))
+	if err := third.ApplyAll(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := third.Append("local-extra"); err != nil {
+		t.Fatal(err)
+	}
+	want := third.ContentString()
+	if _, err := third.InstallSnapshot(data); err == nil {
+		t.Fatal("stale snapshot accepted")
+	} else if !errors.Is(err, core.ErrStaleSnapshot) {
+		t.Fatalf("stale rejection error = %v, want core.ErrStaleSnapshot", err)
+	}
+	if third.ContentString() != want {
+		t.Fatal("rejected install mutated the replica")
+	}
+}
+
+func TestTextBufferSnapshotInstall(t *testing.T) {
+	src, err := NewTextBuffer(WithSite(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Append("hello, snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewTextBuffer(WithSite(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.InstallSnapshot(data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.String() != src.String() {
+		t.Fatalf("buffer install: %q != %q", dst.String(), src.String())
 	}
 }
