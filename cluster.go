@@ -102,10 +102,6 @@ type Replica struct {
 	r *cluster.Replica
 }
 
-// ErrRegionLocked is returned for local edits blocked by an outstanding
-// flatten vote on their region; retry after the commitment decides.
-var ErrRegionLocked = cluster.ErrLocked
-
 // Replica returns the replica with the given site id (1-based).
 func (c *Cluster) Replica(site SiteID) (*Replica, error) {
 	r := c.c.Replica(site)

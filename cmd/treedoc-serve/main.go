@@ -11,10 +11,19 @@
 // late joiners — so a client that connects long after everyone else left
 // still recovers the document, without any long-lived peer online.
 //
+// With -flatten-every, the archivist also acts as the deployment's
+// flatten janitor: on that period it proposes compacting the coldest
+// subtree through the commitment protocol (Engine.ProposeFlattenCold).
+// Every connected replica votes; a proposal racing a concurrent edit
+// aborts harmlessly and is simply retried next period, so long-lived
+// documents shed their tombstones and identifier overhead without any
+// editor doing coordination work.
+//
 // Usage:
 //
 //	treedoc-serve -addr :9707 -queue 256 -v
 //	treedoc-serve -addr :9707 -log /var/lib/treedoc -archive-site 281474976710655
+//	treedoc-serve -addr :9707 -log /var/lib/treedoc -flatten-every 30s
 //
 // Wire a replica to it:
 //
@@ -25,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -45,6 +55,8 @@ func main() {
 	archiveSite := flag.Uint64("archive-site", uint64(ident.MaxSiteID), "site id of the archivist replica (must not collide with any editor)")
 	compactEvery := flag.Int("compact", 16384, "archivist: retained ops before snapshot+truncate")
 	snapThreshold := flag.Int("snap-threshold", 8192, "archivist: digest gap that triggers snapshot catch-up")
+	flattenEvery := flag.Duration("flatten-every", 0, "archivist: period between cold-subtree flatten proposals (0 disables; requires -log)")
+	flattenCold := flag.Int("flatten-cold", 2, "archivist: revisions a subtree must be quiet before it is proposed")
 	flag.Parse()
 
 	opts := []transport.HubOption{transport.WithHubQueueDepth(*queue)}
@@ -78,6 +90,37 @@ func main() {
 		archive.Connect(link)
 		log.Printf("treedoc-serve: archivist s%d persisting to %s (%d runes restored)",
 			*archiveSite, *logDir, buf.Len())
+
+		if *flattenEvery > 0 {
+			stopJanitor := make(chan struct{})
+			defer close(stopJanitor)
+			go func() {
+				ticker := time.NewTicker(*flattenEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopJanitor:
+						return
+					case <-ticker.C:
+					}
+					buf.EndRevision()
+					ok, err := archive.ProposeFlattenCold(*flattenCold)
+					if err != nil {
+						if !errors.Is(err, transport.ErrStopped) {
+							log.Printf("treedoc-serve: flatten proposal: %v", err)
+						}
+						return
+					}
+					if ok && *verbose {
+						log.Printf("treedoc-serve: proposed cold flatten (committed %d, aborted %d so far)",
+							archive.FlattensCommitted(), archive.FlattensAborted())
+					}
+				}
+			}()
+			log.Printf("treedoc-serve: flatten janitor proposing every %v", *flattenEvery)
+		}
+	} else if *flattenEvery > 0 {
+		log.Fatal("treedoc-serve: -flatten-every requires -log (the archivist coordinates the commitment)")
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -87,8 +130,8 @@ func main() {
 		hub.Relays(), hub.Drops())
 	if archive != nil {
 		archive.Stop()
-		log.Printf("treedoc-serve: archivist flushed (%d ops applied, %d snapshots served, %d pruned)",
-			archive.Applied(), archive.SnapshotsSent(), archive.Pruned())
+		log.Printf("treedoc-serve: archivist flushed (%d ops applied, %d snapshots served, %d pruned, %d flattens applied)",
+			archive.Applied(), archive.SnapshotsSent(), archive.Pruned(), archive.FlattensApplied())
 		if err := archive.Err(); err != nil {
 			log.Printf("treedoc-serve: archivist error: %v", err)
 		}

@@ -41,9 +41,15 @@
 // with zero metadata; in the best case a compacted document is just a
 // sequential buffer. Within one process, Doc.Flatten and Doc.EndRevision
 // (heuristic flatten of cold subtrees) are available directly; across
-// replicas, flatten must be coordinated — Cluster runs the paper's
-// commitment protocol (two-phase commit where any replica that observed a
-// concurrent edit in the region votes No).
+// replicas, flatten must be coordinated — two-phase commit where any
+// replica that observed a concurrent edit in the region votes No. Both
+// distribution layers run that protocol: Cluster on the simulator, and
+// Engine.ProposeFlatten / Engine.ProposeFlattenCold over live links,
+// where a committed flatten is broadcast as an operation in the causal
+// stream (so it orders before every post-flatten edit at every replica)
+// and becomes the snapshot barrier that bounds the durable log. While a
+// replica's Yes vote is outstanding, local edits in the region fail with
+// ErrRegionLocked and succeed again once the round decides.
 //
 // # Distribution: simulated and real
 //
@@ -61,12 +67,15 @@
 // it carries the same operations between live replicas over goroutines and
 // sockets. Each Engine wraps a Doc or TextBuffer behind an actor loop,
 // stamps and batches local edits to peers, applies remote operations in
-// causal order, and runs a periodic anti-entropy exchange that repairs
-// losses from full queues, slow consumers or late joiners. Links are
-// in-process channel pairs (NewChanPair) or length-prefixed TCP framing
-// (Dial), typically relayed by the cmd/treedoc-serve hub. Convergence
-// under genuine parallelism is exercised by the race and soak tests in
-// internal/transport.
+// causal order, runs a periodic anti-entropy exchange that repairs losses
+// from full queues, slow consumers or late joiners, and coordinates
+// flatten through the same commitment protocol the simulator runs. Links
+// are in-process channel pairs (NewChanPair) or length-prefixed TCP
+// framing (Dial), typically relayed by the cmd/treedoc-serve hub (whose
+// archivist can double as a flatten janitor with -flatten-every).
+// Convergence under genuine parallelism is exercised by the race and soak
+// tests in internal/transport; docs/ARCHITECTURE.md specifies the wire
+// and on-disk formats.
 //
 // # Durability and snapshot catch-up
 //

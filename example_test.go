@@ -3,9 +3,19 @@ package treedoc_test
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/treedoc/treedoc"
 )
+
+// waitUntil polls a condition with a deadline, for examples that span
+// real replication engines.
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 // Two replicas edit concurrently and converge by exchanging operations.
 func Example() {
@@ -101,6 +111,39 @@ func ExampleCluster() {
 	// b
 	// c
 	// true
+}
+
+// Flatten runs over live replication engines, not just the simulator:
+// ProposeFlatten drives the paper's commitment protocol between the
+// engines, and the committed flatten travels the causal stream like any
+// operation — ordered before every post-flatten edit at every replica.
+func ExampleEngine_ProposeFlatten() {
+	alice, _ := treedoc.NewTextBuffer(treedoc.WithSite(1))
+	bob, _ := treedoc.NewTextBuffer(treedoc.WithSite(2))
+	ea, _ := treedoc.NewEngine(1, alice, treedoc.WithSyncInterval(10*time.Millisecond))
+	eb, _ := treedoc.NewEngine(2, bob, treedoc.WithSyncInterval(10*time.Millisecond))
+	defer ea.Stop()
+	defer eb.Stop()
+	la, lb := treedoc.NewChanPair(64)
+	ea.Connect(la)
+	eb.Connect(lb)
+
+	ops, _ := alice.Append("shared document with history")
+	_ = ea.Broadcast(ops...)
+	waitUntil(func() bool { return bob.String() == alice.String() })
+	ops, _ = bob.Delete(0, 7) // deletes leave tombstones under SDIS
+	_ = eb.Broadcast(ops...)
+	waitUntil(func() bool { return alice.String() == bob.String() })
+
+	// Two-phase commit across the engines; the commit compacts everyone.
+	_ = ea.ProposeFlatten()
+	waitUntil(func() bool { return ea.FlattensApplied() == 1 && eb.FlattensApplied() == 1 })
+
+	fmt.Println(alice.String())
+	fmt.Println(alice.Stats().Tree.MemBytes, bob.Stats().Tree.MemBytes)
+	// Output:
+	// document with history
+	// 0 0
 }
 
 // Snapshots persist a replica, including the allocation state it needs to

@@ -1,77 +1,142 @@
 // Flattenfleet: the distributed flatten commitment protocol of Section
-// 4.2.1 in action. Three replicas edit; one proposes compacting the
-// document. A proposal racing a concurrent edit aborts harmlessly ("a
-// conflicting edit causes a flatten to abort, leaving no side-effects");
-// a proposal on a quiescent document commits everywhere and reduces the
-// replicas to zero-overhead arrays.
+// 4.2.1 running over real TCP — not the simulator. Three replicas dial an
+// in-process relay hub (the same one cmd/treedoc-serve runs); one
+// proposes compacting the document through Engine.ProposeFlatten. A
+// proposal racing a concurrent edit aborts harmlessly ("a conflicting
+// edit causes a flatten to abort, leaving no side-effects"); a proposal
+// on a quiescent document commits everywhere, reduces every replica to a
+// zero-overhead array, and becomes the snapshot a late joiner catches up
+// from without replaying any pre-flatten history.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/treedoc/treedoc"
 )
 
-func main() {
-	cluster, err := treedoc.NewCluster(3,
-		treedoc.WithLatency(20, 40),
-		treedoc.WithSeed(11),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	one := replica(cluster, 1)
-	two := replica(cluster, 2)
-
-	for i := 0; i < 30; i++ {
-		must(one.InsertAt(i, fmt.Sprintf("line %02d", i)))
-	}
-	cluster.Run(0) // replicate the document before site 2 starts deleting
-	for i := 0; i < 10; i++ {
-		must(two.DeleteAt(0)) // churn: tombstones pile up under SDIS
-	}
-	cluster.Run(0)
-	fmt.Printf("before flatten: nodes=%d tombstones=%d (converged=%v)\n",
-		one.Stats().Tree.Nodes, one.Stats().Tree.DeadMinis, cluster.Converged())
-
-	// Attempt 1: site 1 proposes while site 2's edit is still in flight.
-	must(two.InsertAt(0, "racing edit"))
-	one.ProposeFlatten()
-	cluster.Run(0)
-	fmt.Printf("racing proposal: flattens applied=%d (expected 0: the edit made a replica vote No)\n",
-		one.FlattensApplied())
-
-	// Attempt 2: quiescent document — unanimous Yes, commit at every site.
-	one.ProposeFlatten()
-	// The coordinator voted Yes on its own replica immediately, locking the
-	// region until the decision arrives; its local edits are held off:
-	if err := one.InsertAt(0, "blocked?"); err == treedoc.ErrRegionLocked {
-		fmt.Println("local edit during the open vote: correctly rejected with ErrRegionLocked")
-	}
-	cluster.Run(0)
-	fmt.Printf("quiescent proposal: flattens applied=%d\n", one.FlattensApplied())
-
-	for _, site := range cluster.Sites() {
-		st := replica(cluster, site).Stats()
-		fmt.Printf("  site %d: %d atoms, %d nodes, %d bytes mem overhead (zero = plain array)\n",
-			site, st.Tree.LiveAtoms, st.Tree.Nodes, st.Tree.MemBytes)
-	}
-	if !cluster.Converged() {
-		log.Fatal("BUG: diverged")
-	}
-	if err := cluster.Check(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("converged with identical flattened state at all sites")
+type site struct {
+	id  treedoc.SiteID
+	buf *treedoc.TextBuffer
+	eng *treedoc.Engine
 }
 
-func replica(c *treedoc.Cluster, site treedoc.SiteID) *treedoc.Replica {
-	r, err := c.Replica(site)
+func main() {
+	hub, err := treedoc.ListenHub("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	return r
+	defer hub.Close()
+
+	sites := make([]*site, 3)
+	for i := range sites {
+		sites[i] = dialSite(hub.Addr().String(), treedoc.SiteID(i+1))
+		defer sites[i].eng.Stop()
+	}
+	one, two := sites[0], sites[1]
+
+	for i := 0; i < 30; i++ {
+		edit(one, fmt.Sprintf("line %02d\n", i))
+	}
+	waitConverged(sites)
+	for i := 0; i < 10; i++ { // churn: tombstones pile up under SDIS
+		ops, err := two.buf.Delete(0, 8)
+		must(err)
+		must(two.eng.Broadcast(ops...))
+	}
+	waitConverged(sites)
+	st := one.buf.Stats()
+	fmt.Printf("before flatten: %d nodes, %d tombstones, %d bytes overhead\n",
+		st.Tree.Nodes, st.Tree.DeadMinis, st.Tree.MemBytes)
+
+	// Attempt 1: site 2 has applied an edit its engine has not stamped yet
+	// — an in-flight local edit. Site 2 votes No and the proposal aborts
+	// with no side effects.
+	racing, err := two.buf.Append("racing edit\n")
+	must(err)
+	must(one.eng.ProposeFlatten())
+	waitFor(func() bool { return one.eng.FlattensAborted() == 1 }, "abort")
+	fmt.Printf("racing proposal: aborted (flattens applied everywhere: %d)\n",
+		one.eng.FlattensApplied()+two.eng.FlattensApplied()+sites[2].eng.FlattensApplied())
+
+	// Attempt 2: release the edit, quiesce, retry — unanimous Yes. The
+	// committed flatten travels the causal stream as an operation, so
+	// every replica applies it in order and converges.
+	must(two.eng.Broadcast(racing...))
+	waitConverged(sites)
+	must(one.eng.ProposeFlatten())
+	waitFor(func() bool {
+		for _, s := range sites {
+			if s.eng.FlattensApplied() == 0 {
+				return false
+			}
+		}
+		return true
+	}, "commit")
+	waitConverged(sites)
+	for _, s := range sites {
+		st := s.buf.Stats()
+		fmt.Printf("  site %d: %d runes, %d nodes, %d bytes overhead (zero = plain array)\n",
+			s.id, st.Tree.LiveAtoms, st.Tree.Nodes, st.Tree.MemBytes)
+	}
+
+	// A post-flatten joiner: the flatten epoch is a snapshot barrier, so
+	// the newcomer installs one snapshot instead of replaying the history.
+	joiner := dialSite(hub.Addr().String(), 9)
+	defer joiner.eng.Stop()
+	all := append(append([]*site(nil), sites...), joiner)
+	waitConverged(all)
+	fmt.Printf("late joiner: caught up via %d snapshot(s), replayed %d ops\n",
+		joiner.eng.SnapshotsInstalled(), joiner.eng.Applied())
+	fmt.Println("converged with identical flattened state at all sites over TCP")
+}
+
+func dialSite(addr string, id treedoc.SiteID) *site {
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
+	must(err)
+	eng, err := treedoc.NewEngine(id, buf,
+		treedoc.WithSyncInterval(25*time.Millisecond),
+		treedoc.WithFlattenTimeout(500*time.Millisecond),
+		treedoc.WithSnapshotThreshold(64))
+	must(err)
+	link, err := treedoc.Dial(addr)
+	must(err)
+	eng.Connect(link)
+	return &site{id: id, buf: buf, eng: eng}
+}
+
+func edit(s *site, text string) {
+	ops, err := s.buf.Append(text)
+	must(err)
+	must(s.eng.Broadcast(ops...))
+}
+
+// waitConverged polls until every replica holds the same bytes and every
+// engine's delivered clock matches.
+func waitConverged(sites []*site) {
+	waitFor(func() bool {
+		want := sites[0].buf.String()
+		base := sites[0].eng.Clock()
+		for _, s := range sites[1:] {
+			c := s.eng.Clock()
+			if s.buf.String() != want || c == nil || !c.Dominates(base) || !base.Dominates(c) {
+				return false
+			}
+		}
+		return true
+	}, "convergence")
+}
+
+func waitFor(done func() bool, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for !done() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 func must(err error) {

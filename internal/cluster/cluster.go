@@ -141,8 +141,10 @@ func (r *Replica) EditsBlocked() int { return r.editsBlocked }
 func (r *Replica) FlattensApplied() int { return r.flattensApplied }
 
 // ErrLocked is returned for local edits inside a region locked by an
-// outstanding flatten vote; the caller may retry after the decision.
-var ErrLocked = fmt.Errorf("cluster: region locked by pending flatten commitment")
+// outstanding flatten vote; the caller may retry after the decision. It is
+// the same sentinel the transport engine's Doc-level locks use, so one
+// errors.Is check covers both distribution layers.
+var ErrLocked = core.ErrRegionLocked
 
 // InsertAt performs a local insert and broadcasts it.
 func (r *Replica) InsertAt(i int, atom string) error {

@@ -96,6 +96,16 @@ func NewCoordinator(site ident.SiteID) *Coordinator {
 	return &Coordinator{site: site, pending: make(map[TxID]*txState)}
 }
 
+// SeedTxCounter raises the transaction counter floor. A coordinator that
+// restarts loses its counter; seeding with a restart-unique value (e.g. a
+// timestamp) keeps it from re-minting a TxID that participants may still
+// hold state for from before the crash.
+func (c *Coordinator) SeedTxCounter(n uint64) {
+	if n > c.n {
+		c.n = n
+	}
+}
+
 // Propose starts a transaction to flatten path across the participants
 // (which should include the coordinator's own site, so the local replica
 // votes and locks like everyone else). obs is the coordinator's delivered
@@ -151,6 +161,15 @@ func (c *Coordinator) decide(tx TxID, st *txState, commit bool) []Out {
 
 // Pending returns the number of undecided transactions.
 func (c *Coordinator) Pending() int { return len(c.pending) }
+
+// InFlight reports whether tx is still undecided at this coordinator. A
+// transport that receives a vote for a transaction that is not in flight
+// answers from its decision memory — or presumes abort — instead of
+// feeding the vote to OnVote.
+func (c *Coordinator) InFlight(tx TxID) bool {
+	_, ok := c.pending[tx]
+	return ok
+}
 
 // Participant is one site's voter. A Yes vote locks the subtree against
 // local edits — and against votes for overlapping proposals — until the

@@ -211,6 +211,168 @@ func TestOnDecisionFlattenError(t *testing.T) {
 	}
 }
 
+// TestProposerCrashMidVote: the coordinator collects a Yes vote and then
+// loses its state (crash). Participants must keep their locks — releasing
+// without a decision could race a commit they never heard about — and the
+// restarted coordinator, which knows nothing of the transaction, ignores
+// re-sent votes (InFlight false is what makes a transport answer them
+// with presumed abort). Only a real abort decision releases the lock.
+func TestProposerCrashMidVote(t *testing.T) {
+	p := NewParticipant(2, &fakeResource{unedited: true})
+	coord := NewCoordinator(1)
+	tx, prepares := coord.Propose(ident.Path{}, vclock.VC{}, []ident.SiteID{2, 3}, 0, 100)
+	vote := p.OnPrepare(prepares[0].Msg)
+	if !vote.Msg.Yes || p.Locked() != 1 {
+		t.Fatalf("vote = %+v, locked = %d", vote, p.Locked())
+	}
+
+	// Crash: all pending state is gone.
+	coord = NewCoordinator(1)
+	if coord.InFlight(tx) {
+		t.Fatal("restarted coordinator knows the crashed transaction")
+	}
+	if outs := coord.OnVote(2, vote.Msg); outs != nil {
+		t.Fatalf("restarted coordinator decided on a stale vote: %+v", outs)
+	}
+	if p.Locked() != 1 {
+		t.Fatal("participant released its lock without a decision")
+	}
+
+	// The presumed-abort answer (what a transport sends for an unknown
+	// transaction) releases the lock and leaves no side effects.
+	res := &fakeResource{unedited: true}
+	p2 := NewParticipant(2, res)
+	_ = p2.OnPrepare(prepares[0].Msg)
+	if err := p2.OnDecision(Msg{Kind: Decision, Tx: tx, Commit: false}); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Locked() != 0 || len(res.flattened) != 0 {
+		t.Fatalf("abort left locked=%d flattened=%d", p2.Locked(), len(res.flattened))
+	}
+}
+
+// TestDuplicateProposalSameRegion: a coordinator that re-proposes the
+// same region while the first round is open gets a No (the participant's
+// own outstanding lock overlaps), and the duplicate round aborts without
+// disturbing the first.
+func TestDuplicateProposalSameRegion(t *testing.T) {
+	coord := NewCoordinator(1)
+	p := NewParticipant(2, &fakeResource{unedited: true})
+	sub := path("[10(0:s1)]").StripLastDis()
+
+	tx1, prep1 := coord.Propose(sub, vclock.VC{}, []ident.SiteID{2}, 0, 100)
+	v1 := p.OnPrepare(prep1[0].Msg)
+	if !v1.Msg.Yes {
+		t.Fatal("first proposal rejected")
+	}
+
+	tx2, prep2 := coord.Propose(sub, vclock.VC{}, []ident.SiteID{2}, 0, 100)
+	v2 := p.OnPrepare(prep2[0].Msg)
+	if v2.Msg.Yes {
+		t.Fatal("duplicate proposal over a locked region accepted")
+	}
+	outs := coord.OnVote(2, v2.Msg)
+	if len(outs) != 1 || outs[0].Msg.Commit {
+		t.Fatalf("duplicate proposal decision = %+v", outs)
+	}
+	if err := p.OnDecision(outs[0].Msg); err != nil {
+		t.Fatal(err)
+	}
+	if coord.InFlight(tx2) {
+		t.Fatal("aborted duplicate still in flight")
+	}
+
+	// The first round is untouched and still commits.
+	if !coord.InFlight(tx1) {
+		t.Fatal("original round lost")
+	}
+	outs = coord.OnVote(2, v1.Msg)
+	if len(outs) != 1 || !outs[0].Msg.Commit {
+		t.Fatalf("original round decision = %+v", outs)
+	}
+	if err := p.OnDecision(outs[0].Msg); err != nil {
+		t.Fatal(err)
+	}
+	if p.Locked() != 0 {
+		t.Fatal("locks leaked across the duplicate round")
+	}
+}
+
+// TestVoteAfterLocalEdit: a replica that executed an edit the coordinator
+// has not observed votes No ("if this site observes the execution of an
+// insert, delete or flatten within the sub-tree to be flattened, that
+// site votes No"), takes no lock, and the round aborts with no effect.
+func TestVoteAfterLocalEdit(t *testing.T) {
+	coord := NewCoordinator(1)
+	res := &fakeResource{unedited: true}
+	p := NewParticipant(2, res)
+
+	// Round 1 aborts for unrelated reasons (deadline): the participant's
+	// lock is released and the replica edits afterwards.
+	_, prep := coord.Propose(ident.Path{}, vclock.VC{}, []ident.SiteID{2, 3}, 0, 100)
+	if v := p.OnPrepare(prep[0].Msg); !v.Msg.Yes {
+		t.Fatal("quiescent replica voted No")
+	}
+	outs := coord.Tick(100)
+	if len(outs) != 1 || outs[0].Msg.Commit {
+		t.Fatalf("deadline decision = %+v", outs)
+	}
+	if err := p.OnDecision(outs[0].Msg); err != nil {
+		t.Fatal(err)
+	}
+	res.unedited = false // the local edit happens here
+
+	// Round 2 must be refused: the edit is beyond the coordinator's view.
+	_, prep = coord.Propose(ident.Path{}, vclock.VC{}, []ident.SiteID{2}, 0, 100)
+	v := p.OnPrepare(prep[0].Msg)
+	if v.Msg.Yes {
+		t.Fatal("replica with an unobserved edit voted Yes")
+	}
+	if p.Locked() != 0 {
+		t.Fatal("No vote took a lock")
+	}
+	outs = coord.OnVote(2, v.Msg)
+	if len(outs) != 1 || outs[0].Msg.Commit {
+		t.Fatalf("decision after No vote = %+v", outs)
+	}
+	if len(res.flattened) != 0 {
+		t.Fatal("aborted rounds flattened something")
+	}
+}
+
+// TestVotesAfterDecisionIgnored: late votes for a decided (or timed-out)
+// transaction neither revive it nor decide it twice.
+func TestVotesAfterDecisionIgnored(t *testing.T) {
+	coord := NewCoordinator(1)
+	tx, _ := coord.Propose(ident.Path{}, vclock.VC{}, []ident.SiteID{2, 3}, 0, 100)
+	if !coord.InFlight(tx) {
+		t.Fatal("fresh proposal not in flight")
+	}
+	if outs := coord.Tick(250); len(outs) != 1 || outs[0].Msg.Commit {
+		t.Fatalf("timeout decision = %+v", outs)
+	}
+	if coord.InFlight(tx) {
+		t.Fatal("timed-out proposal still in flight")
+	}
+	if outs := coord.OnVote(2, Msg{Kind: Vote, Tx: tx, Yes: true}); outs != nil {
+		t.Fatalf("late vote decided: %+v", outs)
+	}
+	if outs := coord.OnVote(3, Msg{Kind: Vote, Tx: tx, Yes: false}); outs != nil {
+		t.Fatalf("late No vote decided: %+v", outs)
+	}
+	// Duplicate abort deliveries at a participant are harmless.
+	p := NewParticipant(2, &fakeResource{unedited: true})
+	_ = p.OnPrepare(Msg{Kind: Prepare, Tx: tx, Path: ident.Path{}})
+	for i := 0; i < 2; i++ {
+		if err := p.OnDecision(Msg{Kind: Decision, Tx: tx, Commit: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Locked() != 0 {
+		t.Fatal("lock survived the abort")
+	}
+}
+
 func TestDuplicateVotesIgnored(t *testing.T) {
 	coord := NewCoordinator(1)
 	_, prepares := coord.Propose(ident.Path{}, vclock.VC{}, []ident.SiteID{1, 2}, 0, 100)

@@ -117,6 +117,12 @@ func Restore(cfg Config, tree *doctree.Tree, seq uint64, counter uint32, version
 // Version returns a copy of the applied version vector.
 func (d *Document) Version() vclock.VC { return d.version.Clone() }
 
+// ErrRegionLocked reports a local edit blocked by an outstanding flatten
+// commitment vote on its region: a replica that voted Yes must not edit
+// the subtree until the decision arrives (internal/commit). Callers retry
+// after the commitment decides.
+var ErrRegionLocked = errors.New("core: region locked by pending flatten commitment")
+
 // ErrStaleSnapshot reports an InstallSnapshot whose version vector does
 // not dominate the replica's applied state: installing it would silently
 // discard operations the replica has already executed.
@@ -321,6 +327,10 @@ func (d *Document) apply(op Op) error {
 		if _, err := d.tree.DeleteID(op.ID, d.cfg.Mode == ident.UDIS); err != nil {
 			return err
 		}
+	case OpFlatten:
+		if err := d.tree.Flatten(op.ID); err != nil {
+			return err
+		}
 	}
 	if op.Seq > d.version.Get(op.Site) {
 		d.version[op.Site] = op.Seq
@@ -372,6 +382,39 @@ func (d *Document) EndRevision() ident.Path {
 
 // Revision returns the current revision number.
 func (d *Document) Revision() int64 { return d.revision }
+
+// ErrMintRaced reports a FlattenOp whose afterSeq precondition failed: a
+// local edit was minted between the caller's readiness check and the
+// flatten mint, so executing the flatten now would give it a sequence
+// number out of order with its causal stamp. The caller retries once the
+// racing edit has been stamped.
+var ErrMintRaced = errors.New("core: local edit raced the flatten mint")
+
+// FlattenOp executes a committed flatten as a local operation: the subtree
+// at the structural path (empty = whole document) is flattened and the
+// operation to propagate is returned. afterSeq is the local sequence
+// number the caller expects the replica to be at; a mismatch (a local
+// edit raced in) fails with ErrMintRaced before anything is modified —
+// the check and the mint are one atomic step from the caller's locked
+// view. Only the coordinator of a successful flatten commitment may call
+// this — the protocol establishes that no replica holds a concurrent
+// edit of the region — and the returned operation must be broadcast like
+// any insert or delete, so causal delivery orders it before every
+// post-flatten edit at every replica.
+func (d *Document) FlattenOp(path ident.Path, afterSeq uint64) (Op, error) {
+	if err := path.ValidateStructural(); err != nil {
+		return Op{}, err
+	}
+	if d.seq != afterSeq {
+		return Op{}, fmt.Errorf("core: flatten mint at seq %d, expected %d: %w", d.seq, afterSeq, ErrMintRaced)
+	}
+	d.seq++
+	op := Op{Kind: OpFlatten, ID: path.Clone(), Site: d.cfg.Site, Seq: d.seq}
+	if err := d.apply(op); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
 
 // FlattenSubtree flattens the subtree at the given structural path,
 // discarding tombstones and identifier metadata in the region. Callers are

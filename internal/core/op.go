@@ -27,6 +27,17 @@ const (
 	// OpDelete removes the atom with a given position identifier. Delete is
 	// idempotent and commutes with every concurrent operation.
 	OpDelete
+	// OpFlatten rewrites the subtree at a structural path as a flat atom
+	// array (Section 4.2's flatten). Unlike insert and delete it does NOT
+	// commute with concurrent edits of its region: it may only be issued by
+	// the coordinator of a successful flatten commitment (internal/commit,
+	// ported onto live links by internal/transport), which establishes that
+	// no such edit exists anywhere. Shipping the committed flatten as a
+	// stamped operation puts it in the causal stream, so every replica
+	// applies it before any operation issued after it — post-flatten edits
+	// reference post-flatten identifiers, and causal delivery guarantees
+	// the rename has happened first.
+	OpFlatten
 )
 
 // String returns the operation name.
@@ -36,6 +47,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpFlatten:
+		return "flatten"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -57,14 +70,20 @@ type Op struct {
 func (o Op) Validate() error {
 	switch o.Kind {
 	case OpInsert, OpDelete:
+		if err := o.ID.Validate(); err != nil {
+			return fmt.Errorf("core: invalid op id: %w", err)
+		}
+	case OpFlatten:
+		// A flatten targets a major node: its ID is a structural path (empty
+		// = the whole document), not an atom identifier.
+		if err := o.ID.ValidateStructural(); err != nil {
+			return fmt.Errorf("core: invalid flatten path: %w", err)
+		}
 	default:
 		return fmt.Errorf("core: invalid op kind %d", o.Kind)
 	}
-	if err := o.ID.Validate(); err != nil {
-		return fmt.Errorf("core: invalid op id: %w", err)
-	}
-	if o.Kind == OpDelete && o.Atom != "" {
-		return fmt.Errorf("core: delete op carries an atom")
+	if o.Kind != OpInsert && o.Atom != "" {
+		return fmt.Errorf("core: %s op carries an atom", o.Kind)
 	}
 	return nil
 }
@@ -85,7 +104,7 @@ func (o Op) String() string {
 	if o.Kind == OpInsert {
 		return fmt.Sprintf("insert%v %q by s%d#%d", o.ID, o.Atom, o.Site, o.Seq)
 	}
-	return fmt.Sprintf("delete%v by s%d#%d", o.ID, o.Site, o.Seq)
+	return fmt.Sprintf("%s%v by s%d#%d", o.Kind, o.ID, o.Site, o.Seq)
 }
 
 // AppendBinary appends the wire encoding of o to dst. Layout: kind byte,

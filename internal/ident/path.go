@@ -132,6 +132,27 @@ func (p Path) Validate() error {
 	return nil
 }
 
+// ValidateStructural checks that p is a well-formed structural path — one
+// designating a major node rather than an atom: the empty path (the root)
+// or a path of valid elements whose final element is a Major. Flatten
+// operations and subtree regions are addressed this way.
+func (p Path) ValidateStructural() error {
+	for i, e := range p {
+		if e.Bit > 1 {
+			return fmt.Errorf("ident: element %d has bit %d (want 0 or 1)", i, e.Bit)
+		}
+		switch e.Kind {
+		case Major, Mini:
+		default:
+			return fmt.Errorf("ident: element %d has invalid kind %d", i, e.Kind)
+		}
+	}
+	if len(p) > 0 && p.Last().Kind != Major {
+		return fmt.Errorf("ident: structural path must end with a major element")
+	}
+	return nil
+}
+
 // String renders the path in the paper's notation, e.g. "[10(0:s2)]" for
 // bits 1,0 followed by a mini element with bit 0 and disambiguator site 2.
 // Major elements print as bare bits; Mini elements as "(bit:dis)".

@@ -79,6 +79,14 @@ const (
 	// same barrier snapshot to the same peer again (covering the case
 	// where the first offer was dropped by a full queue).
 	snapResendAfter = time.Second
+	// defaultFlattenTimeout is the flatten commitment deadline (see
+	// WithFlattenTimeout).
+	defaultFlattenTimeout = 2 * time.Second
+	// snapAssemblyTTL bounds how long a partial chunked-snapshot
+	// reassembly is retained: a sender that stopped mid-sequence (or a
+	// dropped chunk) must not pin buffer memory forever. The snapshot is
+	// re-offered by the sender's own snapResendAfter pacing.
+	snapAssemblyTTL = 15 * time.Second
 )
 
 // Option configures an Engine.
@@ -159,17 +167,35 @@ func WithSnapshotThreshold(n int) Option {
 	}
 }
 
+// WithFlattenTimeout sets the flatten commitment deadline: a proposal
+// still missing votes after this long is aborted (presumed abort), and a
+// participant whose Yes-vote lock has waited this long starts re-sending
+// its vote to query the coordinator for the decision. Default 2s, raised
+// to five sync intervals when WithSyncInterval is longer.
+func WithFlattenTimeout(d time.Duration) Option {
+	return func(e *Engine) {
+		if d > 0 {
+			e.flattenTimeout = d
+		}
+	}
+}
+
 // command is one unit of work on the actor inbox. Exactly one field group
 // is set: local ops to stamp and broadcast, inbound remote messages, an
-// inbound digest or snapshot frame, or a control closure.
+// inbound digest, snapshot or flatten-commitment frame, or a control
+// closure.
 type command struct {
-	ops     []core.Op
-	msgs    []causal.Message
-	sync    *SyncReqFrame
-	snapReq *SnapReqFrame
-	snap    *SnapFrame
-	from    *peer
-	ctl     func()
+	ops       []core.Op
+	msgs      []causal.Message
+	sync      *SyncReqFrame
+	snapReq   *SnapReqFrame
+	snap      *SnapFrame
+	snapChunk *SnapChunkFrame
+	flatProp  *FlatProposeFrame
+	flatVote  *FlatVoteFrame
+	flatDec   *FlatDecisionFrame
+	from      *peer
+	ctl       func()
 }
 
 // Engine runs one replica's replication: causal delivery in, stamped
@@ -182,14 +208,19 @@ type Engine struct {
 	site       ident.SiteID
 	doc        Applier
 	snap       Snapshotter // doc, when it supports snapshots; else nil
+	flat       Flattener   // doc, when it supports coordinated flatten; else nil
 	batchSize  int
 	queueDepth int
 	syncEvery  time.Duration
+	// start anchors the engine's monotonic clock (sinceStart) used by the
+	// commitment deadlines and membership recency.
+	start time.Time
 
-	logDir        string
-	fsync         FsyncMode
-	compactEvery  int
-	snapThreshold int
+	logDir         string
+	fsync          FsyncMode
+	compactEvery   int
+	snapThreshold  int
+	flattenTimeout time.Duration
 
 	inbox chan command
 	done  chan struct{}
@@ -203,12 +234,15 @@ type Engine struct {
 	lifeMu  sync.Mutex
 	stopped bool
 
-	drops          atomic.Uint64
-	wireErrs       atomic.Uint64
-	pruned         atomic.Uint64
-	applied        atomic.Uint64
-	snapsSent      atomic.Uint64
-	snapsInstalled atomic.Uint64
+	drops             atomic.Uint64
+	wireErrs          atomic.Uint64
+	pruned            atomic.Uint64
+	applied           atomic.Uint64
+	snapsSent         atomic.Uint64
+	snapsInstalled    atomic.Uint64
+	flattensApplied   atomic.Uint64
+	flattensCommitted atomic.Uint64
+	flattensAborted   atomic.Uint64
 
 	// Actor-owned state: touched only from run().
 	buf    *causal.Buffer
@@ -239,6 +273,12 @@ type Engine struct {
 	sinceSnap int
 	// snapReqSent limits explicit snapshot requests to one per sync tick.
 	snapReqSent bool
+	// fl is the flatten commitment state (flatten.go); nil unless the
+	// replica implements Flattener.
+	fl *flattenState
+	// snapAsm holds in-progress chunked-snapshot reassemblies, keyed by the
+	// sending site (snapchunk handling in flatten.go's sibling code path).
+	snapAsm map[ident.SiteID]*snapAssembly
 
 	// firstErr outlives the actor so Err stays truthful after Stop.
 	errMu    sync.Mutex
@@ -268,13 +308,26 @@ func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) 
 		syncEvery:     defaultSyncInterval,
 		compactEvery:  defaultCompactEvery,
 		snapThreshold: defaultSnapThreshold,
+		start:         time.Now(),
 		done:          make(chan struct{}),
 		drained:       make(chan struct{}),
 		buf:           causal.NewBuffer(site),
 	}
 	e.snap, _ = doc.(Snapshotter)
+	e.flat, _ = doc.(Flattener)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.flattenTimeout <= 0 {
+		e.flattenTimeout = defaultFlattenTimeout
+		if min := 5 * e.syncEvery; e.flattenTimeout < min {
+			// Votes and in-doubt resends ride the anti-entropy tick, so the
+			// deadline must span several of them.
+			e.flattenTimeout = min
+		}
+	}
+	if e.flat != nil {
+		e.fl = newFlattenState(e)
 	}
 	if e.logDir != "" {
 		if err := e.openAndReplay(); err != nil {
@@ -316,8 +369,13 @@ func (e *Engine) openAndReplay() error {
 		clock = version
 		e.snapData, e.snapVC = data, snapClock.Clone()
 		// Nothing below the stored snapshot survives a restart, so the
-		// msgLog floor starts at the snapshot clock.
+		// msgLog floor starts at the snapshot clock — and so does the
+		// flatten vote's evaluation floor: edits below it no longer exist
+		// as records, so proposals must observe at least this much.
 		e.truncVC = snapClock.Clone()
+		if e.fl != nil {
+			e.fl.editFloor = snapClock.Clone()
+		}
 	}
 	replayErr := l.Replay(func(site ident.SiteID, seq uint64, body []byte) error {
 		if seq <= clock.Get(site) {
@@ -341,6 +399,17 @@ func (e *Engine) openAndReplay() error {
 		}
 		clock.Merge(m.TS)
 		e.msgLog = append(e.msgLog, m)
+		if e.fl != nil {
+			// Rebuild the vote bookkeeping exactly as the live path does: a
+			// replayed flatten resets the edit log and anchors the flatten
+			// clock; everything after it is an edit a future vote must see.
+			if op.Kind == core.OpFlatten {
+				e.fl.flattenVC = clock.Clone()
+				e.fl.editLog = e.fl.editLog[:0]
+			} else {
+				e.fl.editLog = append(e.fl.editLog, editRec{site: op.Site, seq: op.Seq, id: op.ID})
+			}
+		}
 		return nil
 	})
 	if replayErr != nil {
@@ -380,6 +449,20 @@ func (e *Engine) SnapshotsSent() uint64 { return e.snapsSent.Load() }
 // SnapshotsInstalled counts snapshot catch-up frames installed into the
 // replica.
 func (e *Engine) SnapshotsInstalled() uint64 { return e.snapsInstalled.Load() }
+
+// FlattensApplied counts committed flattens applied to this replica —
+// minted here as coordinator or delivered through the causal stream.
+func (e *Engine) FlattensApplied() uint64 { return e.flattensApplied.Load() }
+
+// FlattensCommitted counts flatten proposals this engine coordinated to a
+// commit decision.
+func (e *Engine) FlattensCommitted() uint64 { return e.flattensCommitted.Load() }
+
+// FlattensAborted counts flatten proposals this engine coordinated to an
+// abort — a replica voted No (it observed a conflicting edit) or the
+// deadline passed with votes missing. Aborts are harmless; propose again
+// once the region quiesces.
+func (e *Engine) FlattensAborted() uint64 { return e.flattensAborted.Load() }
 
 // Broadcast stamps local operations and queues them for delivery to every
 // peer. Ops must be passed in generation order; per-replica local edits
@@ -517,8 +600,10 @@ func (e *Engine) run() {
 					break drain
 				}
 			}
+			e.mintPendingFlattens()
 			e.flush()
 		case <-ticker.C:
+			e.flattenTick()
 			e.flush()
 			e.maybeCompact()
 			e.promoteFloor()
@@ -538,9 +623,14 @@ func (e *Engine) run() {
 				}
 				break
 			}
+			e.mintPendingFlattens()
 			e.flush()
 			// Frames are in the peer queues; let the writers drain them.
 			close(e.drained)
+			// A stopped engine can never receive a decision, so any lock an
+			// open vote holds would freeze its region forever; release them
+			// (the coordinator's timeout aborts the orphaned transaction).
+			e.releaseAllLocks()
 			if e.log != nil {
 				if err := e.log.Close(); err != nil {
 					e.setErr(err)
@@ -560,6 +650,9 @@ func (e *Engine) handle(cmd command) {
 			m := e.buf.Stamp(op)
 			e.record(m)
 			e.batch = append(e.batch, m)
+			if e.fl != nil {
+				e.onLocalOpStamped(op)
+			}
 			if len(e.batch) >= e.batchSize {
 				e.flush()
 			}
@@ -569,11 +662,21 @@ func (e *Engine) handle(cmd command) {
 			e.ingest(m)
 		}
 	case cmd.sync != nil:
+		e.noteSite(cmd.sync.From)
 		e.handleSyncReq(cmd.sync, cmd.from)
 	case cmd.snapReq != nil:
+		e.noteSite(cmd.snapReq.From)
 		e.handleSnapReq(cmd.snapReq, cmd.from)
 	case cmd.snap != nil:
 		e.handleSnap(cmd.snap)
+	case cmd.snapChunk != nil:
+		e.handleSnapChunk(cmd.snapChunk)
+	case cmd.flatProp != nil:
+		e.handleFlatPropose(cmd.flatProp)
+	case cmd.flatVote != nil:
+		e.handleFlatVote(cmd.flatVote, cmd.from)
+	case cmd.flatDec != nil:
+		e.handleFlatDecision(cmd.flatDec)
 	}
 }
 
@@ -630,6 +733,9 @@ func (e *Engine) deliver(msgs []causal.Message) {
 			continue
 		}
 		e.applied.Add(1)
+		if e.fl != nil {
+			e.onRemoteOpDelivered(op)
+		}
 	}
 }
 
@@ -760,6 +866,7 @@ func (e *Engine) adoptBarrier(data []byte, version, floor vclock.VC) {
 	if floor != nil {
 		e.truncVC = floor.Clone()
 		e.truncateMsgLog(floor)
+		e.pruneEditLog(floor)
 	}
 	e.sinceSnap = 0
 	for _, m := range e.msgLog {
@@ -802,6 +909,7 @@ func (e *Engine) promoteFloor() {
 		}
 	}
 	e.truncateMsgLog(e.truncVC)
+	e.pruneEditLog(e.truncVC)
 }
 
 // floorDelay is how long the serving barrier ages before the floor
@@ -861,10 +969,12 @@ func (e *Engine) ensureBarrier() bool {
 	return e.compactNow()
 }
 
-// sendSnapshot queues the barrier snapshot to one peer. The same barrier
-// is offered to the same peer at most once per snapResendAfter: repeated
-// digests from a catching-up peer must not draw a snapshot per tick, but
-// an offer lost to a full queue is eventually repeated.
+// sendSnapshot queues the barrier snapshot to one peer — in one kindSnap
+// frame normally, or as a kindSnapChunk sequence when the snapshot
+// outgrows MaxSnapFrameSize. The same barrier is offered to the same peer
+// at most once per snapResendAfter: repeated digests from a catching-up
+// peer must not draw a snapshot per tick, but an offer lost to a full
+// queue is eventually repeated.
 func (e *Engine) sendSnapshot(to *peer) {
 	if e.snapData == nil || to.dead() {
 		return
@@ -872,14 +982,60 @@ func (e *Engine) sendSnapshot(to *peer) {
 	if to.lastSnapVC != nil && vcEqual(to.lastSnapVC, e.snapVC) && time.Since(to.lastSnapAt) < snapResendAfter {
 		return
 	}
-	frame, err := EncodeSnapReply(e.site, e.snapVC, e.snapData)
-	if err != nil {
-		e.wireErrs.Add(1)
-		return
+	if len(e.snapData) > snapChunkThreshold {
+		e.sendSnapshotChunked(to)
+	} else {
+		frame, err := EncodeSnapReply(e.site, e.snapVC, e.snapData)
+		if err != nil {
+			// Near-threshold snapshot whose headers (a wide version vector)
+			// pushed the frame over the limit: chunk it instead.
+			e.sendSnapshotChunked(to)
+		} else {
+			to.trySend(frame)
+		}
 	}
-	to.trySend(frame)
 	to.lastSnapVC, to.lastSnapAt = e.snapVC, time.Now()
 	e.snapsSent.Add(1)
+}
+
+// sendSnapshotChunked slices the barrier snapshot into kindSnapChunk
+// frames, paced by a dedicated sender goroutine that sends blocking into
+// the peer queue: the receiver's reassembly is strictly in-order, so a
+// chunk dropped by a full queue would void the whole sequence — and a
+// queue shallower than the chunk count would void every offer, forever.
+// Blocking also bounds the memory in flight to the queue depth; only one
+// chunk is encoded at a time. At most one sequence runs per peer; the
+// snapshot slice is immutable once adopted, so the goroutine reads it
+// safely after the actor has moved on.
+func (e *Engine) sendSnapshotChunked(to *peer) {
+	if !to.chunking.CompareAndSwap(false, true) {
+		return // a sequence is already in flight to this peer
+	}
+	data, version := e.snapData, e.snapVC.Clone()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer to.chunking.Store(false)
+		total := uint64(len(data))
+		for off := uint64(0); off < total; off += uint64(snapChunkPayload) {
+			end := off + uint64(snapChunkPayload)
+			if end > total {
+				end = total
+			}
+			frame, err := EncodeSnapChunk(e.site, version, total, off, data[off:end])
+			if err != nil {
+				e.wireErrs.Add(1)
+				return
+			}
+			select {
+			case to.out <- frame:
+			case <-to.gone:
+				return
+			case <-e.done:
+				return
+			}
+		}
+	}()
 }
 
 // sendMissing queues every retained message the clock does not cover,
@@ -1001,6 +1157,9 @@ type peer struct {
 	// lastSnapVC/lastSnapAt rate-limit snapshot offers (actor-owned).
 	lastSnapVC vclock.VC
 	lastSnapAt time.Time
+	// chunking guards the single in-flight chunked-snapshot sequence to
+	// this peer (set by the actor, cleared by the sender goroutine).
+	chunking atomic.Bool
 }
 
 // fail marks the peer dead, which stops its writer and makes closer tear
@@ -1103,6 +1262,14 @@ func (p *peer) reader() {
 			cmd = command{snapReq: f, from: p}
 		case *SnapFrame:
 			cmd = command{snap: f, from: p}
+		case *SnapChunkFrame:
+			cmd = command{snapChunk: f, from: p}
+		case *FlatProposeFrame:
+			cmd = command{flatProp: f, from: p}
+		case *FlatVoteFrame:
+			cmd = command{flatVote: f, from: p}
+		case *FlatDecisionFrame:
+			cmd = command{flatDec: f, from: p}
 		default:
 			continue
 		}

@@ -1,0 +1,562 @@
+package transport_test
+
+// Engine-coordinated flatten over live links: the commitment protocol
+// (internal/commit) driven from the engine actor over real transports.
+// The headline test is the acceptance scenario for this subsystem: a
+// 3-replica TCP mesh with writers that keep editing while cold-subtree
+// flattens are proposed, at least one commit, byte-identical convergence,
+// and a post-flatten joiner that catches up from the flatten-epoch
+// snapshot without replaying pre-flatten operations. Run under
+// `go test -race`.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/treedoc/treedoc"
+	"github.com/treedoc/treedoc/internal/transport"
+)
+
+type flatSite struct {
+	id  treedoc.SiteID
+	buf *treedoc.TextBuffer
+	eng *treedoc.Engine
+}
+
+func newFlatSite(t testing.TB, id treedoc.SiteID, opts ...treedoc.EngineOption) *flatSite {
+	t.Helper()
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []treedoc.EngineOption{
+		treedoc.WithSyncInterval(15 * time.Millisecond),
+		treedoc.WithFlattenTimeout(250 * time.Millisecond),
+	}
+	eng, err := treedoc.NewEngine(id, buf, append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &flatSite{id: id, buf: buf, eng: eng}
+}
+
+// tcpPair returns the two ends of one real TCP loopback connection,
+// framed as engine links.
+func tcpPair(t testing.TB) (treedoc.Link, treedoc.Link) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- accepted{conn, err}
+	}()
+	dialSide, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	return transport.NewTCPLink(dialSide), transport.NewTCPLink(acc.conn)
+}
+
+// meshTCP wires every pair of sites with its own TCP loopback connection.
+func meshTCP(t testing.TB, sites []*flatSite) {
+	t.Helper()
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			a, b := tcpPair(t)
+			sites[i].eng.Connect(a)
+			sites[j].eng.Connect(b)
+		}
+	}
+}
+
+func meshChan(sites []*flatSite) {
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			a, b := treedoc.NewChanPair(128)
+			sites[i].eng.Connect(a)
+			sites[j].eng.Connect(b)
+		}
+	}
+}
+
+func stopFlatSites(sites []*flatSite) {
+	for _, s := range sites {
+		s.eng.Stop()
+	}
+}
+
+// waitContentEqual polls until every replica holds identical, non-empty
+// bytes and every engine's delivered clock matches every other's.
+func waitContentEqual(t testing.TB, sites []*flatSite, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		equal := true
+		want := sites[0].buf.String()
+		for _, s := range sites[1:] {
+			if s.buf.String() != want {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			base := sites[0].eng.Clock()
+			for _, s := range sites[1:] {
+				c := s.eng.Clock()
+				if c == nil || base == nil || !c.Dominates(base) || !base.Dominates(c) {
+					equal = false
+					break
+				}
+			}
+		}
+		if equal {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, s := range sites {
+				t.Logf("site %d: clock %v len %d applied %d flattens %d",
+					s.id, s.eng.Clock(), s.buf.Len(), s.eng.Applied(), s.eng.FlattensApplied())
+			}
+			t.Fatal("replicas did not converge within deadline")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+func checkFlatSites(t testing.TB, sites []*flatSite) {
+	t.Helper()
+	for _, s := range sites {
+		if err := s.buf.Doc().Check(); err != nil {
+			t.Fatalf("site %d invariants: %v", s.id, err)
+		}
+		if err := s.eng.Err(); err != nil {
+			t.Fatalf("site %d engine error: %v", s.id, err)
+		}
+	}
+}
+
+// broadcast is a must-style edit helper.
+func (s *flatSite) broadcast(t testing.TB, ops []treedoc.Op, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("site %d edit: %v", s.id, err)
+	}
+	if err := s.eng.Broadcast(ops...); err != nil {
+		t.Fatalf("site %d broadcast: %v", s.id, err)
+	}
+}
+
+// TestFlattenWholeDocCommitsOnQuiescentMesh is the transport twin of the
+// simulator's flattenfleet scenario: seed a document with tombstone
+// churn, quiesce, propose a whole-document flatten, and watch the commit
+// reduce every replica to a zero-overhead array.
+func TestFlattenWholeDocCommitsOnQuiescentMesh(t *testing.T) {
+	sites := []*flatSite{newFlatSite(t, 1), newFlatSite(t, 2), newFlatSite(t, 3)}
+	defer stopFlatSites(sites)
+	meshChan(sites)
+
+	ops, err := sites[0].buf.Append("the quick brown fox jumps over the lazy dog")
+	sites[0].broadcast(t, ops, err)
+	waitContentEqual(t, sites, 20*time.Second)
+	ops, err = sites[1].buf.Delete(0, 10) // tombstones under SDIS
+	sites[1].broadcast(t, ops, err)
+	waitContentEqual(t, sites, 20*time.Second)
+
+	before := sites[0].buf.Stats()
+	if before.Tree.DeadMinis == 0 {
+		t.Fatal("seed phase left no tombstones to collect")
+	}
+	if err := sites[0].eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for _, s := range sites {
+			if s.eng.FlattensApplied() == 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flatten did not commit: committed=%d aborted=%d",
+				sites[0].eng.FlattensCommitted(), sites[0].eng.FlattensAborted())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitContentEqual(t, sites, 20*time.Second)
+	checkFlatSites(t, sites)
+	if got := sites[0].eng.FlattensCommitted(); got != 1 {
+		t.Fatalf("FlattensCommitted = %d, want 1", got)
+	}
+	for _, s := range sites {
+		st := s.buf.Stats()
+		if st.Tree.DeadMinis != 0 || st.Tree.MemBytes != 0 {
+			t.Fatalf("site %d not flattened: %d tombstones, %d overhead bytes",
+				s.id, st.Tree.DeadMinis, st.Tree.MemBytes)
+		}
+	}
+}
+
+// TestFlattenAbortsOnInFlightLocalEdit pins the vote rule that makes the
+// port safe without intercepting local edits: an edit applied to the
+// replica but not yet stamped by the actor forces a No vote. The edit is
+// deliberately held un-broadcast, so the abort is deterministic.
+func TestFlattenAbortsOnInFlightLocalEdit(t *testing.T) {
+	sites := []*flatSite{newFlatSite(t, 1), newFlatSite(t, 2)}
+	defer stopFlatSites(sites)
+	meshChan(sites)
+
+	ops, err := sites[0].buf.Append("stable prefix")
+	sites[0].broadcast(t, ops, err)
+	waitContentEqual(t, sites, 20*time.Second)
+
+	// Site 2 edits but does not broadcast yet: applied version is now ahead
+	// of the delivered clock at site 2.
+	held, err := sites[1].buf.Append("!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sites[0].eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for sites[0].eng.FlattensAborted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("proposal against an in-flight edit did not abort")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := sites[0].eng.FlattensApplied() + sites[1].eng.FlattensApplied(); got != 0 {
+		t.Fatalf("aborted flatten applied %d times", got)
+	}
+
+	// Release the held edit; a retry on the quiesced document commits.
+	if err := sites[1].eng.Broadcast(held...); err != nil {
+		t.Fatal(err)
+	}
+	waitContentEqual(t, sites, 20*time.Second)
+	if err := sites[0].eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for sites[0].eng.FlattensApplied() == 0 || sites[1].eng.FlattensApplied() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retry did not commit: committed=%d aborted=%d",
+				sites[0].eng.FlattensCommitted(), sites[0].eng.FlattensAborted())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitContentEqual(t, sites, 20*time.Second)
+	checkFlatSites(t, sites)
+}
+
+// applierOnly hides every replica capability except Apply, modelling a
+// peer that cannot vote.
+type applierOnly struct{ buf *treedoc.TextBuffer }
+
+func (a applierOnly) Apply(op treedoc.Op) error { return a.buf.Apply(op) }
+
+// TestFlattenLockBlocksEditsUntilTimeoutAbort: a coordinator's own Yes
+// vote freezes the region; with a voteless peer the round can only die by
+// deadline, which must release the freeze.
+func TestFlattenLockBlocksEditsUntilTimeoutAbort(t *testing.T) {
+	s1 := newFlatSite(t, 1)
+	defer s1.eng.Stop()
+	peerBuf, err := treedoc.NewTextBuffer(treedoc.WithSite(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := treedoc.NewEngine(2, applierOnly{peerBuf},
+		treedoc.WithSyncInterval(15*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Stop()
+	a, b := treedoc.NewChanPair(128)
+	s1.eng.Connect(a)
+	peer.Connect(b)
+
+	ops, err := s1.buf.Append("content to freeze")
+	s1.broadcast(t, ops, err)
+	// Let the peer's digests register it as a participant, so the round
+	// cannot commit on the coordinator's vote alone.
+	deadline := time.Now().Add(10 * time.Second)
+	for peer.Applied() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never received the seed ops")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := s1.eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the actor cast its own vote
+	if _, err := s1.buf.Append("blocked"); !errors.Is(err, treedoc.ErrRegionLocked) {
+		t.Fatalf("edit during open vote: err = %v, want ErrRegionLocked", err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for s1.eng.FlattensAborted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("voteless round did not abort by deadline")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The freeze must be gone after the abort.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		ops, err := s1.buf.Append(" released")
+		if err == nil {
+			if err := s1.eng.Broadcast(ops...); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if !errors.Is(err, treedoc.ErrRegionLocked) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("region still frozen after abort")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := s1.eng.FlattensApplied(); got != 0 {
+		t.Fatalf("FlattensApplied = %d after abort-only run", got)
+	}
+}
+
+// TestFlattenCommitsUnderConcurrentWritersTCPMesh is the acceptance
+// scenario: three replicas on a real TCP loopback mesh, writers that keep
+// appending while cold-subtree flattens are proposed until one commits,
+// byte-identical convergence afterwards, and a fourth replica that joins
+// post-flatten and catches up via the flatten-epoch snapshot without
+// replaying pre-flatten operations.
+func TestFlattenCommitsUnderConcurrentWritersTCPMesh(t *testing.T) {
+	snapOpt := treedoc.WithSnapshotThreshold(64)
+	sites := []*flatSite{
+		newFlatSite(t, 1, snapOpt),
+		newFlatSite(t, 2, snapOpt),
+		newFlatSite(t, 3, snapOpt),
+	}
+	defer stopFlatSites(sites)
+	meshTCP(t, sites)
+
+	// Seed history: a block of text, then heavy front churn so the early
+	// region is tombstone-rich — the flatten's payoff.
+	for i := 0; i < 30; i++ {
+		ops, err := sites[0].buf.Append("all work and no play makes treedoc a dull doc\n")
+		sites[0].broadcast(t, ops, err)
+	}
+	waitContentEqual(t, sites, 30*time.Second)
+	for i := 0; i < 20; i++ {
+		ops, err := sites[1].buf.Delete(0, 20)
+		sites[1].broadcast(t, ops, err)
+	}
+	waitContentEqual(t, sites, 30*time.Second)
+
+	// Writers keep appending at the tail for the whole flatten phase.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range sites {
+		wg.Add(1)
+		go func(s *flatSite) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops, err := s.buf.Append("+tail")
+				if err != nil {
+					if errors.Is(err, treedoc.ErrRegionLocked) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					t.Errorf("site %d writer: %v", s.id, err)
+					return
+				}
+				if err := s.eng.Broadcast(ops...); err != nil {
+					t.Errorf("site %d writer: %v", s.id, err)
+					return
+				}
+				// A human-ish cadence: continuous editing, but with room for
+				// the actor to stamp each burst — on a single-CPU -race run a
+				// tighter loop would keep every vote's applied-version check
+				// behind and starve the commitment of Yes votes.
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(s)
+	}
+
+	// Propose cold-subtree flattens from site 1 until one commits. The
+	// writers only touch the tail, so the churned front goes cold as the
+	// revision clock advances; any proposal that races an in-flight edit
+	// aborts harmlessly and is retried.
+	committed := false
+	proposeDeadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(proposeDeadline) {
+		sites[0].buf.EndRevision()
+		before := sites[0].eng.FlattensCommitted() + sites[0].eng.FlattensAborted()
+		ok, err := sites[0].eng.ProposeFlattenCold(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		// Wait for this round to decide, then retry immediately on abort.
+		for sites[0].eng.FlattensCommitted()+sites[0].eng.FlattensAborted() == before &&
+			time.Now().Before(proposeDeadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if sites[0].eng.FlattensCommitted() > 0 {
+			committed = true
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if !committed {
+		t.Fatalf("no flatten committed while writers ran: aborted=%d",
+			sites[0].eng.FlattensAborted())
+	}
+
+	waitContentEqual(t, sites, 60*time.Second)
+	checkFlatSites(t, sites)
+	for _, s := range sites {
+		if s.eng.FlattensApplied() == 0 {
+			t.Fatalf("site %d never applied the committed flatten", s.id)
+		}
+	}
+	t.Logf("flatten committed with writers live: committed=%d aborted=%d applied=[%d %d %d]",
+		sites[0].eng.FlattensCommitted(), sites[0].eng.FlattensAborted(),
+		sites[0].eng.FlattensApplied(), sites[1].eng.FlattensApplied(), sites[2].eng.FlattensApplied())
+
+	// Post-flatten joiner: catches up via the flatten-epoch snapshot.
+	var totalOps uint64
+	for _, n := range sites[0].eng.Clock() {
+		totalOps += n
+	}
+	joiner := newFlatSite(t, 4, snapOpt)
+	defer joiner.eng.Stop()
+	ja, jb := tcpPair(t)
+	sites[0].eng.Connect(ja)
+	joiner.eng.Connect(jb)
+	all := append(append([]*flatSite(nil), sites...), joiner)
+	waitContentEqual(t, all, 60*time.Second)
+	checkFlatSites(t, all)
+
+	if got := joiner.eng.SnapshotsInstalled(); got == 0 {
+		t.Fatal("joiner caught up without a snapshot")
+	}
+	if got := joiner.eng.FlattensApplied(); got != 0 {
+		t.Fatalf("joiner replayed %d pre-snapshot flattens; the flatten epoch should be inside the snapshot", got)
+	}
+	if applied := joiner.eng.Applied(); applied >= totalOps {
+		t.Fatalf("joiner replayed %d ops of %d total; snapshot catch-up should skip the pre-flatten history", applied, totalOps)
+	}
+	t.Logf("joiner: %d snapshot(s), %d ops replayed of %d total", joiner.eng.SnapshotsInstalled(), joiner.eng.Applied(), totalOps)
+}
+
+// TestFlattenSurvivesRestartFromLog: a committed flatten is an operation
+// in the durable log, so a replica restarted over its log directory
+// replays it at the right point and resumes with the flattened state.
+func TestFlattenSurvivesRestartFromLog(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newFlatSite(t, 1, treedoc.WithLogDir(dir))
+	s2 := newFlatSite(t, 2)
+	defer s2.eng.Stop()
+	a, b := treedoc.NewChanPair(128)
+	s1.eng.Connect(a)
+	s2.eng.Connect(b)
+
+	ops, err := s1.buf.Append("durable flatten target 0123456789")
+	s1.broadcast(t, ops, err)
+	pair := []*flatSite{s1, s2}
+	waitContentEqual(t, pair, 20*time.Second)
+	ops, err = s2.buf.Delete(0, 8)
+	s2.broadcast(t, ops, err)
+	waitContentEqual(t, pair, 20*time.Second)
+
+	if err := s1.eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for s1.eng.FlattensApplied() == 0 || s2.eng.FlattensApplied() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flatten did not commit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ops, err = s1.buf.Append(" +after")
+	s1.broadcast(t, ops, err)
+	waitContentEqual(t, pair, 20*time.Second)
+	want := s1.buf.String()
+	s1.eng.Stop()
+
+	// Restart over the same directory with a fresh replica.
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := treedoc.NewEngine(1, buf,
+		treedoc.WithLogDir(dir),
+		treedoc.WithSyncInterval(15*time.Millisecond),
+		treedoc.WithFlattenTimeout(250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := &flatSite{id: 1, buf: buf, eng: eng}
+	defer eng.Stop()
+	if got := buf.String(); got != want {
+		t.Fatalf("restart lost the flattened state:\n got %q\nwant %q", got, want)
+	}
+	if err := buf.Doc().Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted replica still coordinates flattens.
+	a2, b2 := treedoc.NewChanPair(128)
+	eng.Connect(a2)
+	s2.eng.Connect(b2)
+	pair = []*flatSite{restarted, s2}
+	ops, err = s2.buf.Delete(0, 4)
+	s2.broadcast(t, ops, err)
+	waitContentEqual(t, pair, 20*time.Second)
+	if err := eng.ProposeFlatten(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for eng.FlattensApplied() == 0 || s2.eng.FlattensApplied() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("post-restart flatten did not commit: committed=%d aborted=%d",
+				eng.FlattensCommitted(), eng.FlattensAborted())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitContentEqual(t, pair, 20*time.Second)
+	checkFlatSites(t, pair)
+}

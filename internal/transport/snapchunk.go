@@ -1,0 +1,82 @@
+package transport
+
+// Chunked snapshot catch-up: a document snapshot that outgrows a single
+// kindSnap frame (MaxSnapFrameSize) is sliced into kindSnapChunk frames
+// and reassembled at the receiver, then installed exactly as if one frame
+// had arrived. Chunks are consumed strictly in offset order — links
+// deliver frames in order, and a chunk lost to a full queue voids the
+// reassembly, which restarts when the sender re-offers the snapshot after
+// snapResendAfter.
+
+import (
+	"time"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// Chunking knobs. Variables rather than constants so the chunked path is
+// testable without 64 MiB documents; production values never change.
+var (
+	// snapChunkThreshold is the snapshot size above which sendSnapshot
+	// switches to kindSnapChunk frames: the largest payload that, with
+	// frame headers, still fits one kindSnap frame.
+	snapChunkThreshold = MaxSnapFrameSize - 4096
+	// snapChunkPayload is the data carried per chunk frame.
+	snapChunkPayload = 32 << 20
+)
+
+// snapAssembly is one in-progress chunked-snapshot reassembly.
+type snapAssembly struct {
+	version vclock.VC
+	total   uint64
+	buf     []byte
+	// lastChunk is refreshed on every accepted chunk: the GC must void
+	// stalled assemblies, not slow ones — a multi-gigabyte transfer may
+	// legitimately take far longer than the TTL end to end.
+	lastChunk time.Time
+}
+
+// handleSnapChunk consumes one chunk. Out-of-sequence chunks (a different
+// snapshot version, a mismatched total, or a gap from a dropped frame)
+// void the assembly; only a chunk at offset 0 starts a new one. The
+// buffer grows with the data actually received, so a hostile total
+// cannot force a large allocation up front.
+func (e *Engine) handleSnapChunk(f *SnapChunkFrame) {
+	if e.snap == nil || f.From == e.site {
+		return
+	}
+	if e.buf.Clock().Dominates(f.Version) {
+		delete(e.snapAsm, f.From) // already covered: duplicate or stale
+		return
+	}
+	asm := e.snapAsm[f.From]
+	if asm == nil || !vcEqual(asm.version, f.Version) || asm.total != f.Total || uint64(len(asm.buf)) != f.Offset {
+		delete(e.snapAsm, f.From)
+		if f.Offset != 0 {
+			return
+		}
+		if e.snapAsm == nil {
+			e.snapAsm = make(map[ident.SiteID]*snapAssembly)
+		}
+		asm = &snapAssembly{version: f.Version.Clone(), total: f.Total}
+		e.snapAsm[f.From] = asm
+	}
+	asm.buf = append(asm.buf, f.Data...)
+	asm.lastChunk = time.Now()
+	if uint64(len(asm.buf)) >= asm.total {
+		delete(e.snapAsm, f.From)
+		e.handleSnap(&SnapFrame{From: f.From, Version: asm.version, Data: asm.buf})
+	}
+}
+
+// gcSnapAssemblies drops reassemblies that stalled (their sender stopped,
+// or a chunk was lost and no re-offer arrived), bounding the memory
+// partial snapshots can pin.
+func (e *Engine) gcSnapAssemblies() {
+	for s, asm := range e.snapAsm {
+		if time.Since(asm.lastChunk) > snapAssemblyTTL {
+			delete(e.snapAsm, s)
+		}
+	}
+}

@@ -32,6 +32,31 @@ const (
 	// causal clock; the log suffix above the version arrives as ordinary
 	// kindOps frames.
 	kindSnap = 0x04
+	// kindFlatPropose opens a flatten commitment round (the Prepare of the
+	// paper's Section 4.2.1 protocol): the coordinator names the subtree to
+	// flatten and its delivered clock at proposal time. Every replica that
+	// receives it votes. Commitment frames are addressed by site id and
+	// relayed unmodified (a hub fans them out like any frame); unlike
+	// operations they are not retained for anti-entropy — a lost frame is
+	// healed by the protocol's timeout-and-resend paths, not retransmission.
+	kindFlatPropose = 0x05
+	// kindFlatVote answers a proposal: Yes (the region is unedited beyond
+	// the coordinator's clock and now locked) or No. Participants re-send
+	// Yes votes while a lock is in doubt; the coordinator answers re-sent
+	// votes for decided transactions from its decision memory.
+	kindFlatVote = 0x06
+	// kindFlatDecision closes a round. Abort releases participant locks and
+	// has no other effect ("causing no harm"). A commit decision frame only
+	// announces the outcome: the flatten itself travels as a stamped
+	// OpFlatten operation in the causal stream, so every replica applies it
+	// after everything it causally follows and before everything that
+	// causally follows it.
+	kindFlatDecision = 0x07
+	// kindSnapChunk carries one slice of a snapshot too large for a single
+	// kindSnap frame (> MaxSnapFrameSize): the receiver reassembles slices
+	// in offset order and installs the whole as if one kindSnap frame had
+	// arrived.
+	kindSnapChunk = 0x08
 )
 
 // Wire limits. Frames above the per-kind size limit are refused on read
@@ -48,11 +73,15 @@ const (
 	maxBatch = 1 << 16
 	// maxClockEntries bounds the sites in one encoded vector clock.
 	maxClockEntries = 1 << 12
+	// MaxSnapshotSize bounds a chunked snapshot's total reassembled size:
+	// the ceiling a hostile kindSnapChunk total can make a receiver
+	// allocate towards.
+	MaxSnapshotSize = 1 << 31
 )
 
 // frameSizeLimit returns the size ceiling for a frame of the given kind.
 func frameSizeLimit(kind byte) int {
-	if kind == kindSnap {
+	if kind == kindSnap || kind == kindSnapChunk {
 		return MaxSnapFrameSize
 	}
 	return MaxFrameSize
@@ -82,6 +111,50 @@ type SnapFrame struct {
 	From    ident.SiteID
 	Version vclock.VC
 	Data    []byte
+}
+
+// SnapChunkFrame is a decoded kindSnapChunk frame: one offset-addressed
+// slice of a snapshot whose total size exceeds MaxSnapFrameSize. Version
+// identifies the snapshot being assembled; Total is its full size.
+type SnapChunkFrame struct {
+	From    ident.SiteID
+	Version vclock.VC
+	Total   uint64
+	Offset  uint64
+	Data    []byte
+}
+
+// FlatProposeFrame is a decoded kindFlatPropose frame: the coordinator
+// From asks every receiver to vote on flattening the subtree at Path, as
+// transaction (From, N), given the coordinator's delivered clock Obs.
+type FlatProposeFrame struct {
+	From ident.SiteID
+	N    uint64
+	Path ident.Path
+	Obs  vclock.VC
+}
+
+// FlatVoteFrame is a decoded kindFlatVote frame: participant From's vote
+// on transaction (Coord, N). Receivers other than Coord ignore it.
+type FlatVoteFrame struct {
+	From  ident.SiteID
+	Coord ident.SiteID
+	N     uint64
+	Yes   bool
+}
+
+// FlatDecisionFrame is a decoded kindFlatDecision frame: coordinator
+// From's decision for transaction (From, N) over the subtree at Path.
+// For a commit, Seq is the coordinator's sequence number of the OpFlatten
+// that executes it: a participant holding a Yes-vote lock releases it
+// once its clock covers (From, Seq) — whether the operation arrived as an
+// op frame or was absorbed into an installed snapshot. Zero for aborts.
+type FlatDecisionFrame struct {
+	From   ident.SiteID
+	N      uint64
+	Commit bool
+	Seq    uint64
+	Path   ident.Path
 }
 
 // appendVC appends a vector clock in the canonical vclock encoding
@@ -213,9 +286,98 @@ func EncodeSnapReply(from ident.SiteID, version vclock.VC, data []byte) ([]byte,
 	return buf, nil
 }
 
+// EncodeSnapChunk encodes one slice of an oversized snapshot. The caller
+// slices data so every frame stays within MaxSnapFrameSize.
+func EncodeSnapChunk(from ident.SiteID, version vclock.VC, total, offset uint64, data []byte) ([]byte, error) {
+	buf := []byte{kindSnapChunk}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = appendVC(buf, version)
+	buf = binary.AppendUvarint(buf, total)
+	buf = binary.AppendUvarint(buf, offset)
+	buf = append(buf, data...)
+	if len(buf) > MaxSnapFrameSize {
+		return nil, fmt.Errorf("transport: snap chunk frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// EncodeFlatPropose encodes a flatten commitment proposal frame.
+func EncodeFlatPropose(from ident.SiteID, n uint64, path ident.Path, obs vclock.VC) ([]byte, error) {
+	buf := []byte{kindFlatPropose}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, n)
+	buf = path.AppendBinary(buf)
+	buf = appendVC(buf, obs)
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: flatten propose frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// EncodeFlatVote encodes a flatten commitment vote frame.
+func EncodeFlatVote(from, coord ident.SiteID, n uint64, yes bool) ([]byte, error) {
+	buf := []byte{kindFlatVote}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, uint64(coord))
+	buf = binary.AppendUvarint(buf, n)
+	var y byte
+	if yes {
+		y = 1
+	}
+	buf = append(buf, y)
+	return buf, nil
+}
+
+// EncodeFlatDecision encodes a flatten commitment decision frame. For
+// commits, seq is the stamped OpFlatten's sequence number; zero for
+// aborts.
+func EncodeFlatDecision(from ident.SiteID, n uint64, commit bool, seq uint64, path ident.Path) ([]byte, error) {
+	buf := []byte{kindFlatDecision}
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, n)
+	var c byte
+	if commit {
+		c = 1
+	}
+	buf = append(buf, c)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = path.AppendBinary(buf)
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: flatten decision frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// decodeSite decodes one uvarint site id from the front of buf, validating
+// its range.
+func decodeSite(buf []byte, what string) (ident.SiteID, int, error) {
+	s, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return 0, 0, fmt.Errorf("transport: truncated %s", what)
+	}
+	if s == 0 || ident.SiteID(s) > ident.MaxSiteID {
+		return 0, 0, fmt.Errorf("transport: %s %d out of range", what, s)
+	}
+	return ident.SiteID(s), off, nil
+}
+
+// decodeStructuralPath decodes and validates a flatten subtree path.
+func decodeStructuralPath(buf []byte) (ident.Path, int, error) {
+	path, n, err := ident.DecodePath(buf)
+	if err != nil {
+		return nil, 0, fmt.Errorf("transport: flatten path: %w", err)
+	}
+	if err := path.ValidateStructural(); err != nil {
+		return nil, 0, fmt.Errorf("transport: flatten path: %w", err)
+	}
+	return path, n, nil
+}
+
 // DecodeFrame parses one frame into an *OpsFrame, *SyncReqFrame,
-// *SnapReqFrame or *SnapFrame. Every decoded message is validated: sites
-// in range, clocks well-formed, the op's own stamp present.
+// *SnapReqFrame, *SnapFrame, *SnapChunkFrame, *FlatProposeFrame,
+// *FlatVoteFrame or *FlatDecisionFrame. Every decoded message is
+// validated: sites in range, clocks well-formed, the op's own stamp
+// present.
 func DecodeFrame(frame []byte) (any, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("transport: empty frame")
@@ -289,6 +451,115 @@ func DecodeFrame(frame []byte) (any, error) {
 			return nil, fmt.Errorf("transport: snap frame with empty version")
 		}
 		return &SnapFrame{From: ident.SiteID(from), Version: vc, Data: body[off:]}, nil
+	case kindSnapChunk:
+		from, off, err := decodeSite(body, "snap chunk sender")
+		if err != nil {
+			return nil, err
+		}
+		vc, k, err := decodeVC(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		if len(vc) == 0 {
+			return nil, fmt.Errorf("transport: snap chunk frame with empty version")
+		}
+		total, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated snap chunk total")
+		}
+		off += k
+		offset, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated snap chunk offset")
+		}
+		off += k
+		data := body[off:]
+		if total == 0 || total > MaxSnapshotSize {
+			return nil, fmt.Errorf("transport: snap chunk total %d out of range", total)
+		}
+		if offset > total || uint64(len(data)) > total-offset {
+			return nil, fmt.Errorf("transport: snap chunk [%d,+%d) outside total %d", offset, len(data), total)
+		}
+		return &SnapChunkFrame{From: from, Version: vc, Total: total, Offset: offset, Data: data}, nil
+	case kindFlatPropose:
+		from, off, err := decodeSite(body, "flatten proposer")
+		if err != nil {
+			return nil, err
+		}
+		n, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated flatten tx number")
+		}
+		off += k
+		path, k, err := decodeStructuralPath(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		obs, k, err := decodeVC(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after flatten propose frame", len(body)-off)
+		}
+		return &FlatProposeFrame{From: from, N: n, Path: path, Obs: obs}, nil
+	case kindFlatVote:
+		from, off, err := decodeSite(body, "flatten voter")
+		if err != nil {
+			return nil, err
+		}
+		coord, k, err := decodeSite(body[off:], "flatten coordinator")
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		n, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated flatten tx number")
+		}
+		off += k
+		if off+1 != len(body) {
+			return nil, fmt.Errorf("transport: flatten vote frame length %d", len(body))
+		}
+		if body[off] > 1 {
+			return nil, fmt.Errorf("transport: flatten vote byte %d", body[off])
+		}
+		return &FlatVoteFrame{From: from, Coord: coord, N: n, Yes: body[off] == 1}, nil
+	case kindFlatDecision:
+		from, off, err := decodeSite(body, "flatten coordinator")
+		if err != nil {
+			return nil, err
+		}
+		n, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated flatten tx number")
+		}
+		off += k
+		if off >= len(body) {
+			return nil, fmt.Errorf("transport: truncated flatten decision")
+		}
+		if body[off] > 1 {
+			return nil, fmt.Errorf("transport: flatten decision byte %d", body[off])
+		}
+		commit := body[off] == 1
+		off++
+		seq, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated flatten decision seq")
+		}
+		off += k
+		path, k, err := decodeStructuralPath(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after flatten decision frame", len(body)-off)
+		}
+		return &FlatDecisionFrame{From: from, N: n, Commit: commit, Seq: seq, Path: path}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown frame kind %#x", frame[0])
 	}
@@ -311,9 +582,9 @@ func WriteFrame(w io.Writer, frame []byte) error {
 
 // ReadFrame reads one length-prefixed frame, refusing oversized lengths
 // before allocating. Lengths above MaxFrameSize are tolerated only for
-// kindSnap frames (checked against the kind byte before the body is
-// read), so a hostile length prefix cannot force a large allocation by
-// claiming any other kind.
+// snapshot-bearing kinds (kindSnap and kindSnapChunk, checked against the
+// kind byte before the body is read), so a hostile length prefix cannot
+// force a large allocation by claiming any other kind.
 func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -328,7 +599,7 @@ func ReadFrame(r *bufio.Reader) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if kind != kindSnap {
+		if int(n) > frameSizeLimit(kind) {
 			return nil, fmt.Errorf("transport: frame length %d out of range for kind %#x", n, kind)
 		}
 		frame := make([]byte, n)

@@ -68,7 +68,10 @@ func (b *TextBuffer) Splice(off, delCount int, text string) ([]Op, error) {
 	return b.splice(off, delCount, text)
 }
 
-// splice implements Splice with b.mu held.
+// splice implements Splice with b.mu held. The deletes and the insert are
+// applied as one atomic edit on the underlying Doc, so a flatten vote
+// locking the region either rejects the whole splice (ErrRegionLocked) or
+// none of it.
 func (b *TextBuffer) splice(off, delCount int, text string) ([]Op, error) {
 	n := b.doc.Len()
 	if off < 0 || off > n {
@@ -77,27 +80,15 @@ func (b *TextBuffer) splice(off, delCount int, text string) ([]Op, error) {
 	if delCount < 0 || off+delCount > n {
 		return nil, fmt.Errorf("treedoc: splice delete %d at offset %d (len %d): %w", delCount, off, n, ErrOutOfRange)
 	}
-	ops := make([]Op, 0, delCount+len(text))
-	for i := 0; i < delCount; i++ {
-		op, err := b.doc.DeleteAt(off)
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, op)
-	}
+	var atoms []string
 	if text != "" {
 		runes := []rune(text)
-		atoms := make([]string, len(runes))
+		atoms = make([]string, len(runes))
 		for i, r := range runes {
 			atoms[i] = string(r)
 		}
-		ins, err := b.doc.InsertRunAt(off, atoms)
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, ins...)
 	}
-	return ops, nil
+	return b.doc.spliceOps(off, delCount, atoms)
 }
 
 // Insert inserts text at rune offset off.
@@ -186,6 +177,54 @@ func (b *TextBuffer) InstallSnapshot(data []byte) (Version, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.doc.InstallSnapshot(data)
+}
+
+// Version returns the buffer's applied version vector (see Doc.Version).
+func (b *TextBuffer) Version() Version {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.Version()
+}
+
+// FlattenOp executes a committed flatten as a local operation (see
+// Doc.FlattenOp); only a flatten commitment coordinator may call it.
+func (b *TextBuffer) FlattenOp(path Path, afterSeq uint64) (Op, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.FlattenOp(path, afterSeq)
+}
+
+// ColdestSubtree returns the best cold flatten candidate (see
+// Doc.ColdestSubtree).
+func (b *TextBuffer) ColdestSubtree(revisions int64, minNodes int) Path {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.ColdestSubtree(revisions, minNodes)
+}
+
+// EndRevision advances the revision clock driving the cold-subtree
+// heuristics (see Doc.EndRevision).
+func (b *TextBuffer) EndRevision() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.doc.EndRevision()
+}
+
+// LockRegion freezes a subtree against local edits during a flatten
+// commitment vote (see Doc.LockRegion); the replication engine calls it.
+// Taking the buffer lock first means a freeze can never land in the middle
+// of a concurrent Splice.
+func (b *TextBuffer) LockRegion(token uint64, path Path) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.doc.LockRegion(token, path)
+}
+
+// UnlockRegion releases a LockRegion freeze.
+func (b *TextBuffer) UnlockRegion(token uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.doc.UnlockRegion(token)
 }
 
 // Doc exposes the underlying document replica (e.g. for snapshots).

@@ -25,8 +25,21 @@ import (
 //	ops, _ := buf.Splice(off, del, text) // local edit, no latency
 //	_ = eng.Broadcast(ops...)            // background replication
 //
+//	_ = eng.ProposeFlatten()             // compact via the commitment protocol
+//
 // Each replica's local edits must be generated and broadcast in order
 // (one writer goroutine per replica, or a lock around edit+Broadcast).
+//
+// Engine.ProposeFlatten and Engine.ProposeFlattenCold run the paper's
+// flatten commitment protocol (Section 4.2.1) over the live links — the
+// same Cluster.ProposeFlatten semantics, but across processes: every
+// connected replica votes, any replica that observed (or holds) a
+// conflicting edit votes No and aborts the round harmlessly, and a
+// committed flatten is broadcast as an operation in the causal stream, so
+// it orders before all post-flatten edits everywhere, lands in the
+// durable log, and becomes the snapshot barrier late joiners catch up
+// from. While a vote is open the affected region rejects local edits with
+// ErrRegionLocked — retry after the round decides.
 
 // Engine replicates one Doc or TextBuffer over real links. See
 // internal/transport for the full contract.
@@ -55,10 +68,14 @@ const (
 type Link = transport.Link
 
 // Doc and TextBuffer satisfy the engine's snapshot contract, so engines
-// wrapping them can compact their logs and serve snapshot catch-up.
+// wrapping them can compact their logs and serve snapshot catch-up — and
+// the engine's flatten contract, so Engine.ProposeFlatten can run the
+// paper's commitment protocol over live links.
 var (
 	_ transport.Snapshotter = (*Doc)(nil)
 	_ transport.Snapshotter = (*TextBuffer)(nil)
+	_ transport.Flattener   = (*Doc)(nil)
+	_ transport.Flattener   = (*TextBuffer)(nil)
 )
 
 // Hub is the relay server behind cmd/treedoc-serve, embeddable for tests
@@ -128,6 +145,13 @@ func WithCompactEvery(n int) EngineOption { return transport.WithCompactEvery(n)
 // threshold snapshots — peers below the compaction barrier still get
 // them, since the ops below the barrier no longer exist).
 func WithSnapshotThreshold(n int) EngineOption { return transport.WithSnapshotThreshold(n) }
+
+// WithFlattenTimeout sets the flatten commitment deadline: a proposal
+// still missing votes after this long aborts (presumed abort), and a
+// replica whose Yes-vote lock has waited this long starts querying the
+// coordinator for the decision. Default 2s (or five sync intervals when
+// WithSyncInterval is longer).
+func WithFlattenTimeout(d time.Duration) EngineOption { return transport.WithFlattenTimeout(d) }
 
 // WithHubQueueDepth sets a hub's per-client outbound queue depth.
 func WithHubQueueDepth(n int) HubOption { return transport.WithHubQueueDepth(n) }

@@ -41,6 +41,13 @@ type Stats = core.Stats
 // SiteID identifies a replica (48 bits, non-zero).
 type SiteID = ident.SiteID
 
+// Path is a position in the Treedoc identifier tree: an atom identifier
+// (as carried by operations) or a structural subtree path (as used by
+// flatten — nil or empty means the whole document). Values come from the
+// library (Doc.ColdestSubtree, lock callbacks); external code treats
+// them as opaque.
+type Path = ident.Path
+
 // Version is an applied version vector: per site, the highest operation
 // sequence number whose effects are in a replica (or a snapshot of one).
 type Version = vclock.VC
@@ -123,6 +130,12 @@ func WithCompactSiteIDs() Option {
 type Doc struct {
 	mu  sync.Mutex
 	doc *core.Document
+	// locks are the regions frozen by outstanding flatten commitment votes
+	// (keyed by an engine-issued token): local edits that touch a locked
+	// subtree fail with ErrRegionLocked until the commitment decides. Remote
+	// operations (Apply) are never blocked — the protocol guarantees no
+	// conflicting remote operation exists while a lock is held.
+	locks map[uint64]ident.Path
 }
 
 // New creates an empty replica.
@@ -176,10 +189,15 @@ func (d *Doc) AtomAt(i int) (string, error) {
 }
 
 // InsertAt inserts atom at index i (0 ≤ i ≤ Len) and returns the operation
-// to broadcast to other replicas.
+// to broadcast to other replicas. While a flatten commitment vote has the
+// target region locked it fails with an error wrapping ErrRegionLocked;
+// retry once the commitment decides.
 func (d *Doc) InsertAt(i int, atom string) (Op, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.gapLocked(i) {
+		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", i, core.ErrRegionLocked)
+	}
 	return d.doc.InsertAt(i, atom)
 }
 
@@ -187,23 +205,41 @@ func (d *Doc) InsertAt(i int, atom string) (Op, error) {
 func (d *Doc) Append(atom string) (Op, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.InsertAt(d.doc.Len(), atom)
+	n := d.doc.Len()
+	if d.gapLocked(n) {
+		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", n, core.ErrRegionLocked)
+	}
+	return d.doc.InsertAt(n, atom)
 }
 
 // InsertRunAt inserts consecutive atoms starting at index i, packing them
 // into a minimal subtree under balanced allocation (Section 4.1). One
-// operation per atom is returned.
+// operation per atom is returned. Like InsertAt, it fails with
+// ErrRegionLocked while a flatten vote has the target gap locked.
 func (d *Doc) InsertRunAt(i int, atoms []string) ([]Op, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.gapLocked(i) {
+		return nil, fmt.Errorf("treedoc: insert at %d: %w", i, core.ErrRegionLocked)
+	}
 	return d.doc.InsertRunAt(i, atoms)
 }
 
 // DeleteAt removes the atom at index i and returns the operation to
-// broadcast.
+// broadcast. Like InsertAt, it fails with ErrRegionLocked while a flatten
+// vote has the atom's region locked.
 func (d *Doc) DeleteAt(i int) (Op, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if len(d.locks) > 0 {
+		id, err := d.doc.IDAt(i)
+		if err != nil {
+			return Op{}, err
+		}
+		if d.idLocked(id) {
+			return Op{}, fmt.Errorf("treedoc: delete at %d: %w", i, core.ErrRegionLocked)
+		}
+	}
 	return d.doc.DeleteAt(i)
 }
 
@@ -252,6 +288,171 @@ func (d *Doc) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.doc.Stats()
+}
+
+// ErrRegionLocked is returned for local edits blocked by an outstanding
+// flatten commitment vote on their region — by a Cluster replica and by a
+// Doc or TextBuffer wrapped in a replication Engine alike. Retry after the
+// commitment decides (commits normally settle within one round trip; a
+// coordinator crash holds the lock until its timeout aborts).
+var ErrRegionLocked = core.ErrRegionLocked
+
+// LockRegion freezes the subtree at the structural path against local
+// edits until UnlockRegion is called with the same token: edits that touch
+// the region fail with an error wrapping ErrRegionLocked. The replication
+// engine calls it when this replica votes Yes in a flatten commitment —
+// the vote promises the region stays untouched until the decision — so
+// application code never needs it directly.
+func (d *Doc) LockRegion(token uint64, path Path) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.locks == nil {
+		d.locks = make(map[uint64]ident.Path)
+	}
+	d.locks[token] = path.Clone()
+}
+
+// UnlockRegion releases a LockRegion freeze.
+func (d *Doc) UnlockRegion(token uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.locks, token)
+}
+
+// idLocked reports whether the atom identifier falls inside a locked
+// region; d.mu must be held.
+func (d *Doc) idLocked(id ident.Path) bool {
+	for _, l := range d.locks {
+		if ident.RegionCompare(id, l) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// gapLocked reports whether an insert into the gap at index i could touch
+// a locked region; d.mu must be held. An out-of-range index is never
+// "locked" — it falls through to the core's own range error, so a caller
+// retrying on ErrRegionLocked is not strung along by an index that can
+// never succeed.
+func (d *Doc) gapLocked(i int) bool {
+	if len(d.locks) == 0 || i < 0 || i > d.doc.Len() {
+		return false
+	}
+	var p, f ident.Path
+	if i > 0 {
+		if id, err := d.doc.IDAt(i - 1); err == nil {
+			p = id
+		}
+	}
+	if i < d.doc.Len() {
+		if id, err := d.doc.IDAt(i); err == nil {
+			f = id
+		}
+	}
+	return d.gapLockedIDs(p, f)
+}
+
+// gapLockedIDs reports whether an insert between neighbour identifiers p
+// and f (nil = document start/end) could touch a locked region: either
+// neighbour lies inside one, or a locked region lies strictly inside the
+// open gap (where a fresh identifier could be allocated). d.mu must be
+// held.
+func (d *Doc) gapLockedIDs(p, f ident.Path) bool {
+	if p != nil && d.idLocked(p) {
+		return true
+	}
+	if f != nil && d.idLocked(f) {
+		return true
+	}
+	for _, l := range d.locks {
+		loBefore := p == nil || ident.RegionCompare(p, l) < 0
+		hiAfter := f == nil || ident.RegionCompare(f, l) > 0
+		if loBefore && hiAfter {
+			return true
+		}
+	}
+	return false
+}
+
+// spliceOps deletes delCount atoms at off, then inserts atoms there, as
+// one atomic local edit: region-lock checks for the whole splice happen
+// before the first delete is applied, so a flatten vote can never land
+// between the deletes and the insert and leave half a splice applied but
+// unbroadcast. TextBuffer.Splice is the caller.
+func (d *Doc) spliceOps(off, delCount int, atoms []string) ([]Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.locks) > 0 {
+		for i := off; i < off+delCount; i++ {
+			id, err := d.doc.IDAt(i)
+			if err != nil {
+				return nil, err
+			}
+			if d.idLocked(id) {
+				return nil, fmt.Errorf("treedoc: delete at %d: %w", i, core.ErrRegionLocked)
+			}
+		}
+		if len(atoms) > 0 {
+			// The insert lands in the gap left once the deletes are applied:
+			// between the atoms now at off-1 and off+delCount.
+			var p, f ident.Path
+			if off > 0 {
+				if id, err := d.doc.IDAt(off - 1); err == nil {
+					p = id
+				}
+			}
+			if off+delCount < d.doc.Len() {
+				if id, err := d.doc.IDAt(off + delCount); err == nil {
+					f = id
+				}
+			}
+			if d.gapLockedIDs(p, f) {
+				return nil, fmt.Errorf("treedoc: insert at %d: %w", off, core.ErrRegionLocked)
+			}
+		}
+	}
+	ops := make([]Op, 0, delCount+len(atoms))
+	for i := 0; i < delCount; i++ {
+		op, err := d.doc.DeleteAt(off)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(atoms) > 0 {
+		ins, err := d.doc.InsertRunAt(off, atoms)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, ins...)
+	}
+	return ops, nil
+}
+
+// FlattenOp executes a committed flatten as a local operation and returns
+// the operation to broadcast, exactly as InsertAt does for inserts. It is
+// the commit step of the distributed flatten protocol: only the
+// coordinator of a successful commitment may call it (the replication
+// engine does; see Engine.ProposeFlatten), because a flatten issued while
+// any replica holds a concurrent edit of the region would diverge.
+// afterSeq is the local sequence number (Version()[Site()]) the caller
+// verified quiescence at; a concurrent local edit since then fails the
+// mint with core.ErrMintRaced, leaving the replica untouched.
+func (d *Doc) FlattenOp(path Path, afterSeq uint64) (Op, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.FlattenOp(path, afterSeq)
+}
+
+// ColdestSubtree returns the structural path of the best flatten
+// candidate — the largest tombstone-heavy subtree quiet for the given
+// number of revisions (see EndRevision) — or nil when nothing qualifies.
+// The replication engine uses it to pick cold-subtree flatten proposals.
+func (d *Doc) ColdestSubtree(revisions int64, minNodes int) Path {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.ColdestSubtree(revisions, minNodes)
 }
 
 // Check verifies internal invariants; it is used by tests and returns nil
