@@ -1,0 +1,153 @@
+// Benchgate is the CI benchmark regression gate: a small, dependency-free
+// benchstat equivalent over the standard `go test -bench` output.
+//
+// Gate a run against the checked-in baseline (exit 1 on any benchmark
+// more than -threshold slower than its baseline number):
+//
+//	go test -run '^$' -bench 'BenchmarkLocalEdits|BenchmarkStorageCodec|BenchmarkReplay' \
+//	  -cpu 1 -benchtime 100ms -count 6 . | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
+//
+// Always pass -cpu 1: with GOMAXPROCS > 1 go test appends a "-N" suffix
+// to every benchmark name, so a baseline seeded on an N-core machine
+// would not even match names on an M-core one — and the gated hot paths
+// are single-goroutine, so -cpu 1 only removes scheduler noise.
+//
+// Re-seed the baseline after an intentional perf change or on a new
+// runner class (commit the result):
+//
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update -note "CI runner class X" bench.txt
+//
+// The default statistic is min-of-count: the fastest of N repetitions is
+// the least-noise estimate of the code's true cost, and with
+// -benchtime 100ms each repetition averages over enough iterations that
+// the hot-path set above stays within ~12% run-to-run — comfortably
+// inside the 20% default threshold. Baselines are only meaningful on the
+// hardware class that produced them (see the note field).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/treedoc/treedoc/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -update)")
+	update := flag.Bool("update", false, "write the parsed run as the new baseline instead of comparing")
+	threshold := flag.Float64("threshold", 0.20, "relative regression threshold (0.20 = fail at >20% slower)")
+	stat := flag.String("stat", "min", "reducing statistic over -count samples: min (least noise) or median")
+	benchtime := flag.String("benchtime", "100ms", "recorded in the baseline with -update: the -benchtime that produced it")
+	count := flag.Int("count", 6, "recorded in the baseline with -update: the -count that produced it")
+	note := flag.String("note", "", "recorded in the baseline with -update: where these numbers came from")
+	flag.Parse()
+
+	// Multiple input files pool their samples per benchmark before the
+	// reduction: two bench runs separated in time are far more robust to a
+	// transient load spike on the runner than one run with double the
+	// count, because -count repetitions execute back-to-back inside the
+	// spike's window.
+	samples := make(map[string][]float64)
+	readInto := func(in io.Reader) {
+		s, err := bench.ParseBenchOutput(in)
+		if err != nil {
+			fatal(err)
+		}
+		for name, xs := range s {
+			samples[name] = append(samples[name], xs...)
+		}
+	}
+	if flag.NArg() == 0 {
+		readInto(os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		readInto(f)
+		f.Close()
+	}
+	var reduced map[string]float64
+	switch *stat {
+	case "min":
+		reduced = bench.Mins(samples)
+	case "median":
+		reduced = bench.Medians(samples)
+	default:
+		fatal(fmt.Errorf("unknown -stat %q (want min or median)", *stat))
+	}
+	if len(reduced) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input (did the bench run fail?)"))
+	}
+
+	if *update {
+		b := &bench.Baseline{
+			Version:   1,
+			Benchtime: *benchtime,
+			Count:     *count,
+			Stat:      *stat,
+			Note:      *note,
+			Results:   reduced,
+		}
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBaseline(f, b); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmark %ss to %s\n", len(reduced), *stat, *baselinePath)
+		return
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := bench.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if base.Stat != "" && base.Stat != *stat {
+		fatal(fmt.Errorf("baseline was computed with -stat %s, this run with -stat %s", base.Stat, *stat))
+	}
+	c := bench.Compare(base, reduced, *threshold)
+	fmt.Printf("benchgate: %d gated, %d within ±%.0f%%, %d improved, %d regressed\n",
+		len(base.Results), len(c.Within), *threshold*100, len(c.Improvements), len(c.Regressions))
+	for _, d := range c.Improvements {
+		fmt.Printf("  faster: %-60s %12.0f -> %12.0f ns/op (%.2fx)\n", d.Name, d.Base, d.Current, d.Ratio)
+	}
+	for _, name := range c.MissingFromBase {
+		fmt.Printf("  ungated (not in baseline, re-seed to gate): %s\n", name)
+	}
+	for _, name := range c.MissingFromRun {
+		fmt.Printf("  MISSING from run (renamed or deleted?): %s\n", name)
+	}
+	for _, d := range c.Regressions {
+		fmt.Printf("  REGRESSED: %-57s %12.0f -> %12.0f ns/op (%.2fx)\n", d.Name, d.Base, d.Current, d.Ratio)
+	}
+	if len(c.Regressions) > 0 {
+		fmt.Printf("benchgate: FAIL: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			len(c.Regressions), *threshold*100, *baselinePath)
+		os.Exit(1)
+	}
+	if len(c.MissingFromRun) > 0 {
+		fmt.Printf("benchgate: FAIL: %d baseline benchmark(s) missing from the run\n", len(c.MissingFromRun))
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

@@ -1,35 +1,43 @@
 // Treedoc-serve is the replication hub: a relay server that accepts framed
-// TCP connections from Treedoc replicas (transport.Dial / treedoc.Dial)
-// and fans every operation frame out to all other clients. The hub holds
-// no document state; causal buffering at the edges orders, deduplicates
-// and — via each engine's periodic anti-entropy exchange — repairs any
-// frames a slow client's queue had to drop.
+// TCP connections from Treedoc replicas and fans frames out within
+// per-document relay groups. Clients attach to documents with the
+// kindHello handshake (treedoc.DialDoc / treedoc.DialSession); a plain
+// treedoc.Dial client is a legacy single-document client on the "default"
+// document and keeps working unchanged. The hub holds no document state;
+// causal buffering at the edges orders, deduplicates and — via each
+// engine's periodic anti-entropy exchange — repairs any frames a slow
+// client's queue had to drop.
 //
-// With -log, the hub additionally runs an archivist: an in-process replica
-// backed by a durable operation log that absorbs everything relayed,
-// compacts it behind document snapshots, and serves snapshot catch-up to
-// late joiners — so a client that connects long after everyone else left
-// still recovers the document, without any long-lived peer online.
+// With -log, the hub additionally runs one archivist per document named
+// in -docs: an in-process replica backed by a durable operation log under
+// <log>/<doc>/ that absorbs everything relayed on that document, compacts
+// it behind snapshots, and serves snapshot catch-up to late joiners — so
+// a client that connects long after everyone else left still recovers its
+// document, without any long-lived peer online.
 //
-// With -flatten-every, the archivist also acts as the deployment's
-// flatten janitor: on that period it proposes compacting the coldest
-// subtree through the commitment protocol (Engine.ProposeFlattenCold).
-// Every connected replica votes; a proposal racing a concurrent edit
-// aborts harmlessly and is simply retried next period, so long-lived
-// documents shed their tombstones and identifier overhead without any
-// editor doing coordination work.
+// With -flatten-every, each archivist also acts as its document's flatten
+// janitor: on that period it proposes compacting the coldest subtree
+// through the commitment protocol (Engine.ProposeFlattenCold). A proposal
+// racing a concurrent edit aborts harmlessly and is retried next period.
+//
+// With -peers (and -self), N hub processes split the document space by
+// consistent hashing: an attach for a document another process owns is
+// answered with a redirect, which DialDoc and Session clients follow
+// transparently. Archivists are only started for documents this process
+// owns.
 //
 // Usage:
 //
 //	treedoc-serve -addr :9707 -queue 256 -v
-//	treedoc-serve -addr :9707 -log /var/lib/treedoc -archive-site 281474976710655
+//	treedoc-serve -addr :9707 -log /var/lib/treedoc -docs default,notes,wiki
 //	treedoc-serve -addr :9707 -log /var/lib/treedoc -flatten-every 30s
+//	treedoc-serve -addr :9707 -self hub1:9707 -peers hub1:9707,hub2:9707
 //
 // Wire a replica to it:
 //
 //	buf, _ := treedoc.NewTextBuffer(treedoc.WithSite(site))
 //	eng, _ := treedoc.NewEngine(site, buf)
-//	link, _ := treedoc.Dial("host:9707")
+//	link, _ := treedoc.DialDoc("host:9707", "notes")
 //	eng.Connect(link)
 package main
 
@@ -39,6 +47,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,15 +58,26 @@ import (
 	"github.com/treedoc/treedoc/internal/transport"
 )
 
+// archivist is one document's durable replica and (optionally) flatten
+// janitor.
+type archivist struct {
+	doc string
+	buf *treedoc.TextBuffer
+	eng *treedoc.Engine
+}
+
 func main() {
 	addr := flag.String("addr", ":9707", "listen address")
 	queue := flag.Int("queue", 256, "per-client outbound queue depth")
-	verbose := flag.Bool("v", false, "log client connects and disconnects")
-	logDir := flag.String("log", "", "archivist log directory (empty disables the archivist)")
-	archiveSite := flag.Uint64("archive-site", uint64(ident.MaxSiteID), "site id of the archivist replica (must not collide with any editor)")
+	verbose := flag.Bool("v", false, "log client connects, disconnects and slow-client drops")
+	docs := flag.String("docs", transport.DefaultDoc, "comma-separated documents to archive (with -log); clients may attach to any document regardless")
+	self := flag.String("self", "", "this hub's advertised address in the shard ring (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated advertised addresses of every hub in the shard ring, including this one (empty disables sharding)")
+	logDir := flag.String("log", "", "archivist log directory; each document persists under <log>/<doc>/ (empty disables archivists)")
+	archiveSite := flag.Uint64("archive-site", uint64(ident.MaxSiteID), "site id of the first archivist replica; each further document counts down from it (must not collide with any editor)")
 	compactEvery := flag.Int("compact", 16384, "archivist: retained ops before snapshot+truncate")
 	snapThreshold := flag.Int("snap-threshold", 8192, "archivist: digest gap that triggers snapshot catch-up")
-	flattenEvery := flag.Duration("flatten-every", 0, "archivist: period between cold-subtree flatten proposals (0 disables; requires -log)")
+	flattenEvery := flag.Duration("flatten-every", 0, "archivist: period between cold-subtree flatten proposals per document (0 disables; requires -log)")
 	flattenCold := flag.Int("flatten-cold", 2, "archivist: revisions a subtree must be quiet before it is proposed")
 	flag.Parse()
 
@@ -63,61 +85,55 @@ func main() {
 	if *verbose {
 		opts = append(opts, transport.WithHubLogger(log.Printf))
 	}
+
+	var peerList []string
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("treedoc-serve: -peers requires -self (this hub's advertised address)")
+		}
+		peerList = splitList(*peers)
+		opts = append(opts, transport.WithHubShards(*self, peerList))
+	}
+
+	docList := splitList(*docs)
+	for _, d := range docList {
+		if err := transport.ValidateDocID(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	hub, err := transport.ListenHub(*addr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("treedoc-serve: relaying on %s", hub.Addr())
+	if peerList != nil {
+		log.Printf("treedoc-serve: relaying on %s as shard %s of ring %v", hub.Addr(), *self, peerList)
+	} else {
+		log.Printf("treedoc-serve: relaying on %s", hub.Addr())
+	}
 
-	var archive *treedoc.Engine
+	var archivists []*archivist
 	if *logDir != "" {
-		buf, err := treedoc.NewTextBuffer(treedoc.WithSite(treedoc.SiteID(*archiveSite)))
-		if err != nil {
-			log.Fatal(err)
+		stopJanitors := make(chan struct{})
+		defer close(stopJanitors)
+		site := *archiveSite
+		for _, doc := range docList {
+			// The hub's own ring decides ownership, so archivist placement
+			// and attach redirects can never disagree.
+			if owner, owned := hub.DocOwner(doc); !owned {
+				log.Printf("treedoc-serve: doc %q owned by %s, skipping local archivist", doc, owner)
+				continue
+			}
+			a := startArchivist(hub.Addr().String(), doc, treedoc.SiteID(site),
+				filepath.Join(*logDir, doc), *compactEvery, *snapThreshold)
+			archivists = append(archivists, a)
+			site--
+			if *flattenEvery > 0 {
+				go janitor(a, *flattenEvery, *flattenCold, *verbose, stopJanitors)
+			}
 		}
-		archive, err = treedoc.NewEngine(treedoc.SiteID(*archiveSite), buf,
-			treedoc.WithLogDir(*logDir),
-			treedoc.WithCompactEvery(*compactEvery),
-			treedoc.WithSnapshotThreshold(*snapThreshold),
-			treedoc.WithSyncInterval(500*time.Millisecond))
-		if err != nil {
-			log.Fatal(err)
-		}
-		link, err := treedoc.Dial(hub.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		archive.Connect(link)
-		log.Printf("treedoc-serve: archivist s%d persisting to %s (%d runes restored)",
-			*archiveSite, *logDir, buf.Len())
-
 		if *flattenEvery > 0 {
-			stopJanitor := make(chan struct{})
-			defer close(stopJanitor)
-			go func() {
-				ticker := time.NewTicker(*flattenEvery)
-				defer ticker.Stop()
-				for {
-					select {
-					case <-stopJanitor:
-						return
-					case <-ticker.C:
-					}
-					buf.EndRevision()
-					ok, err := archive.ProposeFlattenCold(*flattenCold)
-					if err != nil {
-						if !errors.Is(err, transport.ErrStopped) {
-							log.Printf("treedoc-serve: flatten proposal: %v", err)
-						}
-						return
-					}
-					if ok && *verbose {
-						log.Printf("treedoc-serve: proposed cold flatten (committed %d, aborted %d so far)",
-							archive.FlattensCommitted(), archive.FlattensAborted())
-					}
-				}
-			}()
-			log.Printf("treedoc-serve: flatten janitor proposing every %v", *flattenEvery)
+			log.Printf("treedoc-serve: flatten janitors proposing every %v on %d documents", *flattenEvery, len(archivists))
 		}
 	} else if *flattenEvery > 0 {
 		log.Fatal("treedoc-serve: -flatten-every requires -log (the archivist coordinates the commitment)")
@@ -126,17 +142,89 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped)",
-		hub.Relays(), hub.Drops())
-	if archive != nil {
-		archive.Stop()
-		log.Printf("treedoc-serve: archivist flushed (%d ops applied, %d snapshots served, %d pruned, %d flattens applied)",
-			archive.Applied(), archive.SnapshotsSent(), archive.Pruned(), archive.FlattensApplied())
-		if err := archive.Err(); err != nil {
-			log.Printf("treedoc-serve: archivist error: %v", err)
+	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped, %d unrouted)",
+		hub.Relays(), hub.Drops(), hub.Unrouted())
+	stats := hub.DocStats()
+	docsSeen := make([]string, 0, len(stats))
+	for doc := range stats {
+		docsSeen = append(docsSeen, doc)
+	}
+	sort.Strings(docsSeen)
+	for _, doc := range docsSeen {
+		st := stats[doc]
+		log.Printf("treedoc-serve: doc %q: %d clients, %d relayed, %d dropped", doc, st.Clients, st.Relays, st.Drops)
+	}
+	for _, a := range archivists {
+		a.eng.Stop()
+		log.Printf("treedoc-serve: archivist for %q flushed (%d ops applied, %d snapshots served, %d pruned, %d flattens applied)",
+			a.doc, a.eng.Applied(), a.eng.SnapshotsSent(), a.eng.Pruned(), a.eng.FlattensApplied())
+		if err := a.eng.Err(); err != nil {
+			log.Printf("treedoc-serve: archivist for %q error: %v", a.doc, err)
 		}
 	}
 	if err := hub.Close(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// startArchivist brings up one document's durable replica, attached to
+// the local hub through a doc-scoped link.
+func startArchivist(hubAddr, doc string, site treedoc.SiteID, dir string, compactEvery, snapThreshold int) *archivist {
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(site))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := treedoc.NewEngine(site, buf,
+		treedoc.WithLogDir(dir),
+		treedoc.WithCompactEvery(compactEvery),
+		treedoc.WithSnapshotThreshold(snapThreshold),
+		treedoc.WithSyncInterval(500*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := treedoc.DialDoc(hubAddr, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Connect(link)
+	log.Printf("treedoc-serve: archivist s%d for doc %q persisting to %s (%d runes restored)",
+		site, doc, dir, buf.Len())
+	return &archivist{doc: doc, buf: buf, eng: eng}
+}
+
+// janitor periodically proposes flattening the coldest subtree of one
+// archivist's document.
+func janitor(a *archivist, every time.Duration, cold int, verbose bool, stop <-chan struct{}) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		a.buf.EndRevision()
+		ok, err := a.eng.ProposeFlattenCold(cold)
+		if err != nil {
+			if !errors.Is(err, transport.ErrStopped) {
+				log.Printf("treedoc-serve: doc %q flatten proposal: %v", a.doc, err)
+			}
+			return
+		}
+		if ok && verbose {
+			log.Printf("treedoc-serve: doc %q proposed cold flatten (committed %d, aborted %d so far)",
+				a.doc, a.eng.FlattensCommitted(), a.eng.FlattensAborted())
+		}
+	}
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -1,18 +1,22 @@
-// Collab: a four-site cooperative editing session over the real concurrent
-// transport — the deployment shape of the paper's peer-to-peer scenario,
-// not a simulation. An in-process relay hub (the same code as
-// cmd/treedoc-serve) listens on TCP loopback; four replicas dial it, edit
-// concurrently from their own goroutines with zero latency, and the
-// engines synchronise in the background: "common edit operations execute
-// optimistically, with no latency; replicas synchronise only in the
-// background" (Section 6).
+// Collab: two independent documents edited cooperatively over one relay
+// hub — the deployment shape of the paper's peer-to-peer scenario, not a
+// simulation. An in-process hub (the same code as cmd/treedoc-serve)
+// listens on TCP loopback; replicas attach to the document they edit with
+// DialDoc, the hub relays each document only within its own group, and
+// the engines synchronise in the background: "common edit operations
+// execute optimistically, with no latency; replicas synchronise only in
+// the background" (Section 6).
 //
-// A fifth replica joins late, after thousands of edits. Each engine runs
-// the compaction policy — snapshot the document, truncate the operation
-// log below it — so nobody retains the full history; the joiner's digest
-// falls below the compaction barrier and it catches up from a snapshot
-// frame plus the retained log suffix, replaying only the tail instead of
-// the whole edit history.
+// Two writers edit "design" and two edit "notes", all four concurrently
+// through the same hub process — the sharded relay keeps the documents
+// fully isolated (the final buffers prove it: no marker from one document
+// ever appears in the other). A fifth replica then joins "design" late,
+// after thousands of edits. Each engine runs the compaction policy —
+// snapshot the document, truncate the operation log below it — so nobody
+// retains the full history; the joiner's digest falls below the
+// compaction barrier and it catches up from a snapshot frame plus the
+// retained log suffix, replaying only the tail instead of the whole edit
+// history.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,10 +32,10 @@ import (
 )
 
 const (
-	writers      = 4
-	editsPerSite = 300
+	writersPerDoc = 2
+	editsPerSite  = 300
 	// compactEvery keeps every engine's retained op log below ~256
-	// messages: with 1200+ edits in the session, the late joiner is
+	// messages: with 600+ edits per document, the late joiner is
 	// guaranteed to be below everyone's compaction barrier and must catch
 	// up via snapshot.
 	compactEvery  = 256
@@ -39,6 +44,7 @@ const (
 
 type site struct {
 	id  treedoc.SiteID
+	doc string
 	buf *treedoc.TextBuffer
 	eng *treedoc.Engine
 }
@@ -51,7 +57,7 @@ func main() {
 	defer hub.Close()
 	fmt.Printf("hub relaying on %s\n", hub.Addr())
 
-	dial := func(id treedoc.SiteID) *site {
+	dial := func(id treedoc.SiteID, doc string) *site {
 		buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
 		if err != nil {
 			log.Fatal(err)
@@ -63,35 +69,41 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		link, err := treedoc.Dial(hub.Addr().String())
+		link, err := treedoc.DialDoc(hub.Addr().String(), doc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		eng.Connect(link)
-		return &site{id: id, buf: buf, eng: eng}
+		return &site{id: id, doc: doc, buf: buf, eng: eng}
 	}
 
-	sites := make([]*site, 0, writers)
-	for id := treedoc.SiteID(1); id <= writers; id++ {
-		sites = append(sites, dial(id))
-	}
+	design := []*site{dial(1, "design"), dial(2, "design")}
+	notes := []*site{dial(3, "notes"), dial(4, "notes")}
+	all := append(append([]*site{}, design...), notes...)
 
-	// Site 1 seeds a shared outline; everyone else receives it over TCP.
-	seed := sites[0]
-	for _, line := range []string{"# Design notes\n", "## Goals\n", "## Open questions\n"} {
-		ops, err := seed.buf.Append(line)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := seed.eng.Broadcast(ops...); err != nil {
-			log.Fatal(err)
+	// Each document gets its own seed outline from its first writer.
+	seedLines := map[string][]string{
+		"design": {"# Design notes\n", "## Goals\n", "## Open questions\n"},
+		"notes":  {"# Meeting notes\n", "## 2026-07-30\n"},
+	}
+	for _, s := range []*site{design[0], notes[0]} {
+		for _, line := range seedLines[s.doc] {
+			ops, err := s.buf.Append(line)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.eng.Broadcast(ops...); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
 	// Everyone edits concurrently, one writer goroutine per replica: random
-	// inserts with occasional deletes, no coordination, no waiting.
+	// inserts with occasional deletes, no coordination, no waiting. Inserts
+	// carry a per-document marker so cross-document leakage would be
+	// visible in the final text.
 	var wg sync.WaitGroup
-	for _, s := range sites {
+	for _, s := range all {
 		wg.Add(1)
 		go func(s *site) {
 			defer wg.Done()
@@ -103,7 +115,7 @@ func main() {
 				if n > 0 && rng.Intn(5) == 0 {
 					ops, err = s.buf.Delete(rng.Intn(n), 1)
 				} else {
-					text := fmt.Sprintf("s%d-%d ", s.id, i)
+					text := fmt.Sprintf("%s-s%d-%d ", s.doc, s.id, i)
 					ops, err = s.buf.Insert(rng.Intn(n+1), text)
 				}
 				if errors.Is(err, treedoc.ErrOutOfRange) {
@@ -122,60 +134,68 @@ func main() {
 		}(s)
 	}
 	wg.Wait()
-	fmt.Printf("%d sites broadcast %d edits each, synchronising in the background\n",
-		writers, editsPerSite)
+	fmt.Printf("%d sites broadcast %d edits each across 2 documents, synchronising in the background\n",
+		len(all), editsPerSite)
 
 	// Let the session settle: engines drain their backlogs, snapshot, and
 	// promote their truncation floors — after which nobody retains the
 	// full op history any more.
-	if !converge(sites, 30*time.Second) {
+	if !converge(design, 30*time.Second) || !converge(notes, 30*time.Second) {
 		log.Fatal("BUG: writers did not converge")
 	}
 	time.Sleep(1 * time.Second)
 
-	// A latecomer joins long after the burst. Its empty digest is below
-	// every truncation floor, so the missing ops no longer exist as
-	// messages anywhere: catch-up arrives as one snapshot frame plus the
-	// retained suffix, not a full history replay.
-	late := dial(writers + 1)
-	sites = append(sites, late)
+	// A latecomer joins "design" long after the burst. Its empty digest is
+	// below every truncation floor in that document's group, so the
+	// missing ops no longer exist as messages anywhere: catch-up arrives
+	// as one snapshot frame plus the retained suffix, not a full history
+	// replay.
+	late := dial(5, "design")
+	design = append(design, late)
 
-	if !converge(sites, 30*time.Second) {
+	if !converge(design, 30*time.Second) {
 		log.Fatal("BUG: replicas did not converge")
 	}
-	want := sites[0].buf.String()
-	for _, s := range sites {
-		if s.buf.String() != want {
-			log.Fatalf("BUG: site %d diverged", s.id)
-		}
-		if err := s.buf.Doc().Check(); err != nil {
-			log.Fatal(err)
+	for _, group := range [][]*site{design, notes} {
+		want := group[0].buf.String()
+		for _, s := range group {
+			if s.buf.String() != want {
+				log.Fatalf("BUG: site %d diverged on doc %q", s.id, s.doc)
+			}
+			if err := s.buf.Doc().Check(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
-	fmt.Printf("converged: %d sites, %d runes each (late joiner included)\n",
-		len(sites), sites[0].buf.Len())
-	totalOps := uint64(writers*editsPerSite) + 3
-	fmt.Printf("late joiner: %d snapshots installed, %d tail ops replayed (history: %d+ ops)\n",
-		late.eng.SnapshotsInstalled(), late.eng.Applied(), totalOps)
+	// Doc isolation: no notes marker in design and vice versa.
+	if strings.Contains(design[0].buf.String(), "notes-s") {
+		log.Fatal("BUG: notes content leaked into design")
+	}
+	if strings.Contains(notes[0].buf.String(), "design-s") {
+		log.Fatal("BUG: design content leaked into notes")
+	}
+	fmt.Printf("converged: design=%d runes across %d sites, notes=%d runes across %d sites, zero cross-doc leakage\n",
+		design[0].buf.Len(), len(design), notes[0].buf.Len(), len(notes))
+	fmt.Printf("late joiner on design: %d snapshots installed, %d tail ops replayed (history: %d+ ops)\n",
+		late.eng.SnapshotsInstalled(), late.eng.Applied(), writersPerDoc*editsPerSite+3)
 	if late.eng.SnapshotsInstalled() == 0 {
 		log.Fatal("BUG: late joiner converged without snapshot catch-up")
 	}
 
-	var drops, snapsSent uint64
-	for _, s := range sites {
-		drops += s.eng.Drops()
-		snapsSent += s.eng.SnapshotsSent()
+	for _, s := range append(design, notes...) {
 		s.eng.Stop()
 	}
-	st := sites[0].buf.Stats()
-	fmt.Printf("hub relayed %d frames (%d dropped and healed); engine drops %d; snapshots served %d\n",
-		hub.Relays(), hub.Drops(), drops, snapsSent)
-	fmt.Printf("replica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
+	for doc, st := range hub.DocStats() {
+		fmt.Printf("hub doc %q: %d relayed, %d dropped (healed by anti-entropy)\n", doc, st.Relays, st.Drops)
+	}
+	st := design[0].buf.Stats()
+	fmt.Printf("design replica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
 		st.Tree.LiveAtoms, st.Tree.AvgIDBits(), st.Tree.Nodes)
 }
 
-// converge polls until every engine's delivered clock is identical (all
-// broadcast operations applied everywhere) or the deadline passes.
+// converge polls until every engine's delivered clock in the group is
+// identical (all broadcast operations applied everywhere) or the deadline
+// passes.
 func converge(sites []*site, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {

@@ -1,0 +1,203 @@
+package bench
+
+// Benchmark baseline gate: a small, dependency-free benchstat
+// equivalent. CI runs the hot-path benchmarks twice with
+// `-cpu 1 -benchtime 100ms -count 6` (two pooled invocations, so a
+// transient load spike cannot poison every sample), parses the standard
+// `go test -bench` output, reduces each benchmark to its minimum ns/op —
+// the least-noise estimate of true cost — and compares against the
+// checked-in BENCH_BASELINE.json, failing the build when a benchmark
+// regresses past the threshold. `-cpu 1` keeps benchmark names free of
+// the GOMAXPROCS "-N" suffix, so baselines compare across machines with
+// different core counts. cmd/benchgate is the CLI wrapper and documents
+// re-seeding.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the checked-in benchmark reference (BENCH_BASELINE.json):
+// median ns/op per benchmark, plus the run shape that produced it so a
+// reviewer can reproduce.
+type Baseline struct {
+	Version   int    `json:"version"`
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	// Stat is the reducing statistic the results were computed with
+	// ("min" or "median"); compare runs with the same statistic.
+	Stat string `json:"stat,omitempty"`
+	// Note records where the baseline numbers came from; comparisons are
+	// only meaningful on similar hardware, so CI re-seeds on its own
+	// runner class when this drifts.
+	Note    string             `json:"note,omitempty"`
+	Results map[string]float64 `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkLocalEdits/append-delete-8   1   12345 ns/op   64 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?) ns/op`)
+
+// ParseBenchOutput extracts every ns/op sample per benchmark name from
+// `go test -bench` output. With -count N each benchmark contributes N
+// samples.
+func ParseBenchOutput(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Median returns the median of xs (the mean of the middle pair for even
+// lengths); it panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("bench: median of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Medians reduces parsed samples to one median per benchmark.
+func Medians(samples map[string][]float64) map[string]float64 {
+	return reduce(samples, Median)
+}
+
+// Mins reduces parsed samples to one minimum per benchmark: the preferred
+// gating statistic, since the fastest of N runs is the best estimate of
+// the code's cost with the least scheduler and cache noise on top.
+func Mins(samples map[string][]float64) map[string]float64 {
+	return reduce(samples, func(xs []float64) float64 {
+		min := xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	})
+}
+
+func reduce(samples map[string][]float64, f func([]float64) float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		if len(xs) > 0 {
+			out[name] = f(xs)
+		}
+	}
+	return out
+}
+
+// Delta is one benchmark's comparison against the baseline.
+type Delta struct {
+	Name    string
+	Base    float64 // baseline median ns/op
+	Current float64 // this run's median ns/op
+	// Ratio is Current/Base: 1.25 reads "25% slower than baseline".
+	Ratio float64
+}
+
+// Comparison is the gate's verdict.
+type Comparison struct {
+	// Regressions are benchmarks slower than baseline by more than the
+	// threshold, worst first.
+	Regressions []Delta
+	// Improvements are benchmarks faster than baseline by more than the
+	// threshold, best first (candidates for a baseline refresh).
+	Improvements []Delta
+	// Within are benchmarks inside the threshold band.
+	Within []Delta
+	// MissingFromRun are baseline benchmarks this run did not execute —
+	// a renamed or deleted benchmark silently un-gates itself, so the
+	// gate reports it.
+	MissingFromRun []string
+	// MissingFromBase are benchmarks this run executed that the baseline
+	// does not know (new benchmarks; refresh the baseline to gate them).
+	MissingFromBase []string
+}
+
+// Compare evaluates current medians against the baseline with a relative
+// threshold (0.20 means: fail at >20% slower).
+func Compare(base *Baseline, current map[string]float64, threshold float64) Comparison {
+	var c Comparison
+	for name, b := range base.Results {
+		cur, ok := current[name]
+		if !ok {
+			c.MissingFromRun = append(c.MissingFromRun, name)
+			continue
+		}
+		d := Delta{Name: name, Base: b, Current: cur}
+		if b > 0 {
+			d.Ratio = cur / b
+		}
+		switch {
+		case d.Ratio > 1+threshold:
+			c.Regressions = append(c.Regressions, d)
+		case d.Ratio != 0 && d.Ratio < 1-threshold:
+			c.Improvements = append(c.Improvements, d)
+		default:
+			c.Within = append(c.Within, d)
+		}
+	}
+	for name := range current {
+		if _, ok := base.Results[name]; !ok {
+			c.MissingFromBase = append(c.MissingFromBase, name)
+		}
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Ratio > c.Regressions[j].Ratio })
+	sort.Slice(c.Improvements, func(i, j int) bool { return c.Improvements[i].Ratio < c.Improvements[j].Ratio })
+	sort.Slice(c.Within, func(i, j int) bool { return c.Within[i].Name < c.Within[j].Name })
+	sort.Strings(c.MissingFromRun)
+	sort.Strings(c.MissingFromBase)
+	return c
+}
+
+// ReadBaseline loads a BENCH_BASELINE.json.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("bench: baseline version %d unsupported", b.Version)
+	}
+	if len(b.Results) == 0 {
+		return nil, fmt.Errorf("bench: baseline has no results")
+	}
+	return &b, nil
+}
+
+// WriteBaseline emits a BENCH_BASELINE.json, keys sorted for stable
+// diffs.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/treedoc/treedoc
+cpu: Fake CPU @ 3.00GHz
+BenchmarkLocalEdits/append-delete-8         	       1	      1200 ns/op
+BenchmarkLocalEdits/append-delete-8         	       1	      1000 ns/op
+BenchmarkLocalEdits/append-delete-8         	       1	      1400 ns/op
+BenchmarkStorageCodec/encode-8              	       1	      5000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkStorageCodec/encode-8              	       1	      7000 ns/op	    2048 B/op	      12 allocs/op
+PASS
+ok  	github.com/treedoc/treedoc	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkLocalEdits/append-delete-8"]); got != 3 {
+		t.Fatalf("append-delete samples = %d, want 3", got)
+	}
+	if got := len(samples["BenchmarkStorageCodec/encode-8"]); got != 2 {
+		t.Fatalf("encode samples = %d, want 2", got)
+	}
+	med := Medians(samples)
+	if med["BenchmarkLocalEdits/append-delete-8"] != 1200 {
+		t.Fatalf("median = %v, want 1200", med["BenchmarkLocalEdits/append-delete-8"])
+	}
+	if med["BenchmarkStorageCodec/encode-8"] != 6000 {
+		t.Fatalf("even-count median = %v, want 6000", med["BenchmarkStorageCodec/encode-8"])
+	}
+}
+
+func TestMins(t *testing.T) {
+	m := Mins(map[string][]float64{"a": {3, 1, 2}, "b": {5}})
+	if m["a"] != 1 || m["b"] != 5 {
+		t.Fatalf("mins = %v", m)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Baseline{
+		Version: 1,
+		Results: map[string]float64{
+			"BenchA":    1000,
+			"BenchB":    1000,
+			"BenchC":    1000,
+			"BenchGone": 1000,
+		},
+	}
+	current := map[string]float64{
+		"BenchA":   1500, // 50% slower: regression at 20% threshold
+		"BenchB":   1100, // 10% slower: within band
+		"BenchC":   500,  // 50% faster: improvement
+		"BenchNew": 42,   // not in baseline
+	}
+	c := Compare(base, current, 0.20)
+	if len(c.Regressions) != 1 || c.Regressions[0].Name != "BenchA" {
+		t.Fatalf("regressions = %+v", c.Regressions)
+	}
+	if r := c.Regressions[0].Ratio; r < 1.49 || r > 1.51 {
+		t.Fatalf("regression ratio = %v", r)
+	}
+	if len(c.Within) != 1 || c.Within[0].Name != "BenchB" {
+		t.Fatalf("within = %+v", c.Within)
+	}
+	if len(c.Improvements) != 1 || c.Improvements[0].Name != "BenchC" {
+		t.Fatalf("improvements = %+v", c.Improvements)
+	}
+	if len(c.MissingFromRun) != 1 || c.MissingFromRun[0] != "BenchGone" {
+		t.Fatalf("missing from run = %v", c.MissingFromRun)
+	}
+	if len(c.MissingFromBase) != 1 || c.MissingFromBase[0] != "BenchNew" {
+		t.Fatalf("missing from base = %v", c.MissingFromBase)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := &Baseline{
+		Version:   1,
+		Benchtime: "1x",
+		Count:     6,
+		Results:   map[string]float64{"BenchA": 123.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results["BenchA"] != 123.5 || got.Count != 6 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version":2,"results":{"a":1}}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version":1,"results":{}}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -5,14 +5,29 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/treedoc/treedoc/internal/transport/shardmap"
 )
 
 // Hub is the relay server behind cmd/treedoc-serve: it accepts framed TCP
-// connections and fans every inbound frame out to all other clients. The
+// connections and fans frames out within per-document relay groups. The
 // hub holds no replica and never decodes operations — the causal buffers
 // at the edges deduplicate, order, and repair — so it scales with wire
-// throughput, not document size. A slow client's queue overflowing drops
-// frames for that client only; its engine heals via anti-entropy.
+// throughput, not document size.
+//
+// Documents partition the relay: a client attaches to one or more
+// documents via the kindHello handshake, doc-scoped envelope frames
+// (kindDocFrame) are relayed only to that document's group, and bare
+// frames from legacy clients are routed to DefaultDoc — a connection that
+// never says hello behaves exactly as it did on the single-document hub.
+// A slow client's queue overflowing drops frames for that client only;
+// its engine heals via anti-entropy.
+//
+// With a shard ring configured (WithHubShards / ConfigureSharding), N hub
+// processes split the document space by consistent hashing: an attach for
+// a document this process does not own is answered with a redirect naming
+// the owner, which Session/DialDoc clients follow transparently.
 type Hub struct {
 	ln         net.Listener
 	queueDepth int
@@ -22,14 +37,52 @@ type Hub struct {
 	conns  map[int64]*hubConn
 	nextID int64
 	closed bool
-	// snap is an immutable snapshot of conns, rebuilt under mu on connect
-	// and disconnect, so the per-frame relay path reads it lock-free and
-	// allocation-free.
-	snap atomic.Pointer[[]*hubConn]
+	// shards maps document ID to its relay group. The map itself is
+	// copy-on-write behind an atomic pointer, and each shard keeps an
+	// immutable snapshot of its connections, so the per-frame relay path
+	// reads both lock-free; mu serialises the (rare) attach, detach and
+	// disconnect mutations.
+	shards   map[string]*docShard
+	shardPtr atomic.Pointer[map[string]*docShard]
 
-	drops  atomic.Uint64
+	// ring is the consistent-hash routing layer when this hub is one of N
+	// cooperating processes; nil means this hub owns every document.
+	ring *shardmap.Map
+	self string
+	// pendingPeers carries WithHubShards arguments until ListenHub
+	// validates them; tests with :0 listeners use ConfigureSharding after
+	// the port is known instead.
+	pendingPeers []string
+
+	drops    atomic.Uint64
+	relays   atomic.Uint64
+	unrouted atomic.Uint64
+	// lastDropWarn rate-limits the slow-client warning (unix nanos).
+	lastDropWarn atomic.Int64
+	wg           sync.WaitGroup
+}
+
+// docShard is one document's relay group.
+type docShard struct {
+	doc   string
+	conns map[int64]*hubConn
+	// snap is an immutable snapshot of conns, rebuilt under the hub lock
+	// on attach/detach/disconnect, read lock-free by the relay path.
+	snap   atomic.Pointer[[]*hubConn]
 	relays atomic.Uint64
-	wg     sync.WaitGroup
+	drops  atomic.Uint64
+}
+
+// DocStats is one document's relay counters.
+type DocStats struct {
+	// Clients is the number of connections currently attached.
+	Clients int
+	// Relays counts frames fanned out on this document (one per receiving
+	// client).
+	Relays uint64
+	// Drops counts frames discarded on this document because a client
+	// queue was full.
+	Drops uint64
 }
 
 // HubOption configures a Hub.
@@ -44,9 +97,25 @@ func WithHubQueueDepth(n int) HubOption {
 	}
 }
 
-// WithHubLogger directs connection logging (default: silent).
+// WithHubLogger directs connection logging and slow-client drop warnings
+// (default: silent).
 func WithHubLogger(logf func(format string, args ...any)) HubOption {
 	return func(h *Hub) { h.logf = logf }
+}
+
+// WithHubShards makes the hub one of N cooperating processes splitting
+// the document space: peers is the full ring membership (advertised
+// addresses, identical on every process) and self is this process's own
+// advertised address. Attaches for documents owned by another peer are
+// answered with a redirect. A bad ring (empty, duplicate or unknown self)
+// is reported by ListenHub.
+func WithHubShards(self string, peers []string) HubOption {
+	return func(h *Hub) {
+		// Defer validation to ListenHub via ConfigureSharding so the error
+		// surfaces instead of being swallowed by the option signature.
+		h.self = self
+		h.pendingPeers = peers
+	}
 }
 
 // ListenHub starts a hub on addr (e.g. ":9707" or "127.0.0.1:0") and
@@ -61,23 +130,95 @@ func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
 		queueDepth: defaultQueueDepth,
 		logf:       func(string, ...any) {},
 		conns:      make(map[int64]*hubConn),
+		shards:     make(map[string]*docShard),
 	}
 	for _, o := range opts {
 		o(h)
+	}
+	h.publishShards()
+	if h.pendingPeers != nil {
+		if err := h.ConfigureSharding(h.self, h.pendingPeers); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		h.pendingPeers = nil
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
 }
 
+// ConfigureSharding installs (or replaces) the consistent-hash ring: self
+// is this process's advertised address and peers the full membership.
+// Call before clients attach — already-attached documents are not
+// re-evaluated or migrated.
+func (h *Hub) ConfigureSharding(self string, peers []string) error {
+	ring, err := shardmap.New(peers, 0)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, p := range peers {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return &net.AddrError{Err: "self address not in peer ring", Addr: self}
+	}
+	h.mu.Lock()
+	h.ring, h.self = ring, self
+	h.mu.Unlock()
+	return nil
+}
+
 // Addr returns the hub's listen address.
 func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
 
-// Drops counts frames discarded because a client queue was full.
+// DocOwner reports the shard-ring owner of doc and whether that is this
+// hub. Without a configured ring this hub owns every document. Callers
+// (like cmd/treedoc-serve deciding where to run archivists) must consult
+// this rather than building a parallel ring, so ownership decisions and
+// attach redirects can never disagree.
+func (h *Hub) DocOwner(doc string) (owner string, owned bool) {
+	h.mu.Lock()
+	ring, self := h.ring, h.self
+	h.mu.Unlock()
+	if ring == nil {
+		return self, true
+	}
+	owner = ring.Owner(doc)
+	return owner, owner == self
+}
+
+// Drops counts frames discarded because a client queue was full, across
+// all documents.
 func (h *Hub) Drops() uint64 { return h.drops.Load() }
 
-// Relays counts frames fanned out (one per receiving client).
+// Relays counts frames fanned out (one per receiving client), across all
+// documents.
 func (h *Hub) Relays() uint64 { return h.relays.Load() }
+
+// Unrouted counts frames that named a document with no attached clients
+// (including envelope frames that failed to parse).
+func (h *Hub) Unrouted() uint64 { return h.unrouted.Load() }
+
+// DocStats returns per-document relay counters for every document with an
+// active relay group or nonzero history this hub retains.
+func (h *Hub) DocStats() map[string]DocStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]DocStats, len(h.shards))
+	for doc, s := range h.shards {
+		out[doc] = DocStats{
+			Clients: len(s.conns),
+			Relays:  s.relays.Load(),
+			Drops:   s.drops.Load(),
+		}
+	}
+	return out
+}
 
 // Close stops accepting, disconnects every client, and waits for the
 // hub's goroutines to drain.
@@ -122,9 +263,14 @@ func (h *Hub) acceptLoop() {
 			conn: conn,
 			out:  make(chan []byte, h.queueDepth),
 			gone: make(chan struct{}),
+			docs: make(map[string]bool),
 		}
 		h.conns[c.id] = c
-		h.rebuild()
+		// Every connection starts attached to the default document: a
+		// legacy client never says hello, and this is exactly the old
+		// single-document relay behaviour. The first kindHello re-homes the
+		// connection to the documents it names.
+		h.attachLocked(c, DefaultDoc)
 		n := len(h.conns)
 		h.mu.Unlock()
 		h.logf("hub: client %d connected from %s (%d online)", c.id, conn.RemoteAddr(), n)
@@ -134,41 +280,192 @@ func (h *Hub) acceptLoop() {
 	}
 }
 
-// rebuild refreshes the lock-free snapshot; call with mu held.
-func (h *Hub) rebuild() {
-	s := make([]*hubConn, 0, len(h.conns))
-	for _, c := range h.conns {
-		s = append(s, c)
+// publishShards refreshes the copy-on-write shard map; call with mu held
+// (or before the hub goes live).
+func (h *Hub) publishShards() {
+	m := make(map[string]*docShard, len(h.shards))
+	for doc, s := range h.shards {
+		m[doc] = s
 	}
-	h.snap.Store(&s)
+	h.shardPtr.Store(&m)
 }
 
-// relay fans one frame out to every client except the origin. It runs on
-// every inbound frame, so it reads the connection snapshot without taking
-// the hub lock or allocating.
-func (h *Hub) relay(from int64, frame []byte) {
-	s := h.snap.Load()
+// attachLocked adds c to doc's relay group, creating it on first attach;
+// call with mu held.
+func (h *Hub) attachLocked(c *hubConn, doc string) {
+	s := h.shards[doc]
+	if s == nil {
+		s = &docShard{doc: doc, conns: make(map[int64]*hubConn)}
+		h.shards[doc] = s
+		h.publishShards()
+	}
+	if c.docs[doc] {
+		return
+	}
+	c.docs[doc] = true
+	s.conns[c.id] = c
+	s.rebuild()
+}
+
+// detachLocked removes c from doc's relay group, deleting the group when
+// its last connection leaves; call with mu held.
+func (h *Hub) detachLocked(c *hubConn, doc string) {
+	if !c.docs[doc] {
+		return
+	}
+	delete(c.docs, doc)
+	s := h.shards[doc]
 	if s == nil {
 		return
 	}
-	for _, c := range *s {
-		if c.id == from {
-			continue
+	delete(s.conns, c.id)
+	if len(s.conns) == 0 {
+		delete(h.shards, doc)
+		h.publishShards()
+		return
+	}
+	s.rebuild()
+}
+
+// rebuild refreshes the shard's lock-free snapshot; call with the hub
+// lock held.
+func (s *docShard) rebuild() {
+	snap := make([]*hubConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		snap = append(snap, c)
+	}
+	s.snap.Store(&snap)
+}
+
+// hello processes an attach handshake: attach every owned document,
+// answer redirects for documents another shard owns.
+func (h *Hub) hello(c *hubConn, docs []string) {
+	c.aware.Store(true)
+	entries := make([]HelloEntry, 0, len(docs))
+	h.mu.Lock()
+	ring, self := h.ring, h.self
+	for _, doc := range docs {
+		if ring != nil {
+			if owner := ring.Owner(doc); owner != self {
+				entries = append(entries, HelloEntry{Doc: doc, Redirect: owner})
+				continue
+			}
 		}
-		select {
-		case c.out <- frame:
-			h.relays.Add(1)
-		default:
-			h.drops.Add(1)
+		h.attachLocked(c, doc)
+		entries = append(entries, HelloEntry{Doc: doc})
+	}
+	// The first hello re-homes the connection: it is doc-aware now, so the
+	// implicit legacy attachment to the default document is dropped unless
+	// it was requested by name.
+	if !c.helloSeen {
+		c.helloSeen = true
+		keep := false
+		for _, doc := range docs {
+			if doc == DefaultDoc {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			h.detachLocked(c, DefaultDoc)
 		}
 	}
+	h.mu.Unlock()
+	resp, err := EncodeHelloResp(entries)
+	if err != nil {
+		h.logf("hub: client %d hello response: %v", c.id, err)
+		return
+	}
+	// The handshake answer must not be silently dropped: block into the
+	// queue (the writer is draining it) until the connection dies.
+	select {
+	case c.out <- resp:
+	case <-c.gone:
+	}
+	for _, e := range entries {
+		if e.Redirect != "" {
+			h.logf("hub: client %d doc %q redirected to %s", c.id, e.Doc, e.Redirect)
+		} else {
+			h.logf("hub: client %d attached to doc %q", c.id, e.Doc)
+		}
+	}
+}
+
+func (h *Hub) detach(c *hubConn, docs []string) {
+	h.mu.Lock()
+	for _, doc := range docs {
+		h.detachLocked(c, doc)
+	}
+	h.mu.Unlock()
+}
+
+// relay fans one frame out to every other client attached to doc. It runs
+// on every inbound frame, so it reads the copy-on-write shard map and the
+// shard's connection snapshot without taking the hub lock. inner is the
+// bare frame (what legacy clients receive); env is the doc-scoped
+// envelope if the sender provided one, else it is built lazily the first
+// time a doc-aware receiver needs it.
+func (h *Hub) relay(from *hubConn, doc string, inner, env []byte) {
+	shards := h.shardPtr.Load()
+	s := (*shards)[doc]
+	if s == nil {
+		h.unrouted.Add(1)
+		return
+	}
+	conns := s.snap.Load()
+	if conns == nil {
+		return
+	}
+	for _, c := range *conns {
+		if c == from {
+			continue
+		}
+		f := inner
+		if c.aware.Load() {
+			if env == nil {
+				var err error
+				if env, err = EncodeDocFrame(doc, inner); err != nil {
+					// Unwrappable inner frame (cannot happen for wire-read
+					// frames, which already passed the size limits); skip
+					// doc-aware receivers rather than mis-deliver.
+					continue
+				}
+			}
+			f = env
+		}
+		select {
+		case c.out <- f:
+			s.relays.Add(1)
+			h.relays.Add(1)
+		default:
+			s.drops.Add(1)
+			h.drops.Add(1)
+			h.warnDrop(c, s)
+		}
+	}
+}
+
+// warnDrop logs a slow-client drop with client and document identity, at
+// most once per second across the hub: a saturated client drops thousands
+// of frames per second, and the log must not amplify that.
+func (h *Hub) warnDrop(c *hubConn, s *docShard) {
+	const warnEvery = int64(time.Second)
+	now := time.Now().UnixNano()
+	last := h.lastDropWarn.Load()
+	if now-last < warnEvery || !h.lastDropWarn.CompareAndSwap(last, now) {
+		return
+	}
+	h.logf("hub: dropping frames for slow client %d (%s) on doc %q (doc drops %d, hub drops %d); anti-entropy will heal",
+		c.id, c.conn.RemoteAddr(), s.doc, s.drops.Load(), h.drops.Load())
 }
 
 func (h *Hub) drop(c *hubConn) {
 	h.mu.Lock()
 	_, present := h.conns[c.id]
 	delete(h.conns, c.id)
-	h.rebuild()
+	for doc := range c.docs {
+		h.detachLocked(c, doc)
+	}
 	n := len(h.conns)
 	h.mu.Unlock()
 	c.shut()
@@ -186,6 +483,15 @@ type hubConn struct {
 	out      chan []byte
 	gone     chan struct{}
 	goneOnce sync.Once
+	// aware flips once the client sends kindHello: doc-aware clients
+	// receive envelope frames, legacy clients receive bare frames.
+	aware atomic.Bool
+	// docs is the set of attached documents; guarded by hub.mu (the relay
+	// path never reads it — shard snapshots carry membership).
+	docs map[string]bool
+	// helloSeen records that the first hello already re-homed this
+	// connection off the implicit default attachment; guarded by hub.mu.
+	helloSeen bool
 }
 
 func (c *hubConn) shut() {
@@ -202,7 +508,36 @@ func (c *hubConn) reader() {
 		if err != nil {
 			return
 		}
-		c.hub.relay(c.id, frame)
+		switch frame[0] {
+		case kindHello:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.hello(c, decoded.(*HelloFrame).Docs)
+		case kindDetach:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.detach(c, decoded.(*DetachFrame).Docs)
+		case kindHelloResp:
+			// Clients never relay handshake answers.
+			c.hub.unrouted.Add(1)
+		case kindDocFrame:
+			doc, inner, err := SplitDocFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.relay(c, doc, inner, frame)
+		default:
+			// Bare frame from a legacy client (or a doc-aware client's
+			// unscoped traffic): route to the default document.
+			c.hub.relay(c, DefaultDoc, frame, nil)
+		}
 	}
 }
 

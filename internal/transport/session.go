@@ -1,0 +1,367 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session-side constants.
+const (
+	// helloTimeout bounds how long an attach waits for the hub's handshake
+	// answer.
+	helloTimeout = 10 * time.Second
+	// sessionQueueDepth is the per-document inbound queue on a session
+	// link; a full queue drops frames (anti-entropy heals), mirroring the
+	// hub's per-client queue semantics.
+	sessionQueueDepth = 256
+)
+
+// Session multiplexes one or more document-scoped links over shared hub
+// connections: Attach performs the kindHello handshake for a document and
+// returns a Link carrying only that document's frames (envelope-wrapped
+// on Send, stripped on Recv). When the hub answers an attach with a shard
+// redirect, the session transparently dials the owning hub process and
+// attaches there, so callers never see the ring topology.
+//
+// A Session is safe for concurrent use. Closing a Session tears down
+// every connection and fails every attached link.
+type Session struct {
+	primary string
+
+	mu     sync.Mutex
+	conns  map[string]*sessConn // keyed by hub address
+	closed bool
+}
+
+// DialSession prepares a session against the hub at addr. Dialing is
+// lazy: the first Attach establishes the connection (and any redirect
+// target connections).
+func DialSession(addr string) *Session {
+	return &Session{primary: addr, conns: make(map[string]*sessConn)}
+}
+
+// DialDoc connects to a hub and attaches to one document, following a
+// shard redirect if the addressed hub does not own it. The returned link
+// owns its session: closing the link tears the connection down.
+func DialDoc(addr, doc string) (Link, error) {
+	s := DialSession(addr)
+	l, err := s.Attach(doc)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	l.(*docLink).ownsSess = s
+	return l, nil
+}
+
+// Attach subscribes to doc and returns the link carrying its frames. At
+// most one link per document per session.
+func (s *Session) Attach(doc string) (Link, error) {
+	if err := ValidateDocID(doc); err != nil {
+		return nil, err
+	}
+	sc, err := s.conn(s.primary)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := sc.attach(doc)
+	if err != nil {
+		return nil, err
+	}
+	if entry.Redirect != "" {
+		// One redirect hop: the owner answers its own attaches, so a second
+		// redirect means the ring views disagree — fail loudly rather than
+		// chase a loop.
+		if sc, err = s.conn(entry.Redirect); err != nil {
+			return nil, err
+		}
+		if entry, err = sc.attach(doc); err != nil {
+			return nil, err
+		}
+		if entry.Redirect != "" {
+			return nil, fmt.Errorf("transport: doc %q redirected twice (ring disagreement: via %s then %s)",
+				doc, s.primary, entry.Redirect)
+		}
+	}
+	return sc.newDocLink(doc)
+}
+
+// conn returns the session's connection to addr, dialing it on first use.
+func (s *Session) conn(addr string) (*sessConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("transport: session closed")
+	}
+	if sc := s.conns[addr]; sc != nil && !sc.isDead() {
+		return sc, nil
+	}
+	link, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := &sessConn{
+		addr:    addr,
+		link:    link,
+		docs:    make(map[string]*docLink),
+		waiters: make(map[string][]chan HelloEntry),
+		dead:    make(chan struct{}),
+	}
+	s.conns[addr] = sc
+	go sc.reader()
+	return sc, nil
+}
+
+// Close tears down every hub connection, failing all attached links.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*sessConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.fail(fmt.Errorf("transport: session closed"))
+	}
+	return nil
+}
+
+// sessConn is one shared hub connection: a reader goroutine demultiplexes
+// inbound frames to per-document links and handshake waiters.
+type sessConn struct {
+	addr string
+	link *TCPLink
+
+	mu      sync.Mutex
+	docs    map[string]*docLink
+	waiters map[string][]chan HelloEntry
+	err     error
+
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func (sc *sessConn) isDead() bool {
+	select {
+	case <-sc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail marks the connection dead, closes the socket, and wakes every
+// waiter and attached link.
+func (sc *sessConn) fail(err error) {
+	sc.deadOnce.Do(func() {
+		sc.mu.Lock()
+		sc.err = err
+		sc.mu.Unlock()
+		close(sc.dead)
+		sc.link.Close()
+	})
+}
+
+func (sc *sessConn) lastErr() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.err != nil {
+		return sc.err
+	}
+	return fmt.Errorf("transport: hub connection closed")
+}
+
+// attach sends the handshake for one document and waits for the hub's
+// per-document answer.
+func (sc *sessConn) attach(doc string) (HelloEntry, error) {
+	frame, err := EncodeHello([]string{doc})
+	if err != nil {
+		return HelloEntry{}, err
+	}
+	ch := make(chan HelloEntry, 1)
+	sc.mu.Lock()
+	if sc.docs[doc] != nil {
+		sc.mu.Unlock()
+		return HelloEntry{}, fmt.Errorf("transport: doc %q already attached on %s", doc, sc.addr)
+	}
+	sc.waiters[doc] = append(sc.waiters[doc], ch)
+	sc.mu.Unlock()
+	if err := sc.link.Send(frame); err != nil {
+		sc.fail(err)
+		return HelloEntry{}, err
+	}
+	select {
+	case e := <-ch:
+		return e, nil
+	case <-sc.dead:
+		return HelloEntry{}, sc.lastErr()
+	case <-time.After(helloTimeout):
+		return HelloEntry{}, fmt.Errorf("transport: attach %q to %s timed out", doc, sc.addr)
+	}
+}
+
+// newDocLink registers the per-document link on this connection.
+func (sc *sessConn) newDocLink(doc string) (*docLink, error) {
+	dl := &docLink{
+		sc:   sc,
+		doc:  doc,
+		in:   make(chan []byte, sessionQueueDepth),
+		done: make(chan struct{}),
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.isDead() {
+		return nil, sc.err
+	}
+	if sc.docs[doc] != nil {
+		return nil, fmt.Errorf("transport: doc %q already attached on %s", doc, sc.addr)
+	}
+	sc.docs[doc] = dl
+	return dl, nil
+}
+
+func (sc *sessConn) removeDoc(doc string, dl *docLink) {
+	sc.mu.Lock()
+	if sc.docs[doc] == dl {
+		delete(sc.docs, doc)
+	}
+	sc.mu.Unlock()
+}
+
+// reader demultiplexes the shared connection: handshake answers to their
+// waiters, envelope frames to their document's link, bare frames to the
+// sole attached document (a hub only sends bare frames to clients it
+// believes are legacy).
+func (sc *sessConn) reader() {
+	for {
+		frame, err := sc.link.Recv()
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		switch frame[0] {
+		case kindHelloResp:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				continue
+			}
+			sc.mu.Lock()
+			for _, e := range decoded.(*HelloRespFrame).Entries {
+				if q := sc.waiters[e.Doc]; len(q) > 0 {
+					q[0] <- e
+					sc.waiters[e.Doc] = q[1:]
+				}
+			}
+			sc.mu.Unlock()
+		case kindDocFrame:
+			doc, inner, err := SplitDocFrame(frame)
+			if err != nil {
+				continue
+			}
+			sc.mu.Lock()
+			dl := sc.docs[doc]
+			sc.mu.Unlock()
+			if dl != nil {
+				dl.push(inner)
+			}
+		default:
+			var sole *docLink
+			sc.mu.Lock()
+			if len(sc.docs) == 1 {
+				for _, dl := range sc.docs {
+					sole = dl
+				}
+			}
+			sc.mu.Unlock()
+			if sole != nil {
+				sole.push(frame)
+			}
+		}
+	}
+}
+
+// docLink is a Link scoped to one document over a shared session
+// connection: Send wraps frames in the doc envelope, Recv yields the
+// stripped inner frames the reader routed here.
+type docLink struct {
+	sc   *sessConn
+	doc  string
+	in   chan []byte
+	done chan struct{}
+	once sync.Once
+	// ownsSess is set when DialDoc created a private session for this
+	// link, so closing the link closes the connection too.
+	ownsSess *Session
+}
+
+// push delivers one inbound frame, dropping on overflow: the consumer is
+// an engine whose anti-entropy heals the loss, and a slow document must
+// not stall its siblings on the shared connection.
+func (dl *docLink) push(frame []byte) {
+	select {
+	case <-dl.done:
+	case dl.in <- frame:
+	default:
+	}
+}
+
+// Send wraps one frame in the document envelope and writes it to the
+// shared connection.
+func (dl *docLink) Send(frame []byte) error {
+	select {
+	case <-dl.done:
+		return fmt.Errorf("transport: doc link closed")
+	case <-dl.sc.dead:
+		return dl.sc.lastErr()
+	default:
+	}
+	env, err := EncodeDocFrame(dl.doc, frame)
+	if err != nil {
+		return err
+	}
+	if err := dl.sc.link.Send(env); err != nil {
+		dl.sc.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Recv returns the next frame for this document.
+func (dl *docLink) Recv() ([]byte, error) {
+	select {
+	case f := <-dl.in:
+		return f, nil
+	case <-dl.done:
+		return nil, fmt.Errorf("transport: doc link closed")
+	case <-dl.sc.dead:
+		// Drain anything already routed before reporting the failure.
+		select {
+		case f := <-dl.in:
+			return f, nil
+		default:
+			return nil, dl.sc.lastErr()
+		}
+	}
+}
+
+// Close detaches from the document (best-effort) and fails pending Recv
+// calls. A DialDoc link also tears down its private session.
+func (dl *docLink) Close() error {
+	dl.once.Do(func() {
+		if f, err := EncodeDetach([]string{dl.doc}); err == nil {
+			_ = dl.sc.link.Send(f)
+		}
+		dl.sc.removeDoc(dl.doc, dl)
+		close(dl.done)
+		if dl.ownsSess != nil {
+			dl.ownsSess.Close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package shardmap is the consistent-hash routing layer behind hub
+// sharding: N hub processes split the document space, and every process
+// (and every doc-aware client library, if it wants to skip a redirect
+// hop) computes the same document→owner assignment from the same node
+// list. Consistent hashing keeps the assignment stable under membership
+// change: adding or removing one node moves only the documents on the
+// ring arcs that node owned, not the whole keyspace.
+package shardmap
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per physical node: enough ring
+// points that a two- or three-node ring splits the keyspace near-evenly.
+const defaultVnodes = 128
+
+// Map is an immutable consistent-hash ring over a set of node addresses.
+// All methods are safe for concurrent use.
+type Map struct {
+	nodes  []string
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// New builds a ring over the given node addresses with vnodes virtual
+// nodes each (0 means the default). Node addresses must be non-empty and
+// unique; the hash is FNV-1a, so every process building a ring from the
+// same list computes the same assignment.
+func New(nodes []string, vnodes int) (*Map, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shardmap: empty node list")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	m := &Map{
+		nodes:  make([]string, 0, len(nodes)),
+		points: make([]point, 0, len(nodes)*vnodes),
+	}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("shardmap: empty node address")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("shardmap: duplicate node %q", n)
+		}
+		seen[n] = true
+		m.nodes = append(m.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			m.points = append(m.points, point{hash: hash(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(m.points, func(i, j int) bool {
+		if m.points[i].hash != m.points[j].hash {
+			return m.points[i].hash < m.points[j].hash
+		}
+		// Tie-break on the node address so equal hashes still order
+		// identically on every process.
+		return m.points[i].node < m.points[j].node
+	})
+	return m, nil
+}
+
+// Owner returns the node that owns key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (m *Map) Owner(key string) string {
+	h := hash(key)
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].hash >= h })
+	if i == len(m.points) {
+		i = 0
+	}
+	return m.points[i].node
+}
+
+// Nodes returns the ring membership in insertion order.
+func (m *Map) Nodes() []string {
+	out := make([]string, len(m.nodes))
+	copy(out, m.nodes)
+	return out
+}
+
+// hash is FNV-1a followed by a murmur3-style 64-bit finalizer. The
+// finalizer matters: raw FNV-1a barely mixes trailing-byte differences,
+// so the vnode labels of one node ("host:port#0" … "host:port#127")
+// cluster into one tight arc and a two-node ring degenerates to a single
+// owner. The avalanche scatters them uniformly. Both stages are fixed
+// constants, so every process computes the same ring.
+func hash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,95 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	nodes := []string{"10.0.0.1:9707", "10.0.0.2:9707", "10.0.0.3:9707"}
+	a, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings built from the same list disagree on %q", key)
+		}
+	}
+}
+
+func TestOwnerSpread(t *testing.T) {
+	// Realistic node addresses differing only in trailing digits: the case
+	// that degenerates without post-hash avalanching (raw FNV-1a barely
+	// mixes trailing-byte differences, clustering each node's vnodes into
+	// one arc).
+	for _, nodes := range [][]string{
+		{"a:1", "b:1", "c:1"},
+		{"127.0.0.1:19801", "127.0.0.1:19802"},
+		{"hub1.internal:9707", "hub2.internal:9707", "hub3.internal:9707"},
+	} {
+		m, err := New(nodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		const keys = 10_000
+		for i := 0; i < keys; i++ {
+			counts[m.Owner(fmt.Sprintf("doc-%d", i))]++
+		}
+		if len(counts) != len(nodes) {
+			t.Fatalf("ring %v: only %d of %d nodes own any key: %v", nodes, len(counts), len(nodes), counts)
+		}
+		for n, c := range counts {
+			// Even-ish split: every node must own at least half its fair
+			// share of the keyspace.
+			if c < keys/(2*len(nodes)) {
+				t.Errorf("ring %v: node %s owns only %d/%d keys", nodes, n, c, keys)
+			}
+		}
+	}
+}
+
+func TestMembershipChangeMovesLittle(t *testing.T) {
+	before, err := New([]string{"a:1", "b:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New([]string{"a:1", "b:1", "c:1", "d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10_000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	// Adding a fourth node should move roughly a quarter of the keys, and
+	// certainly far fewer than a naive mod-N rehash (three quarters).
+	if moved > keys/2 {
+		t.Fatalf("adding one node moved %d/%d keys", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding one node moved nothing: the new node owns no keys")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := New([]string{""}, 0); err == nil {
+		t.Fatal("empty node address accepted")
+	}
+}

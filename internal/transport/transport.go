@@ -18,10 +18,13 @@
 //     with bounded queues and backpressure, for tests and co-located
 //     replicas) and TCPLink (length-prefixed framing over net.Conn).
 //
-//   - Hub is a relay server (cmd/treedoc-serve): clients connect over TCP
-//     and every inbound frame is fanned out to all other clients. The hub
-//     holds no replica; the causal buffers at the edges deduplicate and
-//     order.
+//   - Hub is a relay server (cmd/treedoc-serve): clients connect over TCP,
+//     attach to one or more documents (DialDoc / Session; plain Dial
+//     clients land on DefaultDoc), and every inbound frame is fanned out
+//     within its document's relay group only. The hub holds no replica;
+//     the causal buffers at the edges deduplicate and order. N hubs can
+//     split the document space by consistent hashing (shardmap), with
+//     attaches for foreign documents redirected to their owner.
 //
 // Operation gossip is lossy by design: bounded queues drop frames under
 // overload rather than stalling the actor, and a periodic anti-entropy

@@ -57,6 +57,24 @@ const (
 	// in offset order and installs the whole as if one kindSnap frame had
 	// arrived.
 	kindSnapChunk = 0x08
+	// kindDocFrame is the doc-scoped envelope: a document ID followed by one
+	// complete inner frame of any other kind. A sharded hub routes the
+	// envelope to the document's relay group only; engines never see it —
+	// the Session link wraps on Send and strips on Recv. Bare (unwrapped)
+	// frames remain valid and are routed to DefaultDoc, so pre-envelope
+	// Dial clients keep working.
+	kindDocFrame = 0x09
+	// kindHello is the attach handshake: a client names the documents it
+	// wants to join. The hub answers with one kindHelloResp. A connection
+	// that never sends kindHello is a legacy client, implicitly attached to
+	// DefaultDoc.
+	kindHello = 0x0a
+	// kindHelloResp answers a kindHello per requested document: attached
+	// (frames for that doc will now be relayed here) or a redirect naming
+	// the hub process that owns the document's shard.
+	kindHelloResp = 0x0b
+	// kindDetach unsubscribes the connection from the named documents.
+	kindDetach = 0x0c
 )
 
 // Wire limits. Frames above the per-kind size limit are refused on read
@@ -77,14 +95,32 @@ const (
 	// the ceiling a hostile kindSnapChunk total can make a receiver
 	// allocate towards.
 	MaxSnapshotSize = 1 << 31
+	// MaxDocIDLen bounds a document identifier on the wire.
+	MaxDocIDLen = 128
+	// maxHelloDocs bounds the documents in one hello/hello-resp/detach
+	// frame.
+	maxHelloDocs = 1 << 10
+	// docFrameOverhead is the worst-case envelope header: kind byte, doc ID
+	// length uvarint, doc ID bytes. A kindDocFrame may wrap any inner kind,
+	// so its ceiling is the largest inner ceiling plus this overhead.
+	docFrameOverhead = 1 + 2 + MaxDocIDLen
 )
+
+// DefaultDoc is the document legacy (pre-envelope) clients are attached
+// to: a hub routes every bare frame to it, so a deployment that never
+// names documents behaves exactly as the single-document hub did.
+const DefaultDoc = "default"
 
 // frameSizeLimit returns the size ceiling for a frame of the given kind.
 func frameSizeLimit(kind byte) int {
-	if kind == kindSnap || kind == kindSnapChunk {
+	switch kind {
+	case kindSnap, kindSnapChunk:
 		return MaxSnapFrameSize
+	case kindDocFrame:
+		return MaxSnapFrameSize + docFrameOverhead
+	default:
+		return MaxFrameSize
 	}
-	return MaxFrameSize
 }
 
 // OpsFrame is a decoded kindOps frame.
@@ -122,6 +158,38 @@ type SnapChunkFrame struct {
 	Total   uint64
 	Offset  uint64
 	Data    []byte
+}
+
+// DocFrame is a decoded kindDocFrame envelope: one complete inner frame
+// scoped to document Doc. Inner aliases the envelope's backing array.
+type DocFrame struct {
+	Doc   string
+	Inner []byte
+}
+
+// HelloFrame is a decoded kindHello frame: the documents a client asks to
+// attach to.
+type HelloFrame struct {
+	Docs []string
+}
+
+// HelloEntry is one per-document answer inside a kindHelloResp frame: the
+// document was attached here, or (Redirect non-empty) is owned by the hub
+// process at that address.
+type HelloEntry struct {
+	Doc      string
+	Redirect string
+}
+
+// HelloRespFrame is a decoded kindHelloResp frame.
+type HelloRespFrame struct {
+	Entries []HelloEntry
+}
+
+// DetachFrame is a decoded kindDetach frame: the documents a client is
+// leaving.
+type DetachFrame struct {
+	Docs []string
 }
 
 // FlatProposeFrame is a decoded kindFlatPropose frame: the coordinator
@@ -299,6 +367,189 @@ func EncodeSnapChunk(from ident.SiteID, version vclock.VC, total, offset uint64,
 		return nil, fmt.Errorf("transport: snap chunk frame of %d bytes exceeds limit", len(buf))
 	}
 	return buf, nil
+}
+
+// ValidateDocID checks a document identifier: 1..MaxDocIDLen bytes of
+// [A-Za-z0-9._-], not starting with a dot. The character set is strict
+// because doc IDs double as oplog subdirectory names on archivist hubs.
+func ValidateDocID(doc string) error {
+	if doc == "" {
+		return fmt.Errorf("transport: empty doc id")
+	}
+	if len(doc) > MaxDocIDLen {
+		return fmt.Errorf("transport: doc id of %d bytes exceeds limit", len(doc))
+	}
+	if doc[0] == '.' {
+		return fmt.Errorf("transport: doc id %q starts with a dot", doc)
+	}
+	for i := 0; i < len(doc); i++ {
+		c := doc[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("transport: doc id %q has invalid byte %#x", doc, c)
+		}
+	}
+	return nil
+}
+
+// appendDoc appends one length-prefixed document ID.
+func appendDoc(dst []byte, doc string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(doc)))
+	return append(dst, doc...)
+}
+
+// decodeDoc decodes and validates one length-prefixed document ID from the
+// front of buf, returning the bytes consumed.
+func decodeDoc(buf []byte) (string, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return "", 0, fmt.Errorf("transport: truncated doc id length")
+	}
+	if n > MaxDocIDLen {
+		return "", 0, fmt.Errorf("transport: doc id of %d bytes exceeds limit", n)
+	}
+	if n > uint64(len(buf)-off) {
+		return "", 0, fmt.Errorf("transport: truncated doc id")
+	}
+	doc := string(buf[off : off+int(n)])
+	if err := ValidateDocID(doc); err != nil {
+		return "", 0, err
+	}
+	return doc, off + int(n), nil
+}
+
+// EncodeDocFrame wraps one complete inner frame in the doc-scoped
+// envelope.
+func EncodeDocFrame(doc string, inner []byte) ([]byte, error) {
+	if err := ValidateDocID(doc); err != nil {
+		return nil, err
+	}
+	if len(inner) == 0 {
+		return nil, fmt.Errorf("transport: empty inner frame")
+	}
+	if inner[0] == kindDocFrame {
+		return nil, fmt.Errorf("transport: nested doc envelope")
+	}
+	if len(inner) > frameSizeLimit(inner[0]) {
+		return nil, fmt.Errorf("transport: inner frame of %d bytes exceeds limit", len(inner))
+	}
+	buf := make([]byte, 0, 1+2+len(doc)+len(inner))
+	buf = append(buf, kindDocFrame)
+	buf = appendDoc(buf, doc)
+	return append(buf, inner...), nil
+}
+
+// SplitDocFrame splits a doc-scoped envelope into the document ID and the
+// inner frame (aliasing the envelope's backing array), validating the
+// inner frame's kind and size but not decoding its body — the relay path
+// routes envelopes without paying for a full decode.
+func SplitDocFrame(frame []byte) (string, []byte, error) {
+	if len(frame) == 0 || frame[0] != kindDocFrame {
+		return "", nil, fmt.Errorf("transport: not a doc envelope")
+	}
+	if len(frame) > frameSizeLimit(kindDocFrame) {
+		return "", nil, fmt.Errorf("transport: doc envelope of %d bytes exceeds limit", len(frame))
+	}
+	doc, off, err := decodeDoc(frame[1:])
+	if err != nil {
+		return "", nil, err
+	}
+	inner := frame[1+off:]
+	if len(inner) == 0 {
+		return "", nil, fmt.Errorf("transport: empty inner frame")
+	}
+	if inner[0] == kindDocFrame {
+		return "", nil, fmt.Errorf("transport: nested doc envelope")
+	}
+	if len(inner) > frameSizeLimit(inner[0]) {
+		return "", nil, fmt.Errorf("transport: inner frame of %d bytes exceeds limit", len(inner))
+	}
+	return doc, inner, nil
+}
+
+// encodeDocList encodes a kindHello or kindDetach frame body.
+func encodeDocList(kind byte, docs []string) ([]byte, error) {
+	if len(docs) == 0 || len(docs) > maxHelloDocs {
+		return nil, fmt.Errorf("transport: %d docs out of range", len(docs))
+	}
+	buf := []byte{kind}
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	for _, d := range docs {
+		if err := ValidateDocID(d); err != nil {
+			return nil, err
+		}
+		buf = appendDoc(buf, d)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: hello frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// EncodeHello encodes the attach handshake frame.
+func EncodeHello(docs []string) ([]byte, error) {
+	return encodeDocList(kindHello, docs)
+}
+
+// EncodeDetach encodes the unsubscribe frame.
+func EncodeDetach(docs []string) ([]byte, error) {
+	return encodeDocList(kindDetach, docs)
+}
+
+// maxRedirectAddr bounds a redirect address in a hello response.
+const maxRedirectAddr = 256
+
+// EncodeHelloResp encodes the hub's answer to an attach handshake.
+func EncodeHelloResp(entries []HelloEntry) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > maxHelloDocs {
+		return nil, fmt.Errorf("transport: %d hello entries out of range", len(entries))
+	}
+	buf := []byte{kindHelloResp}
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		if err := ValidateDocID(e.Doc); err != nil {
+			return nil, err
+		}
+		if len(e.Redirect) > maxRedirectAddr {
+			return nil, fmt.Errorf("transport: redirect address of %d bytes exceeds limit", len(e.Redirect))
+		}
+		buf = appendDoc(buf, e.Doc)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Redirect)))
+		buf = append(buf, e.Redirect...)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: hello resp frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// decodeDocList decodes a kindHello or kindDetach body.
+func decodeDocList(body []byte) ([]string, error) {
+	n, off := binary.Uvarint(body)
+	if off <= 0 {
+		return nil, fmt.Errorf("transport: truncated doc count")
+	}
+	if n == 0 || n > maxHelloDocs {
+		return nil, fmt.Errorf("transport: doc count %d out of range", n)
+	}
+	if n > uint64(len(body)-off) {
+		return nil, fmt.Errorf("transport: doc count %d exceeds frame", n)
+	}
+	docs := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		doc, k, err := decodeDoc(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += k
+		docs = append(docs, doc)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("transport: %d trailing bytes after doc list", len(body)-off)
+	}
+	return docs, nil
 }
 
 // EncodeFlatPropose encodes a flatten commitment proposal frame.
@@ -560,6 +811,60 @@ func DecodeFrame(frame []byte) (any, error) {
 			return nil, fmt.Errorf("transport: %d trailing bytes after flatten decision frame", len(body)-off)
 		}
 		return &FlatDecisionFrame{From: from, N: n, Commit: commit, Seq: seq, Path: path}, nil
+	case kindDocFrame:
+		doc, inner, err := SplitDocFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		return &DocFrame{Doc: doc, Inner: inner}, nil
+	case kindHello:
+		docs, err := decodeDocList(body)
+		if err != nil {
+			return nil, err
+		}
+		return &HelloFrame{Docs: docs}, nil
+	case kindDetach:
+		docs, err := decodeDocList(body)
+		if err != nil {
+			return nil, err
+		}
+		return &DetachFrame{Docs: docs}, nil
+	case kindHelloResp:
+		n, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated hello entry count")
+		}
+		if n == 0 || n > maxHelloDocs {
+			return nil, fmt.Errorf("transport: hello entry count %d out of range", n)
+		}
+		if n > uint64(len(body)-off) {
+			return nil, fmt.Errorf("transport: hello entry count %d exceeds frame", n)
+		}
+		entries := make([]HelloEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			doc, k, err := decodeDoc(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			alen, k := binary.Uvarint(body[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("transport: truncated redirect length")
+			}
+			off += k
+			if alen > maxRedirectAddr {
+				return nil, fmt.Errorf("transport: redirect address of %d bytes exceeds limit", alen)
+			}
+			if alen > uint64(len(body)-off) {
+				return nil, fmt.Errorf("transport: truncated redirect address")
+			}
+			entries = append(entries, HelloEntry{Doc: doc, Redirect: string(body[off : off+int(alen)])})
+			off += int(alen)
+		}
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after hello resp", len(body)-off)
+		}
+		return &HelloRespFrame{Entries: entries}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown frame kind %#x", frame[0])
 	}
@@ -582,16 +887,17 @@ func WriteFrame(w io.Writer, frame []byte) error {
 
 // ReadFrame reads one length-prefixed frame, refusing oversized lengths
 // before allocating. Lengths above MaxFrameSize are tolerated only for
-// snapshot-bearing kinds (kindSnap and kindSnapChunk, checked against the
-// kind byte before the body is read), so a hostile length prefix cannot
-// force a large allocation by claiming any other kind.
+// kinds with a higher ceiling (kindSnap, kindSnapChunk, and the doc
+// envelope that may wrap them; checked against the kind byte before the
+// body is read), so a hostile length prefix cannot force a large
+// allocation by claiming any other kind.
 func ReadFrame(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxSnapFrameSize {
+	if n == 0 || n > MaxSnapFrameSize+docFrameOverhead {
 		return nil, fmt.Errorf("transport: frame length %d out of range", n)
 	}
 	if n > MaxFrameSize {

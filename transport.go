@@ -79,11 +79,24 @@ var (
 )
 
 // Hub is the relay server behind cmd/treedoc-serve, embeddable for tests
-// and in-process deployments.
+// and in-process deployments. It relays within per-document groups: see
+// DialDoc, Session and the kindHello handshake in docs/ARCHITECTURE.md.
 type Hub = transport.Hub
 
 // HubOption configures a Hub.
 type HubOption = transport.HubOption
+
+// HubDocStats is one document's relay counters on a Hub (see
+// Hub.DocStats).
+type HubDocStats = transport.DocStats
+
+// Session multiplexes several document-scoped links over shared hub
+// connections, following shard redirects transparently.
+type Session = transport.Session
+
+// DefaultDoc is the document legacy Dial clients are attached to: a hub
+// routes every bare (non-envelope) frame to it.
+const DefaultDoc = transport.DefaultDoc
 
 // NewEngine creates and starts a replication engine for site wrapping
 // replica (a *Doc, *TextBuffer, or anything applying operations).
@@ -100,9 +113,25 @@ func NewChanPair(depth int) (Link, Link) {
 }
 
 // Dial connects to a listening hub or peer over TCP and returns the
-// framed link.
+// framed link. A hub treats a Dial client as a legacy single-document
+// client on DefaultDoc; use DialDoc or DialSession to name documents.
 func Dial(addr string) (Link, error) {
 	return transport.Dial(addr)
+}
+
+// DialDoc connects to a hub and attaches to one named document: the
+// returned link carries only that document's frames, and a shard redirect
+// (the addressed hub does not own the document) is followed
+// transparently.
+func DialDoc(addr, doc string) (Link, error) {
+	return transport.DialDoc(addr, doc)
+}
+
+// DialSession prepares a multi-document session against the hub at addr:
+// each Attach returns an independent per-document link sharing the
+// underlying connections.
+func DialSession(addr string) *Session {
+	return transport.DialSession(addr)
 }
 
 // ListenHub starts a relay hub on addr (see cmd/treedoc-serve for the
@@ -156,7 +185,18 @@ func WithFlattenTimeout(d time.Duration) EngineOption { return transport.WithFla
 // WithHubQueueDepth sets a hub's per-client outbound queue depth.
 func WithHubQueueDepth(n int) HubOption { return transport.WithHubQueueDepth(n) }
 
-// WithHubLogger directs a hub's connection logging.
+// WithHubLogger directs a hub's connection logging and slow-client drop
+// warnings.
 func WithHubLogger(logf func(format string, args ...any)) HubOption {
 	return transport.WithHubLogger(logf)
+}
+
+// WithHubShards makes the hub one of N cooperating processes splitting
+// the document space by consistent hashing: peers is the full ring
+// membership (advertised addresses, identical on every process), self
+// this process's own advertised address. Attaches for documents owned by
+// another peer are redirected there; DialDoc and Session follow
+// redirects transparently.
+func WithHubShards(self string, peers []string) HubOption {
+	return transport.WithHubShards(self, peers)
 }
