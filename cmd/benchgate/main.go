@@ -1,29 +1,41 @@
 // Benchgate is the CI benchmark regression gate: a small, dependency-free
-// benchstat equivalent over the standard `go test -bench` output.
+// benchstat equivalent over the standard `go test -bench` output, gating
+// time (ns/op) and allocations (B/op, allocs/op).
 //
 // Gate a run against the checked-in baseline (exit 1 on any benchmark
-// more than -threshold slower than its baseline number):
+// more than -threshold slower — or allocating more — than its baseline):
 //
 //	go test -run '^$' -bench 'BenchmarkLocalEdits|BenchmarkStorageCodec|BenchmarkReplay' \
-//	  -cpu 1 -benchtime 100ms -count 6 . | tee bench.txt
+//	  -cpu 1 -benchtime 100ms -count 6 -benchmem . | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
 //
 // Always pass -cpu 1: with GOMAXPROCS > 1 go test appends a "-N" suffix
 // to every benchmark name, so a baseline seeded on an N-core machine
 // would not even match names on an M-core one — and the gated hot paths
-// are single-goroutine, so -cpu 1 only removes scheduler noise.
+// are single-goroutine, so -cpu 1 only removes scheduler noise. Pass
+// -benchmem: a baseline with a mem section treats a run without
+// allocation columns as missing benchmarks and fails.
 //
 // Re-seed the baseline after an intentional perf change or on a new
 // runner class (commit the result):
 //
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update -note "CI runner class X" bench.txt
 //
+// Append one pooled, reduced entry to the benchmark trajectory file (CI
+// does this on every merge to main, persisting the file across runs, so
+// the committed baseline's single gate point becomes a curve):
+//
+//	go run ./cmd/benchgate -append-history bench-history.jsonl -history-note "$GITHUB_SHA" bench.txt
+//
 // The default statistic is min-of-count: the fastest of N repetitions is
 // the least-noise estimate of the code's true cost, and with
 // -benchtime 100ms each repetition averages over enough iterations that
 // the hot-path set above stays within ~12% run-to-run — comfortably
-// inside the 20% default threshold. Baselines are only meaningful on the
-// hardware class that produced them (see the note field).
+// inside the 20% default threshold. Allocation metrics are deterministic
+// per run shape; they additionally get an absolute slack (64 B, 2
+// allocs) so near-zero paths cannot flap the gate. Baselines are only
+// meaningful on the hardware class that produced them (see the note
+// field).
 package main
 
 import (
@@ -38,11 +50,13 @@ import (
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -update)")
 	update := flag.Bool("update", false, "write the parsed run as the new baseline instead of comparing")
-	threshold := flag.Float64("threshold", 0.20, "relative regression threshold (0.20 = fail at >20% slower)")
+	threshold := flag.Float64("threshold", 0.20, "relative regression threshold (0.20 = fail at >20% slower / bigger)")
 	stat := flag.String("stat", "min", "reducing statistic over -count samples: min (least noise) or median")
 	benchtime := flag.String("benchtime", "100ms", "recorded in the baseline with -update: the -benchtime that produced it")
 	count := flag.Int("count", 6, "recorded in the baseline with -update: the -count that produced it")
 	note := flag.String("note", "", "recorded in the baseline with -update: where these numbers came from")
+	appendHistory := flag.String("append-history", "", "append the reduced run to this JSONL trajectory file and exit (no gating)")
+	historyNote := flag.String("history-note", "", "identifier recorded with -append-history (e.g. the commit SHA)")
 	flag.Parse()
 
 	// Multiple input files pool their samples per benchmark before the
@@ -50,14 +64,20 @@ func main() {
 	// transient load spike on the runner than one run with double the
 	// count, because -count repetitions execute back-to-back inside the
 	// spike's window.
-	samples := make(map[string][]float64)
+	samples := make(map[string]*bench.Samples)
 	readInto := func(in io.Reader) {
-		s, err := bench.ParseBenchOutput(in)
+		s, err := bench.ParseBenchSamples(in)
 		if err != nil {
 			fatal(err)
 		}
 		for name, xs := range s {
-			samples[name] = append(samples[name], xs...)
+			if agg := samples[name]; agg != nil {
+				agg.Ns = append(agg.Ns, xs.Ns...)
+				agg.Bytes = append(agg.Bytes, xs.Bytes...)
+				agg.Allocs = append(agg.Allocs, xs.Allocs...)
+			} else {
+				samples[name] = xs
+			}
 		}
 	}
 	if flag.NArg() == 0 {
@@ -71,17 +91,36 @@ func main() {
 		readInto(f)
 		f.Close()
 	}
-	var reduced map[string]float64
+	var statFn func([]float64) float64
 	switch *stat {
 	case "min":
-		reduced = bench.Mins(samples)
+		statFn = bench.Min
 	case "median":
-		reduced = bench.Medians(samples)
+		statFn = bench.Median
 	default:
 		fatal(fmt.Errorf("unknown -stat %q (want min or median)", *stat))
 	}
+	reduced := bench.ReduceNs(samples, statFn)
+	mem := bench.ReduceMem(samples, statFn)
 	if len(reduced) == 0 {
 		fatal(fmt.Errorf("no benchmark results in input (did the bench run fail?)"))
+	}
+
+	if *appendHistory != "" {
+		f, err := os.OpenFile(*appendHistory, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		entry := &bench.HistoryEntry{Note: *historyNote, Stat: *stat, Results: reduced, Mem: mem}
+		if err := bench.AppendHistory(f, entry); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: appended %d benchmark %ss (%d with allocations) to %s\n",
+			len(reduced), *stat, len(mem), *appendHistory)
+		return
 	}
 
 	if *update {
@@ -92,6 +131,7 @@ func main() {
 			Stat:      *stat,
 			Note:      *note,
 			Results:   reduced,
+			Mem:       mem,
 		}
 		f, err := os.Create(*baselinePath)
 		if err != nil {
@@ -103,7 +143,8 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchgate: wrote %d benchmark %ss to %s\n", len(reduced), *stat, *baselinePath)
+		fmt.Printf("benchgate: wrote %d benchmark %ss (%d with allocations) to %s\n",
+			len(reduced), *stat, len(mem), *baselinePath)
 		return
 	}
 
@@ -121,10 +162,14 @@ func main() {
 		fatal(fmt.Errorf("baseline was computed with -stat %s, this run with -stat %s", base.Stat, *stat))
 	}
 	c := bench.Compare(base, reduced, *threshold)
-	fmt.Printf("benchgate: %d gated, %d within ±%.0f%%, %d improved, %d regressed\n",
-		len(base.Results), len(c.Within), *threshold*100, len(c.Improvements), len(c.Regressions))
+	mc := bench.CompareMem(base, mem, *threshold)
+	fmt.Printf("benchgate: %d gated (%d with allocations), %d within ±%.0f%%, %d improved, %d regressed, %d alloc regressions\n",
+		len(base.Results), len(base.Mem), len(c.Within), *threshold*100, len(c.Improvements), len(c.Regressions), len(mc.Regressions))
 	for _, d := range c.Improvements {
 		fmt.Printf("  faster: %-60s %12.0f -> %12.0f ns/op (%.2fx)\n", d.Name, d.Base, d.Current, d.Ratio)
+	}
+	for _, d := range mc.Improvements {
+		fmt.Printf("  leaner: %-60s %12.0f -> %12.0f %s (%.2fx)\n", d.Name, d.Base, d.Current, d.Metric, d.Ratio)
 	}
 	for _, name := range c.MissingFromBase {
 		fmt.Printf("  ungated (not in baseline, re-seed to gate): %s\n", name)
@@ -132,16 +177,27 @@ func main() {
 	for _, name := range c.MissingFromRun {
 		fmt.Printf("  MISSING from run (renamed or deleted?): %s\n", name)
 	}
+	for _, name := range mc.MissingFromRun {
+		fmt.Printf("  MISSING allocations (run without -benchmem?): %s\n", name)
+	}
 	for _, d := range c.Regressions {
 		fmt.Printf("  REGRESSED: %-57s %12.0f -> %12.0f ns/op (%.2fx)\n", d.Name, d.Base, d.Current, d.Ratio)
 	}
-	if len(c.Regressions) > 0 {
-		fmt.Printf("benchgate: FAIL: %d benchmark(s) regressed more than %.0f%% vs %s\n",
-			len(c.Regressions), *threshold*100, *baselinePath)
-		os.Exit(1)
+	for _, d := range mc.Regressions {
+		fmt.Printf("  REGRESSED: %-57s %12.0f -> %12.0f %s (%.2fx)\n", d.Name, d.Base, d.Current, d.Metric, d.Ratio)
 	}
-	if len(c.MissingFromRun) > 0 {
-		fmt.Printf("benchgate: FAIL: %d baseline benchmark(s) missing from the run\n", len(c.MissingFromRun))
+	failed := false
+	if len(c.Regressions) > 0 || len(mc.Regressions) > 0 {
+		fmt.Printf("benchgate: FAIL: %d time and %d allocation regression(s) more than %.0f%% vs %s\n",
+			len(c.Regressions), len(mc.Regressions), *threshold*100, *baselinePath)
+		failed = true
+	}
+	if len(c.MissingFromRun) > 0 || len(mc.MissingFromRun) > 0 {
+		fmt.Printf("benchgate: FAIL: %d baseline benchmark(s) missing from the run (%d without allocation columns)\n",
+			len(c.MissingFromRun), len(mc.MissingFromRun))
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

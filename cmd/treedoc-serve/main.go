@@ -8,8 +8,8 @@
 // engine's periodic anti-entropy exchange — repairs any frames a slow
 // client's queue had to drop.
 //
-// With -log, the hub additionally runs one archivist per document named
-// in -docs: an in-process replica backed by a durable operation log under
+// With -log, the hub additionally runs one archivist per owned document:
+// an in-process replica backed by a durable operation log under
 // <log>/<doc>/ that absorbs everything relayed on that document, compacts
 // it behind snapshots, and serves snapshot catch-up to late joiners — so
 // a client that connects long after everyone else left still recovers its
@@ -22,16 +22,25 @@
 //
 // With -peers (and -self), N hub processes split the document space by
 // consistent hashing: an attach for a document another process owns is
-// answered with a redirect, which DialDoc and Session clients follow
-// transparently. Archivists are only started for documents this process
-// owns.
+// answered with an epoch-stamped redirect, which DialDoc and Session
+// clients follow transparently; a client that cannot reach the owner is
+// served through hub-to-hub forwarding. Archivists run on the owner.
+//
+// Ring membership is live. A new hub joins a running ring with -join
+// (naming any live member); the ring's epoch advances, every hub adopts
+// the announced membership, and each document the change relocates is
+// handed off online: frozen briefly, its archivist snapshot + retained
+// log suffix streamed to the new owner, attached clients re-pointed via
+// an epoch-stamped redirect — no process restarts, no ops lost. With
+// -leave, SIGTERM hands every owned document off (Hub.Resign) before the
+// process exits.
 //
 // Usage:
 //
 //	treedoc-serve -addr :9707 -queue 256 -v
 //	treedoc-serve -addr :9707 -log /var/lib/treedoc -docs default,notes,wiki
-//	treedoc-serve -addr :9707 -log /var/lib/treedoc -flatten-every 30s
 //	treedoc-serve -addr :9707 -self hub1:9707 -peers hub1:9707,hub2:9707
+//	treedoc-serve -addr :9708 -self hub3:9708 -join hub1:9707 -log /var/lib/treedoc -leave
 //
 // Wire a replica to it:
 //
@@ -44,55 +53,229 @@ package main
 import (
 	"errors"
 	"flag"
+	"hash/fnv"
 	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"github.com/treedoc/treedoc"
 	"github.com/treedoc/treedoc/internal/ident"
 	"github.com/treedoc/treedoc/internal/transport"
+	"github.com/treedoc/treedoc/internal/transport/shardmap"
 )
 
 // archivist is one document's durable replica and (optionally) flatten
 // janitor.
 type archivist struct {
-	doc string
-	buf *treedoc.TextBuffer
-	eng *treedoc.Engine
+	doc  string
+	site treedoc.SiteID
+	buf  *treedoc.TextBuffer
+	eng  *treedoc.Engine
+	stop chan struct{} // stops the janitor
+	// epoch is the highest ring epoch this archivist was (re)acquired at;
+	// a stale release (an older epoch's handoff completing late) must not
+	// stop it.
+	epoch uint64
+}
+
+// archConfig is the shared archivist configuration.
+type archConfig struct {
+	hubAddr       string
+	logDir        string
+	self          string
+	site          uint64 // 0: derive per (self, doc)
+	compactEvery  int
+	snapThreshold int
+	flattenEvery  time.Duration
+	flattenCold   int
+	verbose       bool
+}
+
+// archivists manages the per-document archivist lifecycle: static startup
+// for owned -docs, and dynamic start/stop as the ring hands documents to
+// and from this hub (the Hub's ownership callback).
+type archivists struct {
+	// ready is closed once cfg and hub are populated: the ownership
+	// callback can fire from hub goroutines as soon as the listener
+	// accepts (a peer's ring announce during a rolling restart), so it
+	// must wait out main's setup window instead of racing it.
+	ready chan struct{}
+	cfg   archConfig
+
+	mu  sync.Mutex
+	hub *treedoc.Hub
+	m   map[string]*archivist
+}
+
+// ownership is the Hub callback: a handoff streaming in starts a local
+// archivist (registered as the future handoff source) before the state
+// frames arrive; a handoff that streamed out stops and unregisters it.
+func (am *archivists) ownership(doc string, epoch uint64, acquired bool) {
+	<-am.ready
+	if am.cfg.logDir == "" {
+		return
+	}
+	if acquired {
+		log.Printf("treedoc-serve: acquired doc %q at ring epoch %d", doc, epoch)
+		am.ensure(doc, epoch)
+		return
+	}
+	log.Printf("treedoc-serve: released doc %q at ring epoch %d", doc, epoch)
+	am.release(doc, epoch)
+}
+
+// ensure starts doc's archivist if none runs, raising its acquisition
+// epoch either way.
+func (am *archivists) ensure(doc string, epoch uint64) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if a := am.m[doc]; a != nil {
+		if epoch > a.epoch {
+			a.epoch = epoch
+		}
+		return
+	}
+	site := am.archiveSite(doc)
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(site))
+	if err != nil {
+		log.Printf("treedoc-serve: archivist for %q: %v", doc, err)
+		return
+	}
+	eng, err := treedoc.NewEngine(site, buf,
+		treedoc.WithLogDir(filepath.Join(am.cfg.logDir, doc)),
+		treedoc.WithCompactEvery(am.cfg.compactEvery),
+		treedoc.WithSnapshotThreshold(am.cfg.snapThreshold),
+		treedoc.WithSyncInterval(500*time.Millisecond))
+	if err != nil {
+		log.Printf("treedoc-serve: archivist for %q: %v", doc, err)
+		return
+	}
+	// The loopback attach is the one transient failure point (the hub may
+	// be saturated mid-handoff); retry briefly rather than leaving an
+	// owned document silently without durability.
+	var link treedoc.Link
+	for attempt := 0; ; attempt++ {
+		link, err = treedoc.DialDoc(am.cfg.hubAddr, doc)
+		if err == nil {
+			break
+		}
+		if attempt >= 2 {
+			eng.Stop()
+			log.Printf("treedoc-serve: archivist for %q attach failed after %d attempts: %v (document is NOT archived here)",
+				doc, attempt+1, err)
+			return
+		}
+		log.Printf("treedoc-serve: archivist for %q attach: %v (retrying)", doc, err)
+		time.Sleep(time.Second)
+	}
+	eng.Connect(link)
+	a := &archivist{doc: doc, site: site, buf: buf, eng: eng, stop: make(chan struct{}), epoch: epoch}
+	am.m[doc] = a
+	am.hub.RegisterHandoff(doc, eng)
+	log.Printf("treedoc-serve: archivist s%d for doc %q persisting to %s (%d runes restored)",
+		site, doc, filepath.Join(am.cfg.logDir, doc), buf.Len())
+	if am.cfg.flattenEvery > 0 {
+		go janitor(a, am.cfg.flattenEvery, am.cfg.flattenCold, am.cfg.verbose)
+	}
+}
+
+// release stops doc's archivist after its state streamed to the new
+// owner — unless a newer epoch re-acquired the document in the meantime
+// (the stale handoff's release must not kill the fresh archivist). The
+// durable log directory stays on disk: if the document ever comes back,
+// the archivist resumes from it and the handed-off snapshot (which
+// dominates) supersedes the stale state.
+func (am *archivists) release(doc string, epoch uint64) {
+	am.mu.Lock()
+	a := am.m[doc]
+	if a != nil && epoch != 0 && a.epoch > epoch {
+		am.mu.Unlock()
+		log.Printf("treedoc-serve: ignoring stale release of doc %q (epoch %d < acquired %d)", doc, epoch, a.epoch)
+		return
+	}
+	if a != nil {
+		// Unregister inside the lock: a racing acquisition at a newer epoch
+		// re-registers under the same lock, so its fresh source can never
+		// be clobbered by this stale release.
+		am.hub.RegisterHandoff(doc, nil)
+	}
+	delete(am.m, doc)
+	am.mu.Unlock()
+	if a == nil {
+		return
+	}
+	close(a.stop)
+	a.eng.Stop()
+	log.Printf("treedoc-serve: archivist for %q stopped (%d ops applied, %d snapshots served)",
+		a.doc, a.eng.Applied(), a.eng.SnapshotsSent())
+	if err := a.eng.Err(); err != nil {
+		log.Printf("treedoc-serve: archivist for %q error: %v", a.doc, err)
+	}
+}
+
+// all snapshots the current archivist set.
+func (am *archivists) all() []*archivist {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	out := make([]*archivist, 0, len(am.m))
+	for _, a := range am.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].doc < out[j].doc })
+	return out
+}
+
+// archiveSite picks the archivist's site id: the configured base counting
+// is replaced by a per-(self, doc) derivation so two hubs that archive the
+// same document across a handoff never stamp under the same site id.
+func (am *archivists) archiveSite(doc string) treedoc.SiteID {
+	if am.cfg.site != 0 {
+		return treedoc.SiteID(am.cfg.site)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(am.cfg.self))
+	h.Write([]byte{0})
+	h.Write([]byte(doc))
+	// High site ids keep archivists far away from interactively assigned
+	// editor sites; 2^24 derived slots make a collision between the
+	// handful of hubs archiving one document negligible.
+	return treedoc.SiteID(uint64(ident.MaxSiteID) - h.Sum64()%(1<<24))
 }
 
 func main() {
 	addr := flag.String("addr", ":9707", "listen address")
 	queue := flag.Int("queue", 256, "per-client outbound queue depth")
-	verbose := flag.Bool("v", false, "log client connects, disconnects and slow-client drops")
+	verbose := flag.Bool("v", false, "log client connects, disconnects, slow-client drops and handoffs")
 	docs := flag.String("docs", transport.DefaultDoc, "comma-separated documents to archive (with -log); clients may attach to any document regardless")
-	self := flag.String("self", "", "this hub's advertised address in the shard ring (required with -peers)")
+	self := flag.String("self", "", "this hub's advertised address in the shard ring (required with -peers or -join)")
 	peers := flag.String("peers", "", "comma-separated advertised addresses of every hub in the shard ring, including this one (empty disables sharding)")
+	join := flag.String("join", "", "advertised address of any live ring member: fetch its ring, add this hub at the next epoch, and announce (live reshard; requires -self)")
+	leave := flag.Bool("leave", false, "on SIGTERM, hand every owned document off to the surviving ring (Hub.Resign) before exiting")
 	logDir := flag.String("log", "", "archivist log directory; each document persists under <log>/<doc>/ (empty disables archivists)")
-	archiveSite := flag.Uint64("archive-site", uint64(ident.MaxSiteID), "site id of the first archivist replica; each further document counts down from it (must not collide with any editor)")
+	archiveSite := flag.Uint64("archive-site", 0, "fixed site id for archivist replicas (0: derive one per hub+document, so handoffs never reuse a site id)")
 	compactEvery := flag.Int("compact", 16384, "archivist: retained ops before snapshot+truncate")
 	snapThreshold := flag.Int("snap-threshold", 8192, "archivist: digest gap that triggers snapshot catch-up")
 	flattenEvery := flag.Duration("flatten-every", 0, "archivist: period between cold-subtree flatten proposals per document (0 disables; requires -log)")
 	flattenCold := flag.Int("flatten-cold", 2, "archivist: revisions a subtree must be quiet before it is proposed")
 	flag.Parse()
 
-	opts := []transport.HubOption{transport.WithHubQueueDepth(*queue)}
-	if *verbose {
-		opts = append(opts, transport.WithHubLogger(log.Printf))
+	if *flattenEvery > 0 && *logDir == "" {
+		log.Fatal("treedoc-serve: -flatten-every requires -log (the archivist coordinates the commitment)")
 	}
-
-	var peerList []string
-	if *peers != "" {
-		if *self == "" {
-			log.Fatal("treedoc-serve: -peers requires -self (this hub's advertised address)")
-		}
-		peerList = splitList(*peers)
-		opts = append(opts, transport.WithHubShards(*self, peerList))
+	if *peers != "" && *self == "" {
+		log.Fatal("treedoc-serve: -peers requires -self (this hub's advertised address)")
+	}
+	if *join != "" && *self == "" {
+		log.Fatal("treedoc-serve: -join requires -self (this hub's advertised address)")
+	}
+	if *join != "" && *peers != "" {
+		log.Fatal("treedoc-serve: -join and -peers are mutually exclusive (join fetches the ring)")
 	}
 
 	docList := splitList(*docs)
@@ -102,48 +285,125 @@ func main() {
 		}
 	}
 
+	am := &archivists{ready: make(chan struct{}), m: make(map[string]*archivist)}
+	opts := []transport.HubOption{
+		transport.WithHubQueueDepth(*queue),
+		transport.WithHubOwnership(am.ownership),
+	}
+	if *verbose {
+		opts = append(opts, transport.WithHubLogger(log.Printf))
+	}
+	if *peers != "" {
+		opts = append(opts, transport.WithHubShards(*self, splitList(*peers)))
+	} else if *self != "" {
+		opts = append(opts, transport.WithHubSelf(*self))
+	}
+
 	hub, err := transport.ListenHub(*addr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if peerList != nil {
-		log.Printf("treedoc-serve: relaying on %s as shard %s of ring %v", hub.Addr(), *self, peerList)
+	am.hub = hub
+	am.cfg = archConfig{
+		hubAddr:       hub.Addr().String(),
+		logDir:        *logDir,
+		self:          *self,
+		site:          *archiveSite,
+		compactEvery:  *compactEvery,
+		snapThreshold: *snapThreshold,
+		flattenEvery:  *flattenEvery,
+		flattenCold:   *flattenCold,
+		verbose:       *verbose,
+	}
+	if am.cfg.self == "" {
+		am.cfg.self = am.cfg.hubAddr
+	}
+	close(am.ready)
+
+	// Joining a live ring: fetch the current membership from any member,
+	// mint the next epoch with this hub added, and adopt it —
+	// ConfigureRing announces it to every member, and each of them hands
+	// off the documents the change relocates.
+	if *join != "" {
+		// Verify-and-remint: a concurrent join (or any racing announce) can
+		// take the minted epoch first — ConfigureRing then no-ops on the
+		// equal epoch — so re-query and mint higher until a ring containing
+		// this hub is actually installed.
+		joined := false
+		for attempt := 0; attempt < 5 && !joined; attempt++ {
+			cur, err := transport.QueryRing(*join, 5*time.Second)
+			if err != nil {
+				log.Fatalf("treedoc-serve: ring query to %s: %v", *join, err)
+			}
+			nodes := cur.Nodes
+			epoch := cur.Epoch
+			if installed := hub.Ring(); installed != nil && installed.Epoch > epoch {
+				// This hub already heard a newer ring than the queried member.
+				nodes, epoch = installed.Nodes, installed.Epoch
+			}
+			present := false
+			for _, n := range nodes {
+				if n == *self {
+					present = true
+					break
+				}
+			}
+			if !present {
+				nodes = append(append([]string{}, nodes...), *self)
+			}
+			ring, err := shardmap.NewRing(epoch+1, nodes)
+			if err != nil {
+				log.Fatalf("treedoc-serve: joined ring invalid: %v", err)
+			}
+			if err := hub.ConfigureRing(*self, ring); err != nil {
+				log.Printf("treedoc-serve: join attempt %d: %v (retrying)", attempt+1, err)
+				continue
+			}
+			if installed := hub.Ring(); installed != nil && installed.Has(*self) {
+				log.Printf("treedoc-serve: joined ring at epoch %d (%d nodes) via %s",
+					installed.Epoch, len(installed.Nodes), *join)
+				joined = true
+			}
+		}
+		if !joined {
+			log.Fatalf("treedoc-serve: could not join the ring via %s (concurrent membership changes kept winning)", *join)
+		}
+	}
+
+	if epoch := hub.RingEpoch(); epoch > 0 {
+		log.Printf("treedoc-serve: relaying on %s as shard %s (ring epoch %d)", hub.Addr(), *self, epoch)
 	} else {
 		log.Printf("treedoc-serve: relaying on %s", hub.Addr())
 	}
 
-	var archivists []*archivist
+	// Static archivists for the configured documents this hub owns; the
+	// ownership callback grows and shrinks the set as the ring changes.
 	if *logDir != "" {
-		stopJanitors := make(chan struct{})
-		defer close(stopJanitors)
-		site := *archiveSite
 		for _, doc := range docList {
-			// The hub's own ring decides ownership, so archivist placement
-			// and attach redirects can never disagree.
 			if owner, owned := hub.DocOwner(doc); !owned {
 				log.Printf("treedoc-serve: doc %q owned by %s, skipping local archivist", doc, owner)
 				continue
 			}
-			a := startArchivist(hub.Addr().String(), doc, treedoc.SiteID(site),
-				filepath.Join(*logDir, doc), *compactEvery, *snapThreshold)
-			archivists = append(archivists, a)
-			site--
-			if *flattenEvery > 0 {
-				go janitor(a, *flattenEvery, *flattenCold, *verbose, stopJanitors)
-			}
+			am.ensure(doc, hub.RingEpoch())
 		}
 		if *flattenEvery > 0 {
-			log.Printf("treedoc-serve: flatten janitors proposing every %v on %d documents", *flattenEvery, len(archivists))
+			log.Printf("treedoc-serve: flatten janitors proposing every %v", *flattenEvery)
 		}
-	} else if *flattenEvery > 0 {
-		log.Fatal("treedoc-serve: -flatten-every requires -log (the archivist coordinates the commitment)")
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped, %d unrouted)",
-		hub.Relays(), hub.Drops(), hub.Unrouted())
+
+	if *leave && hub.RingEpoch() > 0 {
+		log.Printf("treedoc-serve: leaving the ring: handing off %d archived documents", len(am.all()))
+		if err := hub.Resign(30 * time.Second); err != nil {
+			log.Printf("treedoc-serve: resign: %v (surviving hubs heal via anti-entropy)", err)
+		}
+	}
+
+	log.Printf("treedoc-serve: shutting down (%d frames relayed, %d dropped, %d unrouted, %d forwarded, %d handoffs out, %d in)",
+		hub.Relays(), hub.Drops(), hub.Unrouted(), hub.Forwards(), hub.HandoffsOut(), hub.HandoffsIn())
 	stats := hub.DocStats()
 	docsSeen := make([]string, 0, len(stats))
 	for doc := range stats {
@@ -154,52 +414,22 @@ func main() {
 		st := stats[doc]
 		log.Printf("treedoc-serve: doc %q: %d clients, %d relayed, %d dropped", doc, st.Clients, st.Relays, st.Drops)
 	}
-	for _, a := range archivists {
-		a.eng.Stop()
-		log.Printf("treedoc-serve: archivist for %q flushed (%d ops applied, %d snapshots served, %d pruned, %d flattens applied)",
-			a.doc, a.eng.Applied(), a.eng.SnapshotsSent(), a.eng.Pruned(), a.eng.FlattensApplied())
-		if err := a.eng.Err(); err != nil {
-			log.Printf("treedoc-serve: archivist for %q error: %v", a.doc, err)
-		}
+	for _, a := range am.all() {
+		am.release(a.doc, 0)
 	}
 	if err := hub.Close(); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// startArchivist brings up one document's durable replica, attached to
-// the local hub through a doc-scoped link.
-func startArchivist(hubAddr, doc string, site treedoc.SiteID, dir string, compactEvery, snapThreshold int) *archivist {
-	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(site))
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := treedoc.NewEngine(site, buf,
-		treedoc.WithLogDir(dir),
-		treedoc.WithCompactEvery(compactEvery),
-		treedoc.WithSnapshotThreshold(snapThreshold),
-		treedoc.WithSyncInterval(500*time.Millisecond))
-	if err != nil {
-		log.Fatal(err)
-	}
-	link, err := treedoc.DialDoc(hubAddr, doc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng.Connect(link)
-	log.Printf("treedoc-serve: archivist s%d for doc %q persisting to %s (%d runes restored)",
-		site, doc, dir, buf.Len())
-	return &archivist{doc: doc, buf: buf, eng: eng}
-}
-
 // janitor periodically proposes flattening the coldest subtree of one
-// archivist's document.
-func janitor(a *archivist, every time.Duration, cold int, verbose bool, stop <-chan struct{}) {
+// archivist's document, until the archivist is released.
+func janitor(a *archivist, every time.Duration, cold int, verbose bool) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-a.stop:
 			return
 		case <-ticker.C:
 		}

@@ -1,22 +1,18 @@
-// Collab: two independent documents edited cooperatively over one relay
-// hub — the deployment shape of the paper's peer-to-peer scenario, not a
-// simulation. An in-process hub (the same code as cmd/treedoc-serve)
-// listens on TCP loopback; replicas attach to the document they edit with
-// DialDoc, the hub relays each document only within its own group, and
-// the engines synchronise in the background: "common edit operations
-// execute optimistically, with no latency; replicas synchronise only in
-// the background" (Section 6).
+// Collab: cooperative editing over a relay ring that reshards itself live
+// — the deployment shape of the paper's peer-to-peer scenario with the
+// serving tier as dynamic as the replicas. Two documents are edited
+// through hub A (ring epoch 1, one node). Mid-burst, hub B joins the ring
+// at epoch 2: the document the consistent-hash change relocates is frozen
+// briefly, its archivist snapshot and retained log suffix are streamed to
+// B over the hub-to-hub mesh, and the attached writers are re-pointed
+// with an epoch-stamped redirect — no process restarts, no ops lost, and
+// the writers never notice: "common edit operations execute
+// optimistically, with no latency; replicas synchronise only in the
+// background" (Section 6).
 //
-// Two writers edit "design" and two edit "notes", all four concurrently
-// through the same hub process — the sharded relay keeps the documents
-// fully isolated (the final buffers prove it: no marker from one document
-// ever appears in the other). A fifth replica then joins "design" late,
-// after thousands of edits. Each engine runs the compaction policy —
-// snapshot the document, truncate the operation log below it — so nobody
-// retains the full history; the joiner's digest falls below the
-// compaction barrier and it catches up from a snapshot frame plus the
-// retained log suffix, replaying only the tail instead of the whole edit
-// history.
+// The ownership hook mirrors cmd/treedoc-serve: when the handoff begins
+// streaming into hub B, it starts a local archivist that installs the
+// streamed snapshot and replays only the suffix — zero pre-snapshot ops.
 package main
 
 import (
@@ -24,22 +20,20 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/treedoc/treedoc"
+	"github.com/treedoc/treedoc/internal/transport/shardmap"
 )
 
 const (
-	writersPerDoc = 2
-	editsPerSite  = 300
-	// compactEvery keeps every engine's retained op log below ~256
-	// messages: with 600+ edits per document, the late joiner is
-	// guaranteed to be below everyone's compaction barrier and must catch
-	// up via snapshot.
-	compactEvery  = 256
-	snapThreshold = 128
+	editsPerPhase = 250
+	archSiteA     = treedoc.SiteID(1000)
+	archSiteB     = treedoc.SiteID(2000)
 )
 
 type site struct {
@@ -49,114 +43,221 @@ type site struct {
 	eng *treedoc.Engine
 }
 
-func main() {
-	hub, err := treedoc.ListenHub("127.0.0.1:0")
+// archivists is the minimal treedoc-serve-style ownership hook: start an
+// archivist when a handoff streams in, stop it when one streams out.
+type archivists struct {
+	mu      sync.Mutex
+	hub     *treedoc.Hub
+	hubAddr string
+	dir     string
+	siteID  treedoc.SiteID
+	m       map[string]*site
+}
+
+func (am *archivists) ownership(doc string, epoch uint64, acquired bool) {
+	if acquired {
+		fmt.Printf("hub %s acquired doc %q at ring epoch %d\n", am.hubAddr, doc, epoch)
+		am.ensure(doc)
+		return
+	}
+	fmt.Printf("hub %s released doc %q at ring epoch %d\n", am.hubAddr, doc, epoch)
+	am.mu.Lock()
+	a := am.m[doc]
+	delete(am.m, doc)
+	am.mu.Unlock()
+	if a != nil {
+		am.hub.RegisterHandoff(doc, nil)
+		a.eng.Stop()
+	}
+}
+
+func (am *archivists) ensure(doc string) *site {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if a := am.m[doc]; a != nil {
+		return a
+	}
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(am.siteID))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer hub.Close()
-	fmt.Printf("hub relaying on %s\n", hub.Addr())
+	eng, err := treedoc.NewEngine(am.siteID, buf,
+		treedoc.WithLogDir(filepath.Join(am.dir, doc)),
+		treedoc.WithSyncInterval(25*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := treedoc.DialDoc(am.hubAddr, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Connect(link)
+	a := &site{id: am.siteID, doc: doc, buf: buf, eng: eng}
+	am.m[doc] = a
+	am.hub.RegisterHandoff(doc, eng)
+	return a
+}
+
+func (am *archivists) get(doc string) *site {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.m[doc]
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "collab-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// Hub A starts alone at ring epoch 1.
+	var amA *archivists
+	hubA, err := treedoc.ListenHub("127.0.0.1:0",
+		treedoc.WithHubOwnership(func(doc string, epoch uint64, acquired bool) {
+			amA.ownership(doc, epoch, acquired)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hubA.Close()
+	addrA := hubA.Addr().String()
+	amA = &archivists{hub: hubA, hubAddr: addrA, dir: filepath.Join(tmp, "a"), siteID: archSiteA, m: make(map[string]*site)}
+	ring1, err := shardmap.NewRing(1, []string{addrA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hubA.ConfigureRing(addrA, ring1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Hub B is up but not yet in the ring.
+	var amB *archivists
+	hubB, err := treedoc.ListenHub("127.0.0.1:0",
+		treedoc.WithHubOwnership(func(doc string, epoch uint64, acquired bool) {
+			amB.ownership(doc, epoch, acquired)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hubB.Close()
+	addrB := hubB.Addr().String()
+	amB = &archivists{hub: hubB, hubAddr: addrB, dir: filepath.Join(tmp, "b"), siteID: archSiteB, m: make(map[string]*site)}
+
+	// Pick one document that stays on A and one the epoch-2 ring hands to
+	// B — computable in advance because the diff is deterministic on every
+	// process (shardmap.Moved).
+	ring2, err := shardmap.NewRing(2, []string{addrA, addrB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var docStay, docMove string
+	for i := 0; docStay == "" || docMove == ""; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		if ring2.Owner(doc) == addrA {
+			if docStay == "" {
+				docStay = doc
+			}
+		} else if docMove == "" {
+			docMove = doc
+		}
+	}
+	fmt.Printf("hub A %s relaying at ring epoch 1; %q will stay, %q will move to B %s at epoch 2\n",
+		addrA, docStay, docMove, addrB)
+	amA.ensure(docMove) // the archivist whose state the handoff streams
 
 	dial := func(id treedoc.SiteID, doc string) *site {
 		buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng, err := treedoc.NewEngine(id, buf,
-			treedoc.WithSyncInterval(25*time.Millisecond),
-			treedoc.WithCompactEvery(compactEvery),
-			treedoc.WithSnapshotThreshold(snapThreshold))
+		eng, err := treedoc.NewEngine(id, buf, treedoc.WithSyncInterval(25*time.Millisecond))
 		if err != nil {
 			log.Fatal(err)
 		}
-		link, err := treedoc.DialDoc(hub.Addr().String(), doc)
+		link, err := treedoc.DialDoc(addrA, doc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		eng.Connect(link)
 		return &site{id: id, doc: doc, buf: buf, eng: eng}
 	}
+	moving := []*site{dial(1, docMove), dial(2, docMove)}
+	staying := []*site{dial(3, docStay), dial(4, docStay)}
+	writers := append(append([]*site{}, moving...), staying...)
 
-	design := []*site{dial(1, "design"), dial(2, "design")}
-	notes := []*site{dial(3, "notes"), dial(4, "notes")}
-	all := append(append([]*site{}, design...), notes...)
-
-	// Each document gets its own seed outline from its first writer.
-	seedLines := map[string][]string{
-		"design": {"# Design notes\n", "## Goals\n", "## Open questions\n"},
-		"notes":  {"# Meeting notes\n", "## 2026-07-30\n"},
-	}
-	for _, s := range []*site{design[0], notes[0]} {
-		for _, line := range seedLines[s.doc] {
-			ops, err := s.buf.Append(line)
+	write := func(s *site, phase int, pace time.Duration) {
+		rng := rand.New(rand.NewSource(int64(s.id)*10 + int64(phase)))
+		for i := 0; i < editsPerPhase; i++ {
+			n := s.buf.Len()
+			var ops []treedoc.Op
+			var err error
+			if n > 0 && rng.Intn(5) == 0 {
+				ops, err = s.buf.Delete(rng.Intn(n), 1)
+			} else {
+				ops, err = s.buf.Insert(rng.Intn(n+1), fmt.Sprintf("%s-s%d.%d ", s.doc, s.id, i))
+			}
+			if errors.Is(err, treedoc.ErrOutOfRange) {
+				i--
+				continue
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
 			if err := s.eng.Broadcast(ops...); err != nil {
 				log.Fatal(err)
 			}
+			if pace > 0 {
+				time.Sleep(pace)
+			}
 		}
 	}
 
-	// Everyone edits concurrently, one writer goroutine per replica: random
-	// inserts with occasional deletes, no coordination, no waiting. Inserts
-	// carry a per-document marker so cross-document leakage would be
-	// visible in the final text.
+	// Phase 1: everyone writes through hub A; the archivist absorbs the
+	// moving document's history.
 	var wg sync.WaitGroup
-	for _, s := range all {
+	for _, s := range writers {
 		wg.Add(1)
-		go func(s *site) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(s.id)))
-			for i := 0; i < editsPerSite; i++ {
-				n := s.buf.Len()
-				var ops []treedoc.Op
-				var err error
-				if n > 0 && rng.Intn(5) == 0 {
-					ops, err = s.buf.Delete(rng.Intn(n), 1)
-				} else {
-					text := fmt.Sprintf("%s-s%d-%d ", s.doc, s.id, i)
-					ops, err = s.buf.Insert(rng.Intn(n+1), text)
-				}
-				if errors.Is(err, treedoc.ErrOutOfRange) {
-					// A remote delete shrank the buffer since Len; retry
-					// with fresh offsets, as a live editor would.
-					i--
-					continue
-				}
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := s.eng.Broadcast(ops...); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}(s)
+		go func(s *site) { defer wg.Done(); write(s, 1, 0) }(s)
 	}
 	wg.Wait()
-	fmt.Printf("%d sites broadcast %d edits each across 2 documents, synchronising in the background\n",
-		len(all), editsPerSite)
-
-	// Let the session settle: engines drain their backlogs, snapshot, and
-	// promote their truncation floors — after which nobody retains the
-	// full op history any more.
-	if !converge(design, 30*time.Second) || !converge(notes, 30*time.Second) {
-		log.Fatal("BUG: writers did not converge")
+	archA := amA.get(docMove)
+	if !converge(append([]*site{archA}, moving...), 30*time.Second) || !converge(staying, 30*time.Second) {
+		log.Fatal("BUG: phase 1 did not converge")
 	}
-	time.Sleep(1 * time.Second)
+	phase1VC := moving[0].eng.Clock()
+	phase1Ops := phase1VC.Get(1) + phase1VC.Get(2)
+	fmt.Printf("phase 1 converged: %q at %d ops, %q at %d runes\n",
+		docMove, phase1Ops, docStay, staying[0].buf.Len())
 
-	// A latecomer joins "design" long after the burst. Its empty digest is
-	// below every truncation floor in that document's group, so the
-	// missing ops no longer exist as messages anywhere: catch-up arrives
-	// as one snapshot frame plus the retained suffix, not a full history
-	// replay.
-	late := dial(5, "design")
-	design = append(design, late)
-
-	if !converge(design, 30*time.Second) {
-		log.Fatal("BUG: replicas did not converge")
+	// Phase 2: writers keep editing while hub B joins the ring. Hub A
+	// adopts the announced epoch-2 ring, streams the archivist state to B,
+	// and re-points the attached writers — live.
+	for _, s := range writers {
+		wg.Add(1)
+		go func(s *site) { defer wg.Done(); write(s, 2, time.Millisecond) }(s)
 	}
-	for _, group := range [][]*site{design, notes} {
+	time.Sleep(25 * time.Millisecond)
+	fmt.Printf("hub B joining the ring at epoch 2 with writers active...\n")
+	if err := hubB.ConfigureRing(addrB, ring2); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for amB.get(docMove) == nil && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	archB := amB.get(docMove)
+	if archB == nil {
+		log.Fatal("BUG: hub B never acquired the moving document")
+	}
+	if !converge(append([]*site{archB}, moving...), 30*time.Second) || !converge(staying, 30*time.Second) {
+		log.Fatal("BUG: phase 2 did not converge")
+	}
+
+	// Byte-identical everywhere, including the new owner's archivist.
+	for _, group := range [][]*site{append([]*site{archB}, moving...), staying} {
 		want := group[0].buf.String()
 		for _, s := range group {
 			if s.buf.String() != want {
@@ -167,30 +268,30 @@ func main() {
 			}
 		}
 	}
-	// Doc isolation: no notes marker in design and vice versa.
-	if strings.Contains(design[0].buf.String(), "notes-s") {
-		log.Fatal("BUG: notes content leaked into design")
-	}
-	if strings.Contains(notes[0].buf.String(), "design-s") {
-		log.Fatal("BUG: design content leaked into notes")
-	}
-	fmt.Printf("converged: design=%d runes across %d sites, notes=%d runes across %d sites, zero cross-doc leakage\n",
-		design[0].buf.Len(), len(design), notes[0].buf.Len(), len(notes))
-	fmt.Printf("late joiner on design: %d snapshots installed, %d tail ops replayed (history: %d+ ops)\n",
-		late.eng.SnapshotsInstalled(), late.eng.Applied(), writersPerDoc*editsPerSite+3)
-	if late.eng.SnapshotsInstalled() == 0 {
-		log.Fatal("BUG: late joiner converged without snapshot catch-up")
+	if strings.Contains(moving[0].buf.String(), docStay+"-s") ||
+		strings.Contains(staying[0].buf.String(), docMove+"-s") {
+		log.Fatal("BUG: content leaked across documents")
 	}
 
-	for _, s := range append(design, notes...) {
+	totalVC := moving[0].eng.Clock()
+	total := totalVC.Get(1) + totalVC.Get(2)
+	fmt.Printf("converged after live reshard: %q=%d runes on 3 replicas, %q=%d runes on 2 replicas\n",
+		docMove, moving[0].buf.Len(), docStay, staying[0].buf.Len())
+	fmt.Printf("new owner archivist: %d snapshots installed, %d of %d ops replayed live (phase 1's %d came via the streamed snapshot)\n",
+		archB.eng.SnapshotsInstalled(), archB.eng.Applied(), total, phase1Ops)
+	if archB.eng.SnapshotsInstalled() == 0 {
+		log.Fatal("BUG: new owner archivist never installed the handoff snapshot")
+	}
+	if archB.eng.Applied() > total-phase1Ops {
+		log.Fatal("BUG: new owner archivist replayed pre-snapshot ops")
+	}
+	fmt.Printf("hub A: ring epoch %d, %d handoffs out, %d forwarded frames; hub B: %d handoffs in\n",
+		hubA.RingEpoch(), hubA.HandoffsOut(), hubA.Forwards(), hubB.HandoffsIn())
+
+	for _, s := range writers {
 		s.eng.Stop()
 	}
-	for doc, st := range hub.DocStats() {
-		fmt.Printf("hub doc %q: %d relayed, %d dropped (healed by anti-entropy)\n", doc, st.Relays, st.Drops)
-	}
-	st := design[0].buf.Stats()
-	fmt.Printf("design replica stats: %d atoms, avg PosID %.1f bits, %d tree nodes\n",
-		st.Tree.LiveAtoms, st.Tree.AvgIDBits(), st.Tree.Nodes)
+	amB.ownership(docMove, hubB.RingEpoch(), false)
 }
 
 // converge polls until every engine's delivered clock in the group is

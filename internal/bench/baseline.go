@@ -2,29 +2,43 @@ package bench
 
 // Benchmark baseline gate: a small, dependency-free benchstat
 // equivalent. CI runs the hot-path benchmarks twice with
-// `-cpu 1 -benchtime 100ms -count 6` (two pooled invocations, so a
-// transient load spike cannot poison every sample), parses the standard
-// `go test -bench` output, reduces each benchmark to its minimum ns/op —
-// the least-noise estimate of true cost — and compares against the
-// checked-in BENCH_BASELINE.json, failing the build when a benchmark
-// regresses past the threshold. `-cpu 1` keeps benchmark names free of
-// the GOMAXPROCS "-N" suffix, so baselines compare across machines with
-// different core counts. cmd/benchgate is the CLI wrapper and documents
-// re-seeding.
+// `-cpu 1 -benchtime 100ms -count 6 -benchmem` (two pooled invocations,
+// so a transient load spike cannot poison every sample), parses the
+// standard `go test -bench` output, reduces each benchmark to its minimum
+// ns/op — the least-noise estimate of true cost — plus its B/op and
+// allocs/op, and compares all three against the checked-in
+// BENCH_BASELINE.json, failing the build on a regression past the
+// threshold (allocation metrics additionally get an absolute slack, so a
+// relative threshold cannot flap on near-zero paths). `-cpu 1` keeps
+// benchmark names free of the GOMAXPROCS "-N" suffix, so baselines
+// compare across machines with different core counts. cmd/benchgate is
+// the CLI wrapper and documents re-seeding; it can also append a run to
+// the persisted history file that turns the single gate point into a
+// per-merge trajectory.
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
+// MemPoint is one benchmark's allocation reference: bytes and allocations
+// per operation (from `go test -bench -benchmem`).
+type MemPoint struct {
+	BytesOp  float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
 // Baseline is the checked-in benchmark reference (BENCH_BASELINE.json):
-// median ns/op per benchmark, plus the run shape that produced it so a
-// reviewer can reproduce.
+// one reduced ns/op (and, when seeded with -benchmem, B/op + allocs/op)
+// per benchmark, plus the run shape that produced it so a reviewer can
+// reproduce.
 type Baseline struct {
 	Version   int    `json:"version"`
 	Benchtime string `json:"benchtime"`
@@ -37,35 +51,101 @@ type Baseline struct {
 	// runner class when this drifts.
 	Note    string             `json:"note,omitempty"`
 	Results map[string]float64 `json:"results"`
+	// Mem gates allocations alongside time. Absent in baselines seeded
+	// before -benchmem was part of the gate; allocation regressions are
+	// only checked for benchmarks present here.
+	Mem map[string]MemPoint `json:"mem,omitempty"`
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
-//
-//	BenchmarkLocalEdits/append-delete-8   1   12345 ns/op   64 B/op ...
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?) ns/op`)
+// Samples holds every parsed sample per metric for one benchmark. Bytes
+// and Allocs are empty when the run was not executed with -benchmem.
+type Samples struct {
+	Ns     []float64
+	Bytes  []float64
+	Allocs []float64
+}
 
-// ParseBenchOutput extracts every ns/op sample per benchmark name from
-// `go test -bench` output. With -count N each benchmark contributes N
-// samples.
-func ParseBenchOutput(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// benchPrefix matches the start of one `go test -bench` result line (the
+// name and the iteration count); the measurements after it are parsed as
+// (value, unit) pairs, so extra columns like MB/s or custom
+// b.ReportMetric units never misalign the -benchmem fields.
+var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// ParseBenchSamples extracts every ns/op (and, with -benchmem output,
+// B/op and allocs/op) sample per benchmark name from `go test -bench`
+// output, e.g.
+//
+//	BenchmarkStorageCodec   12   10156466 ns/op   3.18 MB/s   14146264 B/op   21250 allocs/op
+//
+// With -count N each benchmark contributes N samples.
+func ParseBenchSamples(r io.Reader) (map[string]*Samples, error) {
+	out := make(map[string]*Samples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		m := benchPrefix.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bench: bad ns/op in %q: %w", sc.Text(), err)
+		fields := strings.Fields(m[2])
+		var ns, bytesOp, allocsOp float64
+		var haveNs, haveMem bool
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a (value, unit) pair: custom suffix, stop
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, haveNs = v, true
+			case "B/op":
+				bytesOp = v
+			case "allocs/op":
+				allocsOp, haveMem = v, true
+			}
 		}
-		out[m[1]] = append(out[m[1]], v)
+		if !haveNs {
+			continue
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &Samples{}
+			out[m[1]] = s
+		}
+		s.Ns = append(s.Ns, ns)
+		if haveMem {
+			s.Bytes = append(s.Bytes, bytesOp)
+			s.Allocs = append(s.Allocs, allocsOp)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ReduceMem reduces parsed samples to one MemPoint per benchmark that has
+// allocation samples, using the given statistic over each metric.
+func ReduceMem(samples map[string]*Samples, stat func([]float64) float64) map[string]MemPoint {
+	out := make(map[string]MemPoint)
+	for name, s := range samples {
+		if len(s.Bytes) == 0 {
+			continue
+		}
+		out[name] = MemPoint{BytesOp: stat(s.Bytes), AllocsOp: stat(s.Allocs)}
+	}
+	return out
+}
+
+// Min reduces a non-empty sample to its minimum.
+func Min(xs []float64) float64 {
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
 }
 
 // Median returns the median of xs (the mean of the middle pair for even
@@ -83,31 +163,15 @@ func Median(xs []float64) float64 {
 	return (s[mid-1] + s[mid]) / 2
 }
 
-// Medians reduces parsed samples to one median per benchmark.
-func Medians(samples map[string][]float64) map[string]float64 {
-	return reduce(samples, Median)
-}
-
-// Mins reduces parsed samples to one minimum per benchmark: the preferred
-// gating statistic, since the fastest of N runs is the best estimate of
-// the code's cost with the least scheduler and cache noise on top.
-func Mins(samples map[string][]float64) map[string]float64 {
-	return reduce(samples, func(xs []float64) float64 {
-		min := xs[0]
-		for _, x := range xs[1:] {
-			if x < min {
-				min = x
-			}
-		}
-		return min
-	})
-}
-
-func reduce(samples map[string][]float64, f func([]float64) float64) map[string]float64 {
+// ReduceNs reduces parsed samples to one ns/op value per benchmark with
+// the given statistic (Min is the preferred gating statistic: the fastest
+// of N runs is the best estimate of the code's cost with the least
+// scheduler and cache noise on top; Median suits trajectories).
+func ReduceNs(samples map[string]*Samples, stat func([]float64) float64) map[string]float64 {
 	out := make(map[string]float64, len(samples))
-	for name, xs := range samples {
-		if len(xs) > 0 {
-			out[name] = f(xs)
+	for name, s := range samples {
+		if len(s.Ns) > 0 {
+			out[name] = stat(s.Ns)
 		}
 	}
 	return out
@@ -175,6 +239,93 @@ func Compare(base *Baseline, current map[string]float64, threshold float64) Comp
 	sort.Strings(c.MissingFromRun)
 	sort.Strings(c.MissingFromBase)
 	return c
+}
+
+// MemDelta is one allocation metric's comparison against the baseline.
+type MemDelta struct {
+	Name    string
+	Metric  string // "B/op" or "allocs/op"
+	Base    float64
+	Current float64
+	// Ratio is Current/Base.
+	Ratio float64
+}
+
+// MemComparison is the allocation gate's verdict.
+type MemComparison struct {
+	// Regressions are metrics past the threshold (and past an absolute
+	// slack, so one stray allocation on a zero-alloc path does not flap
+	// the gate), worst first.
+	Regressions []MemDelta
+	// Improvements shrank past the threshold (refresh candidates).
+	Improvements []MemDelta
+	// MissingFromRun are baseline benchmarks without allocation samples in
+	// this run — a gate run without -benchmem silently un-gates
+	// allocations, so it is reported (and failed) like a missing
+	// benchmark.
+	MissingFromRun []string
+}
+
+// Absolute slack under which an allocation delta is never a regression:
+// relative thresholds flap on tiny denominators (one pooled slice on a
+// 48 B/op path is a 30% "regression" worth nothing).
+const (
+	memBytesSlack  = 64
+	memAllocsSlack = 2
+)
+
+// CompareMem evaluates current allocation points against the baseline's
+// Mem section with a relative threshold. Benchmarks absent from the
+// baseline's Mem are not gated (re-seed to gate them).
+func CompareMem(base *Baseline, current map[string]MemPoint, threshold float64) MemComparison {
+	var c MemComparison
+	classify := func(name, metric string, b, cur, slack float64) {
+		if b == 0 && cur == 0 {
+			return
+		}
+		d := MemDelta{Name: name, Metric: metric, Base: b, Current: cur}
+		if b > 0 {
+			d.Ratio = cur / b
+		} else {
+			d.Ratio = math.Inf(1) // allocations appeared on a zero-alloc path
+		}
+		switch {
+		case cur > b*(1+threshold) && cur-b > slack:
+			c.Regressions = append(c.Regressions, d)
+		case cur < b*(1-threshold) && b-cur > slack:
+			c.Improvements = append(c.Improvements, d)
+		}
+	}
+	for name, b := range base.Mem {
+		cur, ok := current[name]
+		if !ok {
+			c.MissingFromRun = append(c.MissingFromRun, name)
+			continue
+		}
+		classify(name, "B/op", b.BytesOp, cur.BytesOp, memBytesSlack)
+		classify(name, "allocs/op", b.AllocsOp, cur.AllocsOp, memAllocsSlack)
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Ratio > c.Regressions[j].Ratio })
+	sort.Slice(c.Improvements, func(i, j int) bool { return c.Improvements[i].Ratio < c.Improvements[j].Ratio })
+	sort.Strings(c.MissingFromRun)
+	return c
+}
+
+// HistoryEntry is one appended line of the benchmark trajectory file: the
+// pooled, reduced numbers of one merge, so BENCH_BASELINE.json's single
+// gate point grows into a curve across merges.
+type HistoryEntry struct {
+	// Note identifies the run (CI passes the commit SHA).
+	Note string `json:"note"`
+	// Stat is the reducing statistic ("min" or "median").
+	Stat    string              `json:"stat"`
+	Results map[string]float64  `json:"results"`
+	Mem     map[string]MemPoint `json:"mem,omitempty"`
+}
+
+// AppendHistory writes one history entry as a JSON line.
+func AppendHistory(w io.Writer, e *HistoryEntry) error {
+	return json.NewEncoder(w).Encode(e)
 }
 
 // ReadBaseline loads a BENCH_BASELINE.json.

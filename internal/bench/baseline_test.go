@@ -20,17 +20,17 @@ ok  	github.com/treedoc/treedoc	1.234s
 `
 
 func TestParseBenchOutput(t *testing.T) {
-	samples, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	samples, err := ParseBenchSamples(strings.NewReader(sampleBenchOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(samples["BenchmarkLocalEdits/append-delete-8"]); got != 3 {
+	if got := len(samples["BenchmarkLocalEdits/append-delete-8"].Ns); got != 3 {
 		t.Fatalf("append-delete samples = %d, want 3", got)
 	}
-	if got := len(samples["BenchmarkStorageCodec/encode-8"]); got != 2 {
+	if got := len(samples["BenchmarkStorageCodec/encode-8"].Ns); got != 2 {
 		t.Fatalf("encode samples = %d, want 2", got)
 	}
-	med := Medians(samples)
+	med := ReduceNs(samples, Median)
 	if med["BenchmarkLocalEdits/append-delete-8"] != 1200 {
 		t.Fatalf("median = %v, want 1200", med["BenchmarkLocalEdits/append-delete-8"])
 	}
@@ -40,7 +40,7 @@ func TestParseBenchOutput(t *testing.T) {
 }
 
 func TestMins(t *testing.T) {
-	m := Mins(map[string][]float64{"a": {3, 1, 2}, "b": {5}})
+	m := ReduceNs(map[string]*Samples{"a": {Ns: []float64{3, 1, 2}}, "b": {Ns: []float64{5}}}, Min)
 	if m["a"] != 1 || m["b"] != 5 {
 		t.Fatalf("mins = %v", m)
 	}
@@ -89,6 +89,96 @@ func TestCompare(t *testing.T) {
 	}
 	if len(c.MissingFromBase) != 1 || c.MissingFromBase[0] != "BenchNew" {
 		t.Fatalf("missing from base = %v", c.MissingFromBase)
+	}
+}
+
+func TestParseBenchSamplesMem(t *testing.T) {
+	samples, err := ParseBenchSamples(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := samples["BenchmarkStorageCodec/encode-8"]
+	if enc == nil || len(enc.Bytes) != 2 || len(enc.Allocs) != 2 {
+		t.Fatalf("encode mem samples: %+v", enc)
+	}
+	if enc.Bytes[0] != 2048 || enc.Allocs[0] != 12 {
+		t.Fatalf("encode mem values: %+v", enc)
+	}
+	// The ns-only benchmark has no mem samples.
+	if ad := samples["BenchmarkLocalEdits/append-delete-8"]; len(ad.Bytes) != 0 {
+		t.Fatalf("append-delete grew mem samples: %+v", ad)
+	}
+	mem := ReduceMem(samples, Min)
+	if p := mem["BenchmarkStorageCodec/encode-8"]; p.BytesOp != 2048 || p.AllocsOp != 12 {
+		t.Fatalf("reduced mem: %+v", p)
+	}
+	if _, ok := mem["BenchmarkLocalEdits/append-delete-8"]; ok {
+		t.Fatal("ns-only benchmark reduced to a mem point")
+	}
+}
+
+func TestCompareMem(t *testing.T) {
+	base := &Baseline{
+		Version: 1,
+		Results: map[string]float64{"A": 1, "B": 1, "C": 1, "D": 1, "E": 1},
+		Mem: map[string]MemPoint{
+			"A": {BytesOp: 1000, AllocsOp: 10},
+			"B": {BytesOp: 1000, AllocsOp: 10},
+			"C": {BytesOp: 48, AllocsOp: 1},
+			"D": {BytesOp: 4096, AllocsOp: 100},
+			"E": {BytesOp: 1000, AllocsOp: 10},
+		},
+	}
+	current := map[string]MemPoint{
+		"A": {BytesOp: 2000, AllocsOp: 10}, // bytes doubled: regression
+		"B": {BytesOp: 1000, AllocsOp: 30}, // allocs tripled: regression
+		"C": {BytesOp: 90, AllocsOp: 2},    // 88% bigger but inside absolute slack: no flap
+		"D": {BytesOp: 1024, AllocsOp: 20}, // shrank: improvement
+		// E missing: run without -benchmem
+	}
+	c := CompareMem(base, current, 0.20)
+	if len(c.Regressions) != 2 {
+		t.Fatalf("regressions = %+v", c.Regressions)
+	}
+	names := map[string]string{}
+	for _, d := range c.Regressions {
+		names[d.Name] = d.Metric
+	}
+	if names["A"] != "B/op" || names["B"] != "allocs/op" {
+		t.Fatalf("regression metrics = %v", names)
+	}
+	if len(c.MissingFromRun) != 1 || c.MissingFromRun[0] != "E" {
+		t.Fatalf("missing = %v", c.MissingFromRun)
+	}
+	if len(c.Improvements) != 2 {
+		t.Fatalf("improvements = %+v", c.Improvements)
+	}
+}
+
+func TestBaselineMemRoundTrip(t *testing.T) {
+	b := &Baseline{
+		Version: 1,
+		Results: map[string]float64{"A": 1},
+		Mem:     map[string]MemPoint{"A": {BytesOp: 64, AllocsOp: 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mem["A"].BytesOp != 64 || got.Mem["A"].AllocsOp != 3 {
+		t.Fatalf("mem round trip: %+v", got.Mem)
+	}
+	// A pre-mem baseline still loads (the field is optional).
+	old, err := ReadBaseline(strings.NewReader(`{"version":1,"results":{"A":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Mem) != 0 {
+		t.Fatalf("legacy baseline grew mem: %+v", old.Mem)
 	}
 }
 

@@ -216,7 +216,11 @@ func FuzzDocFrame(f *testing.F) {
 				t.Fatal("doc frame not stable under re-encoding")
 			}
 		case *HelloFrame:
-			re, err := EncodeHello(d.Docs)
+			enc := EncodeHello
+			if d.Forward {
+				enc = EncodeHelloForward
+			}
+			re, err := enc(d.Docs)
 			if err != nil {
 				t.Fatalf("accepted hello failed to re-encode: %v", err)
 			}

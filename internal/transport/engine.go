@@ -514,6 +514,45 @@ func (e *Engine) Connect(link Link) {
 	})
 }
 
+// HandoffState captures the replica's migration payload for an online
+// document handoff: the freshest barrier snapshot (nil when the replica
+// cannot snapshot or the document is empty) with its version vector, plus
+// every retained message the snapshot does not cover, in causal-delivery
+// order. The new owner installs the snapshot and replays only the suffix,
+// so it replays zero pre-snapshot operations. The engine stays live —
+// HandoffState is a read on the actor, not a shutdown — so stamped
+// operations racing the handoff remain in the engine and reach the new
+// owner through the clients' anti-entropy instead of being lost.
+func (e *Engine) HandoffState() (snap []byte, version vclock.VC, suffix []causal.Message, err error) {
+	type state struct {
+		snap    []byte
+		version vclock.VC
+		suffix  []causal.Message
+	}
+	ch := make(chan state, 1)
+	if !e.ctl(func() {
+		e.ensureBarrier() // compact at the current clock when possible
+		var st state
+		if e.snapData != nil {
+			st.snap, st.version = e.snapData, e.snapVC.Clone()
+		}
+		for _, m := range e.msgLog {
+			if m.TS.Get(m.From) > st.version.Get(m.From) {
+				st.suffix = append(st.suffix, m)
+			}
+		}
+		ch <- st
+	}) {
+		return nil, nil, nil, ErrStopped
+	}
+	select {
+	case st := <-ch:
+		return st.snap, st.version, st.suffix, nil
+	case <-e.done:
+		return nil, nil, nil, ErrStopped
+	}
+}
+
 // Clock returns the delivered vector clock (nil after Stop). Entry s is the
 // count of site s's operations applied here; comparing clocks across
 // engines is the quiescence test.

@@ -1,0 +1,594 @@
+package transport_test
+
+// Live resharding suite: epoch-versioned ring membership, online document
+// handoff between live hubs, forward-mode service for clients that cannot
+// follow redirects, and bounded redirect chasing under ring disagreement.
+// Run under `go test -race`: handoffs race continuously writing clients.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/treedoc/treedoc"
+	"github.com/treedoc/treedoc/internal/transport"
+	"github.com/treedoc/treedoc/internal/transport/shardmap"
+)
+
+// hoWriter is one writer replica attached through a session link.
+type hoWriter struct {
+	id  treedoc.SiteID
+	buf *treedoc.TextBuffer
+	eng *treedoc.Engine
+}
+
+func newHOWriter(t testing.TB, id treedoc.SiteID, link treedoc.Link) *hoWriter {
+	t.Helper()
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := treedoc.NewEngine(id, buf, treedoc.WithSyncInterval(15*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Connect(link)
+	return &hoWriter{id: id, buf: buf, eng: eng}
+}
+
+// write floods n edits from this writer's goroutine, pacing slightly so a
+// concurrent handoff interleaves with live traffic.
+func (w *hoWriter) write(t testing.TB, n int, pace time.Duration) {
+	rng := rand.New(rand.NewSource(int64(w.id)))
+	for i := 0; i < n; i++ {
+		l := w.buf.Len()
+		var ops []treedoc.Op
+		var err error
+		if l > 0 && rng.Intn(6) == 0 {
+			ops, err = w.buf.Delete(rng.Intn(l), 1)
+		} else {
+			ops, err = w.buf.Insert(rng.Intn(l+1), fmt.Sprintf("w%d.%d ", w.id, i))
+		}
+		if errors.Is(err, treedoc.ErrOutOfRange) {
+			i--
+			continue
+		}
+		if err != nil {
+			t.Errorf("writer %d: %v", w.id, err)
+			return
+		}
+		if err := w.eng.Broadcast(ops...); err != nil {
+			t.Errorf("writer %d: %v", w.id, err)
+			return
+		}
+		if pace > 0 {
+			time.Sleep(pace)
+		}
+	}
+}
+
+// hoConverge polls until every engine reports the same delivered clock.
+func hoConverge(t testing.TB, engines []*treedoc.Engine, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		same := true
+		first := engines[0].Clock().String()
+		for _, e := range engines[1:] {
+			if e.Clock().String() != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	clocks := make([]string, len(engines))
+	for i, e := range engines {
+		clocks[i] = e.Clock().String()
+	}
+	t.Fatalf("engines did not converge within %v: %v", timeout, clocks)
+}
+
+// archMgr manages one hub process's archivists the way cmd/treedoc-serve
+// does: the ownership callback starts an archivist (registered as the
+// handoff source) on acquire and stops it on release.
+type archMgr struct {
+	t       testing.TB
+	hubAddr string
+	dir     string
+	site    treedoc.SiteID
+
+	mu   sync.Mutex
+	hub  *transport.Hub
+	arch map[string]*hoWriter
+}
+
+func (m *archMgr) ownership(doc string, epoch uint64, acquired bool) {
+	if acquired {
+		m.start(doc)
+		return
+	}
+	m.stop(doc)
+}
+
+func (m *archMgr) start(doc string) *hoWriter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a := m.arch[doc]; a != nil {
+		return a
+	}
+	buf, err := treedoc.NewTextBuffer(treedoc.WithSite(m.site))
+	if err != nil {
+		m.t.Error(err)
+		return nil
+	}
+	eng, err := treedoc.NewEngine(m.site, buf,
+		treedoc.WithLogDir(filepath.Join(m.dir, doc)),
+		treedoc.WithSyncInterval(15*time.Millisecond))
+	if err != nil {
+		m.t.Error(err)
+		return nil
+	}
+	link, err := treedoc.DialDoc(m.hubAddr, doc)
+	if err != nil {
+		eng.Stop()
+		m.t.Errorf("archivist attach %q: %v", doc, err)
+		return nil
+	}
+	eng.Connect(link)
+	a := &hoWriter{id: m.site, buf: buf, eng: eng}
+	m.arch[doc] = a
+	m.hub.RegisterHandoff(doc, eng)
+	return a
+}
+
+func (m *archMgr) stop(doc string) {
+	m.mu.Lock()
+	a := m.arch[doc]
+	delete(m.arch, doc)
+	m.mu.Unlock()
+	if a == nil {
+		return
+	}
+	m.hub.RegisterHandoff(doc, nil)
+	a.eng.Stop()
+}
+
+func (m *archMgr) get(doc string) *hoWriter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arch[doc]
+}
+
+// docOwnedBy finds a document name owned by addr under the ring.
+func docOwnedBy(t testing.TB, ring *shardmap.Ring, addr string) string {
+	t.Helper()
+	for i := 0; i < 100_000; i++ {
+		doc := fmt.Sprintf("doc-%d", i)
+		if ring.Owner(doc) == addr {
+			return doc
+		}
+	}
+	t.Fatal("no document hashes to the target hub")
+	return ""
+}
+
+// TestLiveHandoffUnderWriters is the acceptance test for online
+// resharding: with two writers editing continuously, a new hub joins the
+// ring and the document moves to it — no hub or client restarts, no op is
+// lost, every replica converges byte-identical, the new owner's archivist
+// catches up from the streamed snapshot (replaying zero pre-snapshot
+// operations), and a stale-epoch client attaching through the old owner
+// recovers via the epoch-stamped redirect.
+func TestLiveHandoffUnderWriters(t *testing.T) {
+	const (
+		phase1PerWriter = 200
+		phase2PerWriter = 150
+	)
+	var mgrA *archMgr
+	hubA, err := treedoc.ListenHub("127.0.0.1:0",
+		transport.WithHubOwnership(func(doc string, epoch uint64, acquired bool) {
+			mgrA.ownership(doc, epoch, acquired)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	addrA := hubA.Addr().String()
+	mgrA = &archMgr{t: t, hubAddr: addrA, dir: t.TempDir(), site: 1000, hub: hubA, arch: make(map[string]*hoWriter)}
+
+	ring1, err := shardmap.NewRing(1, []string{addrA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hubA.ConfigureRing(addrA, ring1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second hub is configured with an ownership hook that brings up a
+	// local archivist the moment a handoff begins streaming in.
+	var mgrB *archMgr
+	hubB, err := treedoc.ListenHub("127.0.0.1:0",
+		transport.WithHubOwnership(func(doc string, epoch uint64, acquired bool) {
+			mgrB.ownership(doc, epoch, acquired)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubB.Close()
+	addrB := hubB.Addr().String()
+	mgrB = &archMgr{t: t, hubAddr: addrB, dir: t.TempDir(), site: 2000, hub: hubB, arch: make(map[string]*hoWriter)}
+
+	ring2, err := shardmap.NewRing(2, []string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := docOwnedBy(t, ring2, addrB) // owned by A at epoch 1, by B at epoch 2
+
+	// Archivist for the doc at hub A, registered as the handoff source.
+	archA := mgrA.start(doc)
+	if archA == nil {
+		t.Fatal("archivist A failed to start")
+	}
+
+	linkOf := func(addr string) treedoc.Link {
+		l, err := treedoc.DialDoc(addr, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	w1 := newHOWriter(t, 1, linkOf(addrA))
+	w2 := newHOWriter(t, 2, linkOf(addrA))
+	defer w1.eng.Stop()
+	defer w2.eng.Stop()
+
+	// Phase 1: write and converge, so the archivist's snapshot barrier
+	// will cover at least this history when the handoff streams it.
+	var wg sync.WaitGroup
+	for _, w := range []*hoWriter{w1, w2} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, phase1PerWriter, 0) }(w)
+	}
+	wg.Wait()
+	hoConverge(t, []*treedoc.Engine{w1.eng, w2.eng, archA.eng}, 30*time.Second)
+	phase1VC := w1.eng.Clock()
+	phase1Total := phase1VC.Get(1) + phase1VC.Get(2)
+
+	// Phase 2: keep writing while hub B joins the ring at epoch 2. Hub A
+	// adopts the announced ring, freezes the doc, streams the archivist
+	// snapshot + suffix to B, re-points the writers with an epoch-stamped
+	// redirect, and releases its archivist. Nothing restarts.
+	for _, w := range []*hoWriter{w1, w2} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, phase2PerWriter, time.Millisecond) }(w)
+	}
+	time.Sleep(30 * time.Millisecond) // let phase 2 overlap the reshard
+	if err := hubB.ConfigureRing(addrB, ring2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// The new owner's archivist must exist (ownership hook fired).
+	deadline := time.Now().Add(10 * time.Second)
+	for mgrB.get(doc) == nil && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	archB := mgrB.get(doc)
+	if archB == nil {
+		t.Fatalf("hub B never acquired doc %q (handoffs in: %d)", doc, hubB.HandoffsIn())
+	}
+
+	hoConverge(t, []*treedoc.Engine{w1.eng, w2.eng, archB.eng}, 30*time.Second)
+	want := w1.buf.String()
+	if got := w2.buf.String(); got != want {
+		t.Fatalf("writers diverged after handoff (%d vs %d runes)", len(got), len(want))
+	}
+	if got := archB.buf.String(); got != want {
+		t.Fatalf("new owner archivist diverged (%d vs %d runes)", len(got), len(want))
+	}
+
+	// Zero pre-snapshot replay: the new archivist installed the streamed
+	// snapshot (which covers all of phase 1) and applied live only what
+	// the snapshot did not cover.
+	if archB.eng.SnapshotsInstalled() == 0 {
+		t.Fatal("new owner archivist never installed the handoff snapshot")
+	}
+	total := w1.eng.Clock().Get(1) + w1.eng.Clock().Get(2)
+	phase2 := total - phase1Total
+	if applied := archB.eng.Applied(); applied > phase2 {
+		t.Fatalf("new owner archivist replayed %d ops live; snapshot should cover all %d phase-1 ops (total %d)",
+			applied, phase1Total, total)
+	}
+
+	if hubA.HandoffsOut() == 0 || hubB.HandoffsIn() == 0 {
+		t.Fatalf("handoff counters: A out %d, B in %d", hubA.HandoffsOut(), hubB.HandoffsIn())
+	}
+	if hubA.RingEpoch() != 2 || hubB.RingEpoch() != 2 {
+		t.Fatalf("ring epochs after join: A %d, B %d", hubA.RingEpoch(), hubB.RingEpoch())
+	}
+	if mgrA.get(doc) != nil {
+		t.Fatal("old owner still runs an archivist for the moved doc")
+	}
+
+	// A stale-epoch client that only knows the old owner recovers through
+	// the epoch-stamped redirect: attach via A, converge with everyone.
+	late := newHOWriter(t, 3, linkOf(addrA))
+	defer late.eng.Stop()
+	hoConverge(t, []*treedoc.Engine{w1.eng, late.eng}, 30*time.Second)
+	if got := late.buf.String(); got != want {
+		t.Fatal("stale-epoch client diverged after following the epoch-stamped redirect")
+	}
+}
+
+// TestLegacyDefaultSurvivesEpochChange moves the "default" document to a
+// newly joined hub while a legacy Dial client (bare frames, cannot follow
+// redirects) is attached to the old owner: the old hub serves it through
+// hub-to-hub forwarding, and it converges with a doc-aware client that
+// was re-pointed to the new owner.
+func TestLegacyDefaultSurvivesEpochChange(t *testing.T) {
+	hubA, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	addrA := hubA.Addr().String()
+	ring1, err := shardmap.NewRing(1, []string{addrA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hubA.ConfigureRing(addrA, ring1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a second hub whose address makes the two-node ring assign
+	// "default" to it (listen ports are random, so probe).
+	var hubB *treedoc.Hub
+	var ring2 *shardmap.Ring
+	for i := 0; i < 64; i++ {
+		h, err := treedoc.ListenHub("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := shardmap.NewRing(2, []string{addrA, h.Addr().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Owner(treedoc.DefaultDoc) == h.Addr().String() {
+			hubB, ring2 = h, r
+			break
+		}
+		h.Close()
+	}
+	if hubB == nil {
+		t.Skip("no listen port made the ring move the default doc (vanishingly unlikely)")
+	}
+	defer hubB.Close()
+	addrB := hubB.Addr().String()
+
+	legacyLink, err := treedoc.Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := newHOWriter(t, 1, legacyLink)
+	defer legacy.eng.Stop()
+	awareLink, err := treedoc.DialDoc(addrA, treedoc.DefaultDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := newHOWriter(t, 2, awareLink)
+	defer aware.eng.Stop()
+
+	// Phase 1 on the old owner.
+	var wg sync.WaitGroup
+	for _, w := range []*hoWriter{legacy, aware} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, 100, 0) }(w)
+	}
+	wg.Wait()
+	hoConverge(t, []*treedoc.Engine{legacy.eng, aware.eng}, 30*time.Second)
+
+	// Epoch change: "default" moves to hub B while both keep writing.
+	for _, w := range []*hoWriter{legacy, aware} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, 100, time.Millisecond) }(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := hubB.ConfigureRing(addrB, ring2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	hoConverge(t, []*treedoc.Engine{legacy.eng, aware.eng}, 30*time.Second)
+	if legacy.buf.String() != aware.buf.String() {
+		t.Fatal("legacy and re-pointed doc-aware replicas diverged across the epoch change")
+	}
+	if hubA.Forwards() == 0 {
+		t.Fatalf("old owner never forwarded the legacy client's frames (forwards %d)", hubA.Forwards())
+	}
+	if hubA.RingEpoch() != 2 {
+		t.Fatalf("hub A ring epoch = %d, want 2", hubA.RingEpoch())
+	}
+}
+
+// TestRedirectLoopFailsFast wires two hubs with deliberately disagreeing
+// rings of the same epoch — each names the other as the owner — and
+// asserts the client fails the attach with a loop error instead of
+// bouncing forever (the pre-epoch behaviour was a single blind hop; two
+// hops that revisit a hub whose epoch did not advance must fail).
+func TestRedirectLoopFailsFast(t *testing.T) {
+	hubA, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	hubB, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubB.Close()
+	addrA, addrB := hubA.Addr().String(), hubB.Addr().String()
+
+	ringA, err := shardmap.NewRing(1, []string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub B's view replaces B with a phantom node, so every document ring
+	// A assigns to B is assigned to A (or the phantom) under ring B — B
+	// bounces it straight back.
+	ringB, err := shardmap.NewRing(1, []string{addrA, "203.0.113.7:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc string
+	for i := 0; i < 100_000 && doc == ""; i++ {
+		d := fmt.Sprintf("doc-%d", i)
+		if ringA.Owner(d) == addrB && ringB.Owner(d) == addrA {
+			doc = d
+		}
+	}
+	if doc == "" {
+		t.Fatal("no document bounces between the disagreeing rings")
+	}
+	if err := hubA.ConfigureRing(addrA, ringA); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubB.ConfigureRing(addrB, ringB); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := treedoc.DialDoc(addrA, doc)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("attach succeeded through disagreeing rings")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("attach hung: redirect bouncing is unbounded")
+	}
+}
+
+// TestForwardFallbackWhenOwnerUnreachable: the ring places a document on
+// a hub the clients cannot reach; the attach falls back to the forward
+// flag and the reachable hub serves the document locally, relaying among
+// its own clients (and towards the owner, best-effort, over the mesh).
+func TestForwardFallbackWhenOwnerUnreachable(t *testing.T) {
+	hubA, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	addrA := hubA.Addr().String()
+	// Port 1 refuses connections immediately: an owner shard that exists
+	// in the ring but is unreachable from these clients.
+	const deadOwner = "127.0.0.1:1"
+	ring, err := shardmap.NewRing(1, []string{addrA, deadOwner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hubA.ConfigureRing(addrA, ring); err != nil {
+		t.Fatal(err)
+	}
+	doc := docOwnedBy(t, ring, deadOwner)
+
+	w1link, err := treedoc.DialDoc(addrA, doc)
+	if err != nil {
+		t.Fatalf("attach with unreachable owner: %v", err)
+	}
+	w1 := newHOWriter(t, 1, w1link)
+	defer w1.eng.Stop()
+	w2link, err := treedoc.DialDoc(addrA, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := newHOWriter(t, 2, w2link)
+	defer w2.eng.Stop()
+
+	var wg sync.WaitGroup
+	for _, w := range []*hoWriter{w1, w2} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, 100, 0) }(w)
+	}
+	wg.Wait()
+	hoConverge(t, []*treedoc.Engine{w1.eng, w2.eng}, 30*time.Second)
+	if w1.buf.String() != w2.buf.String() {
+		t.Fatal("forward-fallback clients diverged")
+	}
+	if st := hubA.DocStats()[doc]; st.Clients != 2 || st.Relays == 0 {
+		t.Fatalf("reachable hub did not serve the foreign doc: %+v", st)
+	}
+}
+
+// TestResignHandsEverythingBack: a hub leaves the ring gracefully; its
+// document moves back to the survivor, attached writers are re-pointed,
+// and convergence holds.
+func TestResignHandsEverythingBack(t *testing.T) {
+	hubA, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubA.Close()
+	hubB, err := treedoc.ListenHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hubB.Close()
+	addrA, addrB := hubA.Addr().String(), hubB.Addr().String()
+	ring1, err := shardmap.NewRing(1, []string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hubA.ConfigureRing(addrA, ring1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubB.ConfigureRing(addrB, ring1); err != nil {
+		t.Fatal(err)
+	}
+	doc := docOwnedBy(t, ring1, addrB)
+
+	l1, err := treedoc.DialDoc(addrA, doc) // redirected to B
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := newHOWriter(t, 1, l1)
+	defer w1.eng.Stop()
+	l2, err := treedoc.DialDoc(addrB, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := newHOWriter(t, 2, l2)
+	defer w2.eng.Stop()
+
+	var wg sync.WaitGroup
+	for _, w := range []*hoWriter{w1, w2} {
+		wg.Add(1)
+		go func(w *hoWriter) { defer wg.Done(); w.write(t, 150, time.Millisecond) }(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := hubB.Resign(20 * time.Second); err != nil {
+		t.Fatalf("resign: %v", err)
+	}
+	wg.Wait()
+
+	hoConverge(t, []*treedoc.Engine{w1.eng, w2.eng}, 30*time.Second)
+	if w1.buf.String() != w2.buf.String() {
+		t.Fatal("writers diverged across the resign")
+	}
+	if owner, owned := hubA.DocOwner(doc); !owned {
+		t.Fatalf("survivor does not own the doc after resign (owner %s)", owner)
+	}
+	if hubB.RingEpoch() != 2 || hubA.RingEpoch() != 2 {
+		t.Fatalf("ring epochs after resign: A %d, B %d", hubA.RingEpoch(), hubB.RingEpoch())
+	}
+}

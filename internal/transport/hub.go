@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bufio"
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -24,14 +26,26 @@ import (
 // A slow client's queue overflowing drops frames for that client only;
 // its engine heals via anti-entropy.
 //
-// With a shard ring configured (WithHubShards / ConfigureSharding), N hub
-// processes split the document space by consistent hashing: an attach for
-// a document this process does not own is answered with a redirect naming
-// the owner, which Session/DialDoc clients follow transparently.
+// With a shard ring configured (WithHubShards / ConfigureSharding /
+// ConfigureRing), N hub processes split the document space by consistent
+// hashing: an attach for a document this process does not own is answered
+// with an epoch-stamped redirect naming the owner, which Session/DialDoc
+// clients follow transparently. The ring is epoch-versioned
+// (shardmap.Ring): adopting a ring with a higher epoch — from
+// ConfigureRing locally, or from a kindRingAnnounce a peer or joining hub
+// sent — triggers the online handoff state machine for every local
+// document the membership change relocates (see handoff.go), and hubs
+// maintain persistent hub-to-hub mesh connections that forward a foreign
+// document's frames for clients that cannot reach its owner shard.
 type Hub struct {
 	ln         net.Listener
 	queueDepth int
 	logf       func(format string, args ...any)
+	// ownership, when set, is invoked as documents are acquired (a handoff
+	// begins streaming in) or released (a handoff finished streaming out)
+	// through a live reshard. Called from hub goroutines; the callee
+	// synchronises.
+	ownership func(doc string, epoch uint64, acquired bool)
 
 	mu     sync.Mutex
 	conns  map[int64]*hubConn
@@ -45,10 +59,21 @@ type Hub struct {
 	shards   map[string]*docShard
 	shardPtr atomic.Pointer[map[string]*docShard]
 
-	// ring is the consistent-hash routing layer when this hub is one of N
-	// cooperating processes; nil means this hub owns every document.
-	ring *shardmap.Map
-	self string
+	// ring is the epoch-versioned consistent-hash routing layer when this
+	// hub is one of N cooperating processes; nil means this hub owns every
+	// document. ringView republishes (ring, self) behind an atomic pointer
+	// for the per-frame paths (DocOwner on every kindForward), which must
+	// not take the hub lock; mu still guards the mutations.
+	ring     *shardmap.Ring
+	self     string
+	ringView atomic.Pointer[hubRingView]
+	// peers is the hub-to-hub mesh: one persistent outbound connection per
+	// cooperating hub, dialed on first use (forwarding, handoff streaming,
+	// ring announces). Guarded by mu.
+	peers map[string]*hubPeer
+	// sources supplies migrating documents' durable state (archivist
+	// engines, registered by cmd/treedoc-serve). Guarded by mu.
+	sources map[string]HandoffSource
 	// pendingPeers carries WithHubShards arguments until ListenHub
 	// validates them; tests with :0 listeners use ConfigureSharding after
 	// the port is known instead.
@@ -57,9 +82,18 @@ type Hub struct {
 	drops    atomic.Uint64
 	relays   atomic.Uint64
 	unrouted atomic.Uint64
+	forwards atomic.Uint64
+	// frozenDrops counts frames dropped because their document was frozen
+	// mid-handoff; client anti-entropy heals them through the new owner.
+	frozenDrops atomic.Uint64
+	handoffsOut atomic.Uint64
+	handoffsIn  atomic.Uint64
 	// lastDropWarn rate-limits the slow-client warning (unix nanos).
 	lastDropWarn atomic.Int64
 	wg           sync.WaitGroup
+	// handoffWG tracks in-flight outbound handoffs so Resign can wait for
+	// them; its goroutines are also counted in wg.
+	handoffWG sync.WaitGroup
 }
 
 // docShard is one document's relay group.
@@ -71,6 +105,17 @@ type docShard struct {
 	snap   atomic.Pointer[[]*hubConn]
 	relays atomic.Uint64
 	drops  atomic.Uint64
+	// frozen is set for the streaming window of an outbound handoff:
+	// inbound frames are dropped (counted) rather than relayed, so the
+	// state stream is a consistent cut; anti-entropy heals the window.
+	frozen atomic.Bool
+	// fwd, when non-nil, marks the shard as locally served but foreign:
+	// frames from local clients are additionally wrapped in kindForward and
+	// sent to the owning hub over this mesh connection.
+	fwd atomic.Pointer[hubPeer]
+	// refreshing single-flights the redial of a dead fwd peer, so a busy
+	// relay path spawns at most one refresh goroutine per shard.
+	refreshing atomic.Bool
 }
 
 // DocStats is one document's relay counters.
@@ -118,6 +163,23 @@ func WithHubShards(self string, peers []string) HubOption {
 	}
 }
 
+// WithHubSelf records the hub's own advertised address without configuring
+// a ring: the hub owns every document until a ring is adopted, but can
+// already answer ring queries and be named by a joining hub.
+func WithHubSelf(self string) HubOption {
+	return func(h *Hub) { h.self = self }
+}
+
+// WithHubOwnership installs a callback invoked when this hub acquires a
+// document (an inbound handoff began) or releases one (an outbound handoff
+// finished streaming) through a live reshard. cmd/treedoc-serve uses it to
+// start and stop per-document archivists. The callback runs on hub
+// goroutines and must not call back into the hub synchronously with long
+// delays; it may call RegisterHandoff.
+func WithHubOwnership(fn func(doc string, epoch uint64, acquired bool)) HubOption {
+	return func(h *Hub) { h.ownership = fn }
+}
+
 // ListenHub starts a hub on addr (e.g. ":9707" or "127.0.0.1:0") and
 // begins accepting clients in the background.
 func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
@@ -131,11 +193,14 @@ func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
 		logf:       func(string, ...any) {},
 		conns:      make(map[int64]*hubConn),
 		shards:     make(map[string]*docShard),
+		peers:      make(map[string]*hubPeer),
+		sources:    make(map[string]HandoffSource),
 	}
 	for _, o := range opts {
 		o(h)
 	}
 	h.publishShards()
+	h.publishRingView()
 	if h.pendingPeers != nil {
 		if err := h.ConfigureSharding(h.self, h.pendingPeers); err != nil {
 			ln.Close()
@@ -149,47 +214,112 @@ func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
 }
 
 // ConfigureSharding installs (or replaces) the consistent-hash ring: self
-// is this process's advertised address and peers the full membership.
-// Call before clients attach — already-attached documents are not
-// re-evaluated or migrated.
+// is this process's advertised address and peers the full membership. The
+// new ring's epoch is one above the current one (1 on first
+// configuration), and installing it over live traffic triggers the online
+// handoff machinery for every local document the change relocates — see
+// ConfigureRing.
 func (h *Hub) ConfigureSharding(self string, peers []string) error {
-	ring, err := shardmap.New(peers, 0)
-	if err != nil {
-		return err
-	}
-	found := false
-	for _, p := range peers {
-		if p == self {
-			found = true
-			break
+	// Epoch minting and installation race concurrently adopted announces:
+	// ConfigureRing treats an equal epoch as an idempotent no-op, so
+	// verify by identity that OUR ring landed and remint one higher if a
+	// racer took the epoch first.
+	for attempt := 0; attempt < 4; attempt++ {
+		h.mu.Lock()
+		var epoch uint64 = 1
+		if h.ring != nil {
+			epoch = h.ring.Epoch + 1
+		}
+		h.mu.Unlock()
+		ring, err := shardmap.NewRing(epoch, peers)
+		if err != nil {
+			return err
+		}
+		if !ring.Has(self) {
+			return &net.AddrError{Err: "self address not in peer ring", Addr: self}
+		}
+		if err := h.ConfigureRing(self, ring); err != nil {
+			if errors.Is(err, errStaleEpoch) {
+				continue // a racer installed a higher epoch; remint
+			}
+			return err
+		}
+		h.mu.Lock()
+		installed := h.ring == ring
+		h.mu.Unlock()
+		if installed {
+			return nil
 		}
 	}
-	if !found {
-		return &net.AddrError{Err: "self address not in peer ring", Addr: self}
-	}
-	h.mu.Lock()
-	h.ring, h.self = ring, self
-	h.mu.Unlock()
-	return nil
+	return fmt.Errorf("transport: ring configuration kept racing concurrent adoptions")
 }
 
 // Addr returns the hub's listen address.
 func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
 
+// hubRingView is the lock-free snapshot of (ring, self) the per-frame
+// paths read.
+type hubRingView struct {
+	ring *shardmap.Ring
+	self string
+}
+
+// publishRingView refreshes the lock-free ring snapshot; call with mu
+// held (or before the hub goes live).
+func (h *Hub) publishRingView() {
+	h.ringView.Store(&hubRingView{ring: h.ring, self: h.self})
+}
+
 // DocOwner reports the shard-ring owner of doc and whether that is this
-// hub. Without a configured ring this hub owns every document. Callers
-// (like cmd/treedoc-serve deciding where to run archivists) must consult
-// this rather than building a parallel ring, so ownership decisions and
-// attach redirects can never disagree.
+// hub, lock-free (it runs per forwarded frame). Without a configured
+// ring this hub owns every document. Callers (like cmd/treedoc-serve
+// deciding where to run archivists) must consult this rather than
+// building a parallel ring, so ownership decisions and attach redirects
+// can never disagree.
 func (h *Hub) DocOwner(doc string) (owner string, owned bool) {
-	h.mu.Lock()
-	ring, self := h.ring, h.self
-	h.mu.Unlock()
-	if ring == nil {
-		return self, true
+	v := h.ringView.Load()
+	if v == nil || v.ring == nil {
+		if v != nil {
+			return v.self, true
+		}
+		return "", true
 	}
-	owner = ring.Owner(doc)
-	return owner, owner == self
+	owner = v.ring.Owner(doc)
+	return owner, owner == v.self
+}
+
+// RingEpoch returns the epoch of the currently installed ring (0 when no
+// ring is configured).
+func (h *Hub) RingEpoch() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ring == nil {
+		return 0
+	}
+	return h.ring.Epoch
+}
+
+// Ring returns the currently installed ring (nil when none): callers like
+// treedoc-serve's join loop verify membership actually landed, because a
+// racing adoption of an equal epoch makes ConfigureRing a silent no-op.
+func (h *Hub) Ring() *shardmap.Ring {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ring
+}
+
+// RegisterHandoff registers src as the supplier of doc's durable state
+// when the document is handed to a new owner (nil unregisters). An
+// archivist's engine is the usual source; without one, a handoff streams
+// no state and the new owner's replicas catch up through anti-entropy.
+func (h *Hub) RegisterHandoff(doc string, src HandoffSource) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if src == nil {
+		delete(h.sources, doc)
+		return
+	}
+	h.sources[doc] = src
 }
 
 // Drops counts frames discarded because a client queue was full, across
@@ -203,6 +333,20 @@ func (h *Hub) Relays() uint64 { return h.relays.Load() }
 // Unrouted counts frames that named a document with no attached clients
 // (including envelope frames that failed to parse).
 func (h *Hub) Unrouted() uint64 { return h.unrouted.Load() }
+
+// Forwards counts frames wrapped in the hub-to-hub envelope and sent to a
+// document's owner shard on behalf of locally attached clients.
+func (h *Hub) Forwards() uint64 { return h.forwards.Load() }
+
+// FrozenDrops counts frames dropped because their document was frozen for
+// the streaming window of an outbound handoff (healed by anti-entropy).
+func (h *Hub) FrozenDrops() uint64 { return h.frozenDrops.Load() }
+
+// HandoffsOut counts documents this hub streamed to a new owner.
+func (h *Hub) HandoffsOut() uint64 { return h.handoffsOut.Load() }
+
+// HandoffsIn counts documents streamed to this hub by a previous owner.
+func (h *Hub) HandoffsIn() uint64 { return h.handoffsIn.Load() }
 
 // DocStats returns per-document relay counters for every document with an
 // active relay group or nonzero history this hub retains.
@@ -234,10 +378,17 @@ func (h *Hub) Close() error {
 	for _, c := range h.conns {
 		conns = append(conns, c)
 	}
+	peers := make([]*hubPeer, 0, len(h.peers))
+	for _, p := range h.peers {
+		peers = append(peers, p)
+	}
 	h.mu.Unlock()
 	err := h.ln.Close()
 	for _, c := range conns {
 		c.shut()
+	}
+	for _, p := range peers {
+		p.fail()
 	}
 	h.wg.Wait()
 	return err
@@ -307,8 +458,51 @@ func (h *Hub) attachLocked(c *hubConn, doc string) {
 	s.rebuild()
 }
 
+// enableForwardLocked puts doc's relay group (created if absent) in
+// forward mode towards its ring owner; call with mu held. No-op when this
+// hub owns the document or has no ring.
+func (h *Hub) enableForwardLocked(doc string) {
+	if h.ring == nil {
+		return
+	}
+	owner := h.ring.Owner(doc)
+	if owner == h.self {
+		return
+	}
+	s := h.shards[doc]
+	if s == nil {
+		s = &docShard{doc: doc, conns: make(map[int64]*hubConn)}
+		h.shards[doc] = s
+		h.publishShards()
+	}
+	h.retargetLocked(doc, s, owner)
+}
+
+// ensureLegacyForward runs once per connection, on its first bare frame:
+// a legacy client cannot follow redirects, so if the default document is
+// foreign under the current ring, its relay group switches to forward
+// mode. Engine-backed legacy clients send an anti-entropy digest every
+// sync interval, so forwarding engages within one interval even for
+// read-mostly clients.
+func (h *Hub) ensureLegacyForward(c *hubConn) {
+	if c.legacyChecked.Swap(true) {
+		return
+	}
+	h.mu.Lock()
+	// Only a connection actually attached to the default document (a true
+	// legacy client) turns on forwarding: a doc-aware client's stray bare
+	// frame must not mint a zero-connection shard whose mesh subscription
+	// would draw the default document's traffic here forever.
+	if c.docs[DefaultDoc] {
+		h.enableForwardLocked(DefaultDoc)
+	}
+	h.mu.Unlock()
+}
+
 // detachLocked removes c from doc's relay group, deleting the group when
-// its last connection leaves; call with mu held.
+// its last connection leaves — and releasing its mesh subscription, so a
+// dissolved forward-mode group stops drawing the document's traffic
+// cross-hub; call with mu held.
 func (h *Hub) detachLocked(c *hubConn, doc string) {
 	if !c.docs[doc] {
 		return
@@ -322,6 +516,9 @@ func (h *Hub) detachLocked(c *hubConn, doc string) {
 	if len(s.conns) == 0 {
 		delete(h.shards, doc)
 		h.publishShards()
+		if p := s.fwd.Swap(nil); p != nil {
+			p.unsubscribe(doc)
+		}
 		return
 	}
 	s.rebuild()
@@ -338,21 +535,28 @@ func (s *docShard) rebuild() {
 }
 
 // hello processes an attach handshake: attach every owned document,
-// answer redirects for documents another shard owns.
-func (h *Hub) hello(c *hubConn, docs []string) {
+// answer epoch-stamped redirects for documents another shard owns — or,
+// when the client set the forward flag (it cannot reach the owner),
+// attach the foreign document locally and relay its frames over the mesh.
+func (h *Hub) hello(c *hubConn, docs []string, forward bool) {
 	c.aware.Store(true)
 	entries := make([]HelloEntry, 0, len(docs))
 	h.mu.Lock()
 	ring, self := h.ring, h.self
+	var epoch uint64
+	if ring != nil {
+		epoch = ring.Epoch
+	}
 	for _, doc := range docs {
-		if ring != nil {
-			if owner := ring.Owner(doc); owner != self {
-				entries = append(entries, HelloEntry{Doc: doc, Redirect: owner})
+		if ring != nil && ring.Owner(doc) != self {
+			if !forward {
+				entries = append(entries, HelloEntry{Doc: doc, Redirect: ring.Owner(doc), Epoch: epoch})
 				continue
 			}
+			h.enableForwardLocked(doc)
 		}
 		h.attachLocked(c, doc)
-		entries = append(entries, HelloEntry{Doc: doc})
+		entries = append(entries, HelloEntry{Doc: doc, Epoch: epoch})
 	}
 	// The first hello re-homes the connection: it is doc-aware now, so the
 	// implicit legacy attachment to the default document is dropped unless
@@ -399,10 +603,11 @@ func (h *Hub) detach(c *hubConn, docs []string) {
 	h.mu.Unlock()
 }
 
-// relay fans one frame out to every other client attached to doc. It runs
-// on every inbound frame, so it reads the copy-on-write shard map and the
-// shard's connection snapshot without taking the hub lock. inner is the
-// bare frame (what legacy clients receive); env is the doc-scoped
+// relay fans one frame out to every other client attached to doc, and —
+// when the shard is in forward mode — on to the owning hub over the mesh.
+// It runs on every inbound frame, so it reads the copy-on-write shard map
+// and the shard's connection snapshot without taking the hub lock. inner
+// is the bare frame (what legacy clients receive); env is the doc-scoped
 // envelope if the sender provided one, else it is built lazily the first
 // time a doc-aware receiver needs it.
 func (h *Hub) relay(from *hubConn, doc string, inner, env []byte) {
@@ -412,6 +617,50 @@ func (h *Hub) relay(from *hubConn, doc string, inner, env []byte) {
 		h.unrouted.Add(1)
 		return
 	}
+	if s.frozen.Load() {
+		h.frozenDrops.Add(1)
+		return
+	}
+	h.fanoutShard(s, from, doc, inner, env)
+	if p := s.fwd.Load(); p != nil {
+		if p.dead() {
+			// The owner's mesh connection died: redial and resubscribe off
+			// the hot path (single-flight per shard); this frame is dropped
+			// and healed by anti-entropy.
+			if s.refreshing.CompareAndSwap(false, true) {
+				go h.refreshForward(doc, s, p.addr)
+			}
+			return
+		}
+		fwd, err := EncodeForward(doc, inner)
+		if err == nil && p.trySend(fwd) {
+			h.forwards.Add(1)
+		}
+	}
+}
+
+// relayLocal fans one mesh-delivered frame (a forwarded or handed-off
+// document's traffic arriving from another hub) out to the local clients
+// only, excluding from when the delivering connection is itself attached:
+// mesh frames are never forwarded onward, so disagreeing rings cannot
+// loop a frame between hubs.
+func (h *Hub) relayLocal(from *hubConn, doc string, inner, env []byte) {
+	shards := h.shardPtr.Load()
+	s := (*shards)[doc]
+	if s == nil {
+		h.unrouted.Add(1)
+		return
+	}
+	if s.frozen.Load() {
+		h.frozenDrops.Add(1)
+		return
+	}
+	h.fanoutShard(s, from, doc, inner, env)
+}
+
+// fanoutShard delivers one frame to every connection in the shard except
+// from.
+func (h *Hub) fanoutShard(s *docShard, from *hubConn, doc string, inner, env []byte) {
 	conns := s.snap.Load()
 	if conns == nil {
 		return
@@ -492,6 +741,12 @@ type hubConn struct {
 	// helloSeen records that the first hello already re-homed this
 	// connection off the implicit default attachment; guarded by hub.mu.
 	helloSeen bool
+	// legacyChecked latches after the connection's first bare frame set up
+	// legacy forwarding (see ensureLegacyForward).
+	legacyChecked atomic.Bool
+	// lastRingCorrect rate-limits ring-announce corrections to a stale
+	// forwarder on this connection (unix nanos).
+	lastRingCorrect atomic.Int64
 }
 
 func (c *hubConn) shut() {
@@ -515,7 +770,8 @@ func (c *hubConn) reader() {
 				c.hub.unrouted.Add(1)
 				continue
 			}
-			c.hub.hello(c, decoded.(*HelloFrame).Docs)
+			hf := decoded.(*HelloFrame)
+			c.hub.hello(c, hf.Docs, hf.Forward)
 		case kindDetach:
 			decoded, err := DecodeFrame(frame)
 			if err != nil {
@@ -533,9 +789,47 @@ func (c *hubConn) reader() {
 				continue
 			}
 			c.hub.relay(c, doc, inner, frame)
+		case kindRingAnnounce:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.handleRingFrame(c, decoded.(*RingFrame))
+		case kindForward:
+			doc, inner, err := splitEnvelope(kindForward, frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.handleForward(c, doc, inner)
+		case kindHandoffBegin:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.handleHandoffBegin(c, decoded.(*HandoffBeginFrame))
+		case kindHandoffState:
+			doc, inner, err := splitEnvelope(kindHandoffState, frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.relayLocal(c, doc, inner, nil)
+		case kindHandoffDone:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			hd := decoded.(*HandoffDoneFrame)
+			c.hub.logf("hub: handoff of doc %q (epoch %d) fully received", hd.Doc, hd.Epoch)
 		default:
 			// Bare frame from a legacy client (or a doc-aware client's
-			// unscoped traffic): route to the default document.
+			// unscoped traffic): route to the default document, forwarding
+			// to its owner shard if the ring placed it elsewhere.
+			c.hub.ensureLegacyForward(c)
 			c.hub.relay(c, DefaultDoc, frame, nil)
 		}
 	}

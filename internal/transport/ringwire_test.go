@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+func TestRingAnnounceRoundTrip(t *testing.T) {
+	frame, err := EncodeRingAnnounce(9, []string{"10.0.0.1:9707", "10.0.0.2:9707"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, ok := decoded.(*RingFrame)
+	if !ok {
+		t.Fatalf("decoded %T, want *RingFrame", decoded)
+	}
+	if rf.Epoch != 9 || !reflect.DeepEqual(rf.Nodes, []string{"10.0.0.1:9707", "10.0.0.2:9707"}) {
+		t.Fatalf("round trip: %+v", rf)
+	}
+	if rf.IsQuery() {
+		t.Fatal("announce misreported as query")
+	}
+
+	// The query form: epoch 0, no nodes.
+	q, err := EncodeRingAnnounce(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err = DecodeFrame(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.(*RingFrame).IsQuery() {
+		t.Fatal("query form not recognised")
+	}
+
+	if _, err := EncodeRingAnnounce(1, []string{""}); err == nil {
+		t.Fatal("empty node address accepted")
+	}
+	if _, err := EncodeRingAnnounce(1, []string{strings.Repeat("a", maxRedirectAddr+1)}); err == nil {
+		t.Fatal("oversized node address accepted")
+	}
+}
+
+func TestHandoffMarkRoundTrip(t *testing.T) {
+	begin, err := EncodeHandoffBegin("notes", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeFrame(begin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := decoded.(*HandoffBeginFrame)
+	if !ok || bf.Doc != "notes" || bf.Epoch != 4 {
+		t.Fatalf("decoded %T %+v", decoded, decoded)
+	}
+	done, err := EncodeHandoffDone("notes", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err = DecodeFrame(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, ok := decoded.(*HandoffDoneFrame)
+	if !ok || df.Doc != "notes" || df.Epoch != 4 {
+		t.Fatalf("decoded %T %+v", decoded, decoded)
+	}
+}
+
+func TestForwardAndHandoffStateEnvelopes(t *testing.T) {
+	inner, err := EncodeSyncReq(7, vclock.VC{7: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		enc  func(string, []byte) ([]byte, error)
+	}{
+		{"forward", EncodeForward},
+		{"handoff-state", EncodeHandoffState},
+	} {
+		env, err := tc.enc("notes", inner)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		decoded, err := DecodeFrame(env)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var doc string
+		var got []byte
+		switch d := decoded.(type) {
+		case *ForwardFrame:
+			doc, got = d.Doc, d.Inner
+		case *HandoffStateFrame:
+			doc, got = d.Doc, d.Inner
+		default:
+			t.Fatalf("%s: decoded %T", tc.name, decoded)
+		}
+		if doc != "notes" || !bytes.Equal(got, inner) {
+			t.Fatalf("%s: round trip (%q, %x)", tc.name, doc, got)
+		}
+		// Envelopes never nest, in any combination.
+		if _, err := tc.enc("notes", env); err == nil {
+			t.Fatalf("%s: nested self accepted", tc.name)
+		}
+		docEnv, err := EncodeDocFrame("notes", inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tc.enc("notes", docEnv); err == nil {
+			t.Fatalf("%s: nested doc envelope accepted", tc.name)
+		}
+		if _, err := EncodeDocFrame("notes", env); err == nil {
+			t.Fatalf("doc envelope accepted nested %s", tc.name)
+		}
+	}
+}
+
+func TestHelloForwardRoundTrip(t *testing.T) {
+	frame, err := EncodeHelloForward([]string{"notes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, ok := decoded.(*HelloFrame)
+	if !ok || !hf.Forward || !reflect.DeepEqual(hf.Docs, []string{"notes"}) {
+		t.Fatalf("decoded %T %+v", decoded, decoded)
+	}
+	// A plain hello still decodes with the flag off.
+	plain, err := EncodeHello([]string{"notes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err = DecodeFrame(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.(*HelloFrame).Forward {
+		t.Fatal("plain hello decoded with forward flag")
+	}
+	// An explicit zero flags byte is non-canonical and refused.
+	if _, err := DecodeFrame(append(append([]byte{}, plain...), 0x00)); err == nil {
+		t.Fatal("zero flags byte accepted")
+	}
+	// Unknown flag bits are refused.
+	if _, err := DecodeFrame(append(append([]byte{}, plain...), 0x02)); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+}
+
+func TestHelloRespCarriesEpoch(t *testing.T) {
+	entries := []HelloEntry{
+		{Doc: "notes", Epoch: 3},
+		{Doc: "design", Redirect: "10.0.0.2:9707", Epoch: 3},
+	}
+	frame, err := EncodeHelloResp(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decoded.(*HelloRespFrame).Entries; !reflect.DeepEqual(got, entries) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// FuzzRingFrame fuzzes the ring membership and handoff frame decoders:
+// they must never panic, and anything accepted must re-encode to an
+// equivalent frame.
+func FuzzRingFrame(f *testing.F) {
+	if frame, err := EncodeRingAnnounce(5, []string{"h1:1", "h2:2"}); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := EncodeRingAnnounce(0, nil); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := EncodeHandoffBegin("doc", 2); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := EncodeHandoffDone("doc", 2); err == nil {
+		f.Add(frame)
+	}
+	if inner, err := EncodeSyncReq(3, vclock.VC{1: 5}); err == nil {
+		if env, err := EncodeForward("doc", inner); err == nil {
+			f.Add(env)
+		}
+		if env, err := EncodeHandoffState("doc", inner); err == nil {
+			f.Add(env)
+		}
+	}
+	if frame, err := EncodeHelloForward([]string{"a"}); err == nil {
+		f.Add(frame)
+	}
+	f.Add([]byte{kindRingAnnounce, 0x01, 0x01, 0x01, 'a'})
+	f.Add([]byte{kindHandoffBegin, 0x01, 'a', 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		switch d := decoded.(type) {
+		case *RingFrame:
+			re, err := EncodeRingAnnounce(d.Epoch, d.Nodes)
+			if err != nil {
+				t.Fatalf("accepted ring frame failed to re-encode: %v", err)
+			}
+			again, err := DecodeFrame(re)
+			if err != nil || !reflect.DeepEqual(again, decoded) {
+				t.Fatalf("ring frame not stable under re-encoding: %v", err)
+			}
+		case *HandoffBeginFrame:
+			re, err := EncodeHandoffBegin(d.Doc, d.Epoch)
+			if err != nil {
+				t.Fatalf("accepted handoff begin failed to re-encode: %v", err)
+			}
+			again, err := DecodeFrame(re)
+			if err != nil || !reflect.DeepEqual(again, decoded) {
+				t.Fatalf("handoff begin not stable under re-encoding: %v", err)
+			}
+		case *HandoffDoneFrame:
+			re, err := EncodeHandoffDone(d.Doc, d.Epoch)
+			if err != nil {
+				t.Fatalf("accepted handoff done failed to re-encode: %v", err)
+			}
+			again, err := DecodeFrame(re)
+			if err != nil || !reflect.DeepEqual(again, decoded) {
+				t.Fatalf("handoff done not stable under re-encoding: %v", err)
+			}
+		case *ForwardFrame:
+			re, err := EncodeForward(d.Doc, d.Inner)
+			if err != nil {
+				t.Fatalf("accepted forward failed to re-encode: %v", err)
+			}
+			doc, inner, err := splitEnvelope(kindForward, re)
+			if err != nil || doc != d.Doc || !bytes.Equal(inner, d.Inner) {
+				t.Fatalf("forward not stable under re-encoding: %v", err)
+			}
+		case *HandoffStateFrame:
+			re, err := EncodeHandoffState(d.Doc, d.Inner)
+			if err != nil {
+				t.Fatalf("accepted handoff state failed to re-encode: %v", err)
+			}
+			doc, inner, err := splitEnvelope(kindHandoffState, re)
+			if err != nil || doc != d.Doc || !bytes.Equal(inner, d.Inner) {
+				t.Fatalf("handoff state not stable under re-encoding: %v", err)
+			}
+		}
+	})
+}

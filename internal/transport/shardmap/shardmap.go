@@ -72,12 +72,7 @@ func New(nodes []string, vnodes int) (*Map, error) {
 // Owner returns the node that owns key: the first ring point at or after
 // the key's hash, wrapping at the top.
 func (m *Map) Owner(key string) string {
-	h := hash(key)
-	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].hash >= h })
-	if i == len(m.points) {
-		i = 0
-	}
-	return m.points[i].node
+	return m.ownerOfHash(hash(key))
 }
 
 // Nodes returns the ring membership in insertion order.
@@ -85,6 +80,129 @@ func (m *Map) Nodes() []string {
 	out := make([]string, len(m.nodes))
 	copy(out, m.nodes)
 	return out
+}
+
+// Ring is an immutable, epoch-versioned ring membership: the consistent-
+// hash assignment of Map plus a monotonically increasing epoch number, so
+// every hub and client can order two membership views and compute exactly
+// which documents a change relocates (Moved). Rings are value-compared by
+// epoch alone: two rings with the same epoch must have been built from the
+// same node list (the membership service's job is to never mint the same
+// epoch twice with different members).
+type Ring struct {
+	// Epoch orders membership views; higher wins. Epoch 0 is reserved for
+	// the wire-level ring query (see transport.QueryRing).
+	Epoch uint64
+	// Nodes is the membership in insertion order. Treat as immutable.
+	Nodes []string
+
+	m *Map
+}
+
+// NewRing builds an epoch-versioned ring over nodes (default vnode count).
+// Node addresses must be non-empty and unique.
+func NewRing(epoch uint64, nodes []string) (*Ring, error) {
+	m, err := New(nodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{Epoch: epoch, Nodes: m.Nodes(), m: m}, nil
+}
+
+// Owner returns the node that owns key under this ring.
+func (r *Ring) Owner(key string) string { return r.m.Owner(key) }
+
+// Has reports whether node is a ring member.
+func (r *Ring) Has(node string) bool {
+	for _, n := range r.Nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Arc is one interval of the hash circle whose owner changed between two
+// rings: every key hashing into (Lo, Hi] moved from From to To. The
+// interval is open at Lo and closed at Hi because a ring point owns the
+// keys hashing at or below it down to the previous point; when Lo >= Hi
+// the arc wraps through the top of the 64-bit space.
+type Arc struct {
+	Lo, Hi   uint64
+	From, To string
+}
+
+// contains reports whether hash h falls inside the arc.
+func (a Arc) contains(h uint64) bool {
+	if a.Lo < a.Hi {
+		return h > a.Lo && h <= a.Hi
+	}
+	return h > a.Lo || h <= a.Hi
+}
+
+// Moved computes the deterministic diff between two rings: the set of hash
+// arcs whose owner differs, annotated with the losing and gaining node.
+// Every process diffing the same two rings computes the same arcs, so the
+// old owner, the new owner, and every client agree on exactly which
+// documents a membership change relocates — Contains(Moved(old, new), doc)
+// is true iff old.Owner(doc) != new.Owner(doc).
+func Moved(old, new *Ring) []Arc {
+	// The owner function of each ring is constant on the intervals between
+	// consecutive ring points, so on the union of both rings' points both
+	// owner functions are constant per interval: owner((b_{i-1}, b_i]) =
+	// owner(b_i), wrapping at the top.
+	bounds := make([]uint64, 0, len(old.m.points)+len(new.m.points))
+	for _, p := range old.m.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range new.m.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	var arcs []Arc
+	for i, hi := range uniq {
+		lo := uniq[(i+len(uniq)-1)%len(uniq)] // previous boundary, wrapping
+		was, is := old.m.ownerOfHash(hi), new.m.ownerOfHash(hi)
+		if was == is {
+			continue
+		}
+		// Coalesce with the previous arc when the intervals are adjacent
+		// and moved between the same pair of nodes.
+		if n := len(arcs); n > 0 && arcs[n-1].Hi == lo && arcs[n-1].From == was && arcs[n-1].To == is {
+			arcs[n-1].Hi = hi
+			continue
+		}
+		arcs = append(arcs, Arc{Lo: lo, Hi: hi, From: was, To: is})
+	}
+	return arcs
+}
+
+// Contains reports whether key falls inside any of the arcs (i.e. whether
+// the membership change that produced them relocates the key).
+func Contains(arcs []Arc, key string) bool {
+	h := hash(key)
+	for _, a := range arcs {
+		if a.contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerOfHash returns the node owning hash h: the first ring point at or
+// after h, wrapping at the top.
+func (m *Map) ownerOfHash(h uint64) string {
+	i := sort.Search(len(m.points), func(i int) bool { return m.points[i].hash >= h })
+	if i == len(m.points) {
+		i = 0
+	}
+	return m.points[i].node
 }
 
 // hash is FNV-1a followed by a murmur3-style 64-bit finalizer. The

@@ -82,6 +82,100 @@ func TestMembershipChangeMovesLittle(t *testing.T) {
 	}
 }
 
+// TestMovedMatchesOwnerDiff is the Moved contract: a key falls inside a
+// moved arc exactly when the two rings assign it different owners, and the
+// arc's From/To annotations name exactly those owners.
+func TestMovedMatchesOwnerDiff(t *testing.T) {
+	cases := []struct{ old, new []string }{
+		{[]string{"a:1", "b:1"}, []string{"a:1", "b:1", "c:1"}},                  // join
+		{[]string{"a:1", "b:1", "c:1"}, []string{"a:1", "b:1"}},                  // leave
+		{[]string{"a:1", "b:1", "c:1"}, []string{"a:1", "b:1", "d:1"}},           // replace
+		{[]string{"a:1"}, []string{"a:1", "b:1", "c:1", "d:1", "e:1"}},           // bulk join
+		{[]string{"hub1:9707", "hub2:9707"}, []string{"hub2:9707", "hub1:9707"}}, // reorder only: nothing moves
+	}
+	for _, tc := range cases {
+		old, err := NewRing(1, tc.old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := NewRing(2, tc.new)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arcs := Moved(old, next)
+		for i := 0; i < 5000; i++ {
+			key := fmt.Sprintf("doc-%d", i)
+			was, is := old.Owner(key), next.Owner(key)
+			if got := Contains(arcs, key); got != (was != is) {
+				t.Fatalf("ring %v -> %v: Contains(%q) = %v, but owner %s -> %s", tc.old, tc.new, key, got, was, is)
+			}
+			if was != is {
+				found := false
+				for _, a := range arcs {
+					if a.contains(hash(key)) {
+						if a.From != was || a.To != is {
+							t.Fatalf("key %q in arc %+v but moved %s -> %s", key, a, was, is)
+						}
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("key %q moved but no arc covers it", key)
+				}
+			}
+		}
+	}
+}
+
+// TestMovedDeterministic: every process diffing the same pair of rings
+// computes byte-identical arcs.
+func TestMovedDeterministic(t *testing.T) {
+	mk := func() []Arc {
+		old, _ := NewRing(3, []string{"a:1", "b:1", "c:1"})
+		next, _ := NewRing(4, []string{"a:1", "b:1", "c:1", "d:1"})
+		return Moved(old, next)
+	}
+	a, b := mk(), mk()
+	if len(a) == 0 {
+		t.Fatal("join moved no arcs")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("Moved is not deterministic across processes")
+	}
+}
+
+func TestMovedIdenticalRings(t *testing.T) {
+	old, _ := NewRing(1, []string{"a:1", "b:1"})
+	next, _ := NewRing(2, []string{"a:1", "b:1"})
+	if arcs := Moved(old, next); len(arcs) != 0 {
+		t.Fatalf("identical membership produced %d moved arcs: %+v", len(arcs), arcs)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(7, []string{"a:1", "b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 7 {
+		t.Fatalf("epoch = %d", r.Epoch)
+	}
+	if !r.Has("a:1") || r.Has("z:1") {
+		t.Fatal("Has is wrong")
+	}
+	m, _ := New([]string{"a:1", "b:1"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if r.Owner(key) != m.Owner(key) {
+			t.Fatalf("Ring and Map disagree on %q", key)
+		}
+	}
+	if _, err := NewRing(1, nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
 func TestNewRejectsBadInput(t *testing.T) {
 	if _, err := New(nil, 0); err == nil {
 		t.Fatal("empty node list accepted")

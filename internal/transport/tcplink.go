@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPLink frames the wire protocol over a net.Conn: each frame is a 4-byte
@@ -31,6 +32,17 @@ func NewTCPLink(conn net.Conn) *TCPLink {
 // returns the framed link.
 func Dial(addr string) (*TCPLink, error) {
 	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPLink(conn), nil
+}
+
+// DialTimeout is Dial with a connect deadline: the session layer uses it
+// so an unreachable shard owner costs a bounded wait, not the OS connect
+// timeout.
+func DialTimeout(addr string, d time.Duration) (*TCPLink, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, err
 	}

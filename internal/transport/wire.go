@@ -75,6 +75,38 @@ const (
 	kindHelloResp = 0x0b
 	// kindDetach unsubscribes the connection from the named documents.
 	kindDetach = 0x0c
+	// kindRingAnnounce carries the shard ring membership: the epoch and the
+	// full node list. Hubs exchange it over the peer mesh to propagate a
+	// membership change (a receiver adopts any announce with a higher epoch
+	// and hands off the documents that moved), and push it to doc-aware
+	// clients so their sessions learn the current epoch. The degenerate
+	// frame with epoch 0 and no nodes is the ring *query*: the receiver
+	// answers with its current ring.
+	kindRingAnnounce = 0x0d
+	// kindForward is the hub-to-hub envelope: a non-owner hub that serves a
+	// document locally (because its clients cannot reach the owner shard)
+	// wraps the document's inbound frames in kindForward and sends them to
+	// the owner over the peer mesh. The owner relays the inner frame into
+	// its relay group exactly as if a directly attached client had sent it.
+	// A frame received as kindForward is never re-forwarded, so two hubs
+	// with disagreeing rings cannot loop a frame between them.
+	kindForward = 0x0e
+	// kindHandoffBegin opens an online document handoff: the old owner
+	// tells the new owner (by the announced ring epoch) that the document's
+	// state is about to stream. The receiver prepares a consumer (e.g.
+	// starts an archivist replica) before acknowledging nothing — the
+	// stream itself is self-describing.
+	kindHandoffBegin = 0x0f
+	// kindHandoffState carries one slice of a migrating document's state: a
+	// complete inner frame (kindSnap, kindSnapChunk or kindOps — the same
+	// machinery as snapshot catch-up) scoped to the document being handed
+	// off. The receiving hub relays the inner frame into the document's
+	// local relay group, where the new archivist (and any already-attached
+	// client) consumes it through the ordinary catch-up paths.
+	kindHandoffState = 0x10
+	// kindHandoffDone closes a handoff: the state streamed completely and
+	// the old owner is about to re-point its clients.
+	kindHandoffDone = 0x11
 )
 
 // Wire limits. Frames above the per-kind size limit are refused on read
@@ -101,9 +133,12 @@ const (
 	// frame.
 	maxHelloDocs = 1 << 10
 	// docFrameOverhead is the worst-case envelope header: kind byte, doc ID
-	// length uvarint, doc ID bytes. A kindDocFrame may wrap any inner kind,
-	// so its ceiling is the largest inner ceiling plus this overhead.
+	// length uvarint, doc ID bytes. An envelope (kindDocFrame, kindForward,
+	// kindHandoffState) may wrap any inner kind, so its ceiling is the
+	// largest inner ceiling plus this overhead.
 	docFrameOverhead = 1 + 2 + MaxDocIDLen
+	// maxRingNodes bounds the membership in one ring announce frame.
+	maxRingNodes = 1 << 10
 )
 
 // DefaultDoc is the document legacy (pre-envelope) clients are attached
@@ -116,11 +151,17 @@ func frameSizeLimit(kind byte) int {
 	switch kind {
 	case kindSnap, kindSnapChunk:
 		return MaxSnapFrameSize
-	case kindDocFrame:
+	case kindDocFrame, kindForward, kindHandoffState:
 		return MaxSnapFrameSize + docFrameOverhead
 	default:
 		return MaxFrameSize
 	}
+}
+
+// isEnvelopeKind reports whether kind is a doc-scoped envelope; envelopes
+// never nest.
+func isEnvelopeKind(kind byte) bool {
+	return kind == kindDocFrame || kind == kindForward || kind == kindHandoffState
 }
 
 // OpsFrame is a decoded kindOps frame.
@@ -168,17 +209,65 @@ type DocFrame struct {
 }
 
 // HelloFrame is a decoded kindHello frame: the documents a client asks to
-// attach to.
+// attach to. Forward asks the hub to serve the documents locally even if
+// another shard owns them, relaying their frames over the hub-to-hub mesh
+// — the fallback for clients that cannot reach every shard.
 type HelloFrame struct {
-	Docs []string
+	Docs    []string
+	Forward bool
 }
 
 // HelloEntry is one per-document answer inside a kindHelloResp frame: the
 // document was attached here, or (Redirect non-empty) is owned by the hub
-// process at that address.
+// process at that address. Epoch is the answering hub's ring epoch, so a
+// client chasing redirects can tell a stale ring view from a fresh one
+// (zero when the hub has no ring configured). Hubs also send unsolicited
+// redirect entries to re-point attached clients when a document is handed
+// to a new owner mid-session.
 type HelloEntry struct {
 	Doc      string
 	Redirect string
+	Epoch    uint64
+}
+
+// RingFrame is a decoded kindRingAnnounce frame: an epoch-versioned ring
+// membership, or (Epoch 0, no Nodes) a query for the receiver's ring.
+type RingFrame struct {
+	Epoch uint64
+	Nodes []string
+}
+
+// IsQuery reports whether the frame is the ring query form.
+func (r *RingFrame) IsQuery() bool { return r.Epoch == 0 && len(r.Nodes) == 0 }
+
+// ForwardFrame is a decoded kindForward frame: one complete inner frame a
+// non-owner hub forwards to the owner of Doc. Inner aliases the envelope's
+// backing array.
+type ForwardFrame struct {
+	Doc   string
+	Inner []byte
+}
+
+// HandoffBeginFrame is a decoded kindHandoffBegin frame: the sender is
+// about to stream Doc's state, relocated by the ring at Epoch.
+type HandoffBeginFrame struct {
+	Doc   string
+	Epoch uint64
+}
+
+// HandoffStateFrame is a decoded kindHandoffState frame: one inner frame
+// of a migrating document's state. Inner aliases the envelope's backing
+// array.
+type HandoffStateFrame struct {
+	Doc   string
+	Inner []byte
+}
+
+// HandoffDoneFrame is a decoded kindHandoffDone frame: Doc's state
+// streamed completely under the ring at Epoch.
+type HandoffDoneFrame struct {
+	Doc   string
+	Epoch uint64
 }
 
 // HelloRespFrame is a decoded kindHelloResp frame.
@@ -420,36 +509,36 @@ func decodeDoc(buf []byte) (string, int, error) {
 	return doc, off + int(n), nil
 }
 
-// EncodeDocFrame wraps one complete inner frame in the doc-scoped
-// envelope.
-func EncodeDocFrame(doc string, inner []byte) ([]byte, error) {
+// encodeEnvelope wraps one complete inner frame in a doc-scoped envelope
+// of the given kind (kindDocFrame, kindForward or kindHandoffState).
+func encodeEnvelope(kind byte, doc string, inner []byte) ([]byte, error) {
 	if err := ValidateDocID(doc); err != nil {
 		return nil, err
 	}
 	if len(inner) == 0 {
 		return nil, fmt.Errorf("transport: empty inner frame")
 	}
-	if inner[0] == kindDocFrame {
+	if isEnvelopeKind(inner[0]) {
 		return nil, fmt.Errorf("transport: nested doc envelope")
 	}
 	if len(inner) > frameSizeLimit(inner[0]) {
 		return nil, fmt.Errorf("transport: inner frame of %d bytes exceeds limit", len(inner))
 	}
 	buf := make([]byte, 0, 1+2+len(doc)+len(inner))
-	buf = append(buf, kindDocFrame)
+	buf = append(buf, kind)
 	buf = appendDoc(buf, doc)
 	return append(buf, inner...), nil
 }
 
-// SplitDocFrame splits a doc-scoped envelope into the document ID and the
-// inner frame (aliasing the envelope's backing array), validating the
-// inner frame's kind and size but not decoding its body — the relay path
-// routes envelopes without paying for a full decode.
-func SplitDocFrame(frame []byte) (string, []byte, error) {
-	if len(frame) == 0 || frame[0] != kindDocFrame {
-		return "", nil, fmt.Errorf("transport: not a doc envelope")
+// splitEnvelope splits a doc-scoped envelope of the given kind into the
+// document ID and the inner frame (aliasing the envelope's backing array),
+// validating the inner frame's kind and size but not decoding its body —
+// the relay path routes envelopes without paying for a full decode.
+func splitEnvelope(kind byte, frame []byte) (string, []byte, error) {
+	if len(frame) == 0 || frame[0] != kind {
+		return "", nil, fmt.Errorf("transport: not a doc envelope of kind %#x", kind)
 	}
-	if len(frame) > frameSizeLimit(kindDocFrame) {
+	if len(frame) > frameSizeLimit(kind) {
 		return "", nil, fmt.Errorf("transport: doc envelope of %d bytes exceeds limit", len(frame))
 	}
 	doc, off, err := decodeDoc(frame[1:])
@@ -460,7 +549,7 @@ func SplitDocFrame(frame []byte) (string, []byte, error) {
 	if len(inner) == 0 {
 		return "", nil, fmt.Errorf("transport: empty inner frame")
 	}
-	if inner[0] == kindDocFrame {
+	if isEnvelopeKind(inner[0]) {
 		return "", nil, fmt.Errorf("transport: nested doc envelope")
 	}
 	if len(inner) > frameSizeLimit(inner[0]) {
@@ -468,6 +557,77 @@ func SplitDocFrame(frame []byte) (string, []byte, error) {
 	}
 	return doc, inner, nil
 }
+
+// EncodeDocFrame wraps one complete inner frame in the doc-scoped
+// envelope.
+func EncodeDocFrame(doc string, inner []byte) ([]byte, error) {
+	return encodeEnvelope(kindDocFrame, doc, inner)
+}
+
+// SplitDocFrame splits a doc-scoped envelope into the document ID and the
+// inner frame (aliasing the envelope's backing array).
+func SplitDocFrame(frame []byte) (string, []byte, error) {
+	return splitEnvelope(kindDocFrame, frame)
+}
+
+// EncodeForward wraps one complete inner frame in the hub-to-hub
+// forwarding envelope.
+func EncodeForward(doc string, inner []byte) ([]byte, error) {
+	return encodeEnvelope(kindForward, doc, inner)
+}
+
+// EncodeHandoffState wraps one inner frame of a migrating document's
+// state stream.
+func EncodeHandoffState(doc string, inner []byte) ([]byte, error) {
+	return encodeEnvelope(kindHandoffState, doc, inner)
+}
+
+// EncodeRingAnnounce encodes a ring membership announce — or, with epoch 0
+// and no nodes, the ring query.
+func EncodeRingAnnounce(epoch uint64, nodes []string) ([]byte, error) {
+	if len(nodes) > maxRingNodes {
+		return nil, fmt.Errorf("transport: ring of %d nodes exceeds limit", len(nodes))
+	}
+	buf := []byte{kindRingAnnounce}
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		if n == "" || len(n) > maxRedirectAddr {
+			return nil, fmt.Errorf("transport: ring node address of %d bytes out of range", len(n))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: ring frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
+}
+
+// encodeHandoffMark encodes a kindHandoffBegin or kindHandoffDone frame.
+func encodeHandoffMark(kind byte, doc string, epoch uint64) ([]byte, error) {
+	if err := ValidateDocID(doc); err != nil {
+		return nil, err
+	}
+	buf := []byte{kind}
+	buf = appendDoc(buf, doc)
+	buf = binary.AppendUvarint(buf, epoch)
+	return buf, nil
+}
+
+// EncodeHandoffBegin encodes the frame opening a document handoff.
+func EncodeHandoffBegin(doc string, epoch uint64) ([]byte, error) {
+	return encodeHandoffMark(kindHandoffBegin, doc, epoch)
+}
+
+// EncodeHandoffDone encodes the frame closing a document handoff.
+func EncodeHandoffDone(doc string, epoch uint64) ([]byte, error) {
+	return encodeHandoffMark(kindHandoffDone, doc, epoch)
+}
+
+// helloFlagForward asks the hub to serve foreign documents locally via
+// the hub-to-hub mesh instead of redirecting.
+const helloFlagForward = 0x01
 
 // encodeDocList encodes a kindHello or kindDetach frame body.
 func encodeDocList(kind byte, docs []string) ([]byte, error) {
@@ -493,6 +653,17 @@ func EncodeHello(docs []string) ([]byte, error) {
 	return encodeDocList(kindHello, docs)
 }
 
+// EncodeHelloForward encodes the attach handshake with the forward flag:
+// the hub should attach the documents locally even when another shard owns
+// them, relaying their frames over the hub-to-hub mesh.
+func EncodeHelloForward(docs []string) ([]byte, error) {
+	buf, err := encodeDocList(kindHello, docs)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, helloFlagForward), nil
+}
+
 // EncodeDetach encodes the unsubscribe frame.
 func EncodeDetach(docs []string) ([]byte, error) {
 	return encodeDocList(kindDetach, docs)
@@ -501,7 +672,8 @@ func EncodeDetach(docs []string) ([]byte, error) {
 // maxRedirectAddr bounds a redirect address in a hello response.
 const maxRedirectAddr = 256
 
-// EncodeHelloResp encodes the hub's answer to an attach handshake.
+// EncodeHelloResp encodes the hub's answer to an attach handshake. Each
+// entry carries the answering hub's ring epoch.
 func EncodeHelloResp(entries []HelloEntry) ([]byte, error) {
 	if len(entries) == 0 || len(entries) > maxHelloDocs {
 		return nil, fmt.Errorf("transport: %d hello entries out of range", len(entries))
@@ -518,6 +690,7 @@ func EncodeHelloResp(entries []HelloEntry) ([]byte, error) {
 		buf = appendDoc(buf, e.Doc)
 		buf = binary.AppendUvarint(buf, uint64(len(e.Redirect)))
 		buf = append(buf, e.Redirect...)
+		buf = binary.AppendUvarint(buf, e.Epoch)
 	}
 	if len(buf) > MaxFrameSize {
 		return nil, fmt.Errorf("transport: hello resp frame of %d bytes exceeds limit", len(buf))
@@ -525,31 +698,43 @@ func EncodeHelloResp(entries []HelloEntry) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeDocList decodes a kindHello or kindDetach body.
-func decodeDocList(body []byte) ([]string, error) {
+// decodeDocList decodes a kindHello or kindDetach body. A hello body may
+// carry one trailing flags byte (absent in legacy frames); a detach body
+// may not.
+func decodeDocList(body []byte, allowFlags bool) ([]string, byte, error) {
 	n, off := binary.Uvarint(body)
 	if off <= 0 {
-		return nil, fmt.Errorf("transport: truncated doc count")
+		return nil, 0, fmt.Errorf("transport: truncated doc count")
 	}
 	if n == 0 || n > maxHelloDocs {
-		return nil, fmt.Errorf("transport: doc count %d out of range", n)
+		return nil, 0, fmt.Errorf("transport: doc count %d out of range", n)
 	}
 	if n > uint64(len(body)-off) {
-		return nil, fmt.Errorf("transport: doc count %d exceeds frame", n)
+		return nil, 0, fmt.Errorf("transport: doc count %d exceeds frame", n)
 	}
 	docs := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		doc, k, err := decodeDoc(body[off:])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		off += k
 		docs = append(docs, doc)
 	}
-	if off != len(body) {
-		return nil, fmt.Errorf("transport: %d trailing bytes after doc list", len(body)-off)
+	var flags byte
+	if allowFlags && off == len(body)-1 {
+		flags = body[off]
+		if flags == 0 || flags > helloFlagForward {
+			// Zero flags must be encoded by omission, and unknown bits are
+			// refused — both keep the encoding canonical for the fuzzer.
+			return nil, 0, fmt.Errorf("transport: hello flags byte %#x out of range", flags)
+		}
+		off++
 	}
-	return docs, nil
+	if off != len(body) {
+		return nil, 0, fmt.Errorf("transport: %d trailing bytes after doc list", len(body)-off)
+	}
+	return docs, flags, nil
 }
 
 // EncodeFlatPropose encodes a flatten commitment proposal frame.
@@ -624,11 +809,11 @@ func decodeStructuralPath(buf []byte) (ident.Path, int, error) {
 	return path, n, nil
 }
 
-// DecodeFrame parses one frame into an *OpsFrame, *SyncReqFrame,
-// *SnapReqFrame, *SnapFrame, *SnapChunkFrame, *FlatProposeFrame,
-// *FlatVoteFrame or *FlatDecisionFrame. Every decoded message is
-// validated: sites in range, clocks well-formed, the op's own stamp
-// present.
+// DecodeFrame parses one frame into its typed form (*OpsFrame,
+// *SyncReqFrame, *SnapReqFrame, *SnapFrame, *SnapChunkFrame, the flatten
+// commitment frames, the doc envelope/handshake frames, or the ring
+// membership and handoff frames). Every decoded message is validated:
+// sites in range, clocks well-formed, the op's own stamp present.
 func DecodeFrame(frame []byte) (any, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("transport: empty frame")
@@ -817,14 +1002,79 @@ func DecodeFrame(frame []byte) (any, error) {
 			return nil, err
 		}
 		return &DocFrame{Doc: doc, Inner: inner}, nil
-	case kindHello:
-		docs, err := decodeDocList(body)
+	case kindForward:
+		doc, inner, err := splitEnvelope(kindForward, frame)
 		if err != nil {
 			return nil, err
 		}
-		return &HelloFrame{Docs: docs}, nil
+		return &ForwardFrame{Doc: doc, Inner: inner}, nil
+	case kindHandoffState:
+		doc, inner, err := splitEnvelope(kindHandoffState, frame)
+		if err != nil {
+			return nil, err
+		}
+		return &HandoffStateFrame{Doc: doc, Inner: inner}, nil
+	case kindRingAnnounce:
+		epoch, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated ring epoch")
+		}
+		n, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated ring node count")
+		}
+		off += k
+		if n > maxRingNodes {
+			return nil, fmt.Errorf("transport: ring node count %d exceeds limit", n)
+		}
+		if n > uint64(len(body)-off) {
+			return nil, fmt.Errorf("transport: ring node count %d exceeds frame", n)
+		}
+		var nodes []string
+		for i := uint64(0); i < n; i++ {
+			alen, k := binary.Uvarint(body[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("transport: truncated ring node length")
+			}
+			off += k
+			if alen == 0 || alen > maxRedirectAddr {
+				return nil, fmt.Errorf("transport: ring node address of %d bytes out of range", alen)
+			}
+			if alen > uint64(len(body)-off) {
+				return nil, fmt.Errorf("transport: truncated ring node address")
+			}
+			nodes = append(nodes, string(body[off:off+int(alen)]))
+			off += int(alen)
+		}
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after ring frame", len(body)-off)
+		}
+		return &RingFrame{Epoch: epoch, Nodes: nodes}, nil
+	case kindHandoffBegin, kindHandoffDone:
+		doc, off, err := decodeDoc(body)
+		if err != nil {
+			return nil, err
+		}
+		epoch, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("transport: truncated handoff epoch")
+		}
+		off += k
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after handoff frame", len(body)-off)
+		}
+		if frame[0] == kindHandoffBegin {
+			return &HandoffBeginFrame{Doc: doc, Epoch: epoch}, nil
+		}
+		return &HandoffDoneFrame{Doc: doc, Epoch: epoch}, nil
+	case kindHello:
+		docs, flags, err := decodeDocList(body, true)
+		if err != nil {
+			return nil, err
+		}
+		return &HelloFrame{Docs: docs, Forward: flags&helloFlagForward != 0}, nil
 	case kindDetach:
-		docs, err := decodeDocList(body)
+		docs, _, err := decodeDocList(body, false)
 		if err != nil {
 			return nil, err
 		}
@@ -858,8 +1108,14 @@ func DecodeFrame(frame []byte) (any, error) {
 			if alen > uint64(len(body)-off) {
 				return nil, fmt.Errorf("transport: truncated redirect address")
 			}
-			entries = append(entries, HelloEntry{Doc: doc, Redirect: string(body[off : off+int(alen)])})
+			redirect := string(body[off : off+int(alen)])
 			off += int(alen)
+			epoch, k := binary.Uvarint(body[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("transport: truncated hello entry epoch")
+			}
+			off += k
+			entries = append(entries, HelloEntry{Doc: doc, Redirect: redirect, Epoch: epoch})
 		}
 		if off != len(body) {
 			return nil, fmt.Errorf("transport: %d trailing bytes after hello resp", len(body)-off)

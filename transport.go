@@ -196,7 +196,25 @@ func WithHubLogger(logf func(format string, args ...any)) HubOption {
 // membership (advertised addresses, identical on every process), self
 // this process's own advertised address. Attaches for documents owned by
 // another peer are redirected there; DialDoc and Session follow
-// redirects transparently.
+// redirects transparently. The ring is epoch-versioned and can be changed
+// live — see Hub.ConfigureRing, Hub.Resign and WithHubOwnership for
+// online resharding with document handoff.
 func WithHubShards(self string, peers []string) HubOption {
 	return transport.WithHubShards(self, peers)
+}
+
+// WithHubSelf records the hub's own advertised address without
+// configuring a ring: the hub owns every document until a ring is
+// adopted, but can already answer ring queries and be named by a joining
+// hub.
+func WithHubSelf(self string) HubOption {
+	return transport.WithHubSelf(self)
+}
+
+// WithHubOwnership installs a callback invoked when the hub acquires a
+// document (an inbound handoff began streaming) or releases one (an
+// outbound handoff finished) through a live reshard — the archivist
+// lifecycle hook behind cmd/treedoc-serve's dynamic ring membership.
+func WithHubOwnership(fn func(doc string, epoch uint64, acquired bool)) HubOption {
+	return transport.WithHubOwnership(fn)
 }
