@@ -13,6 +13,7 @@ package treedoc
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/treedoc/treedoc/internal/bench"
@@ -151,7 +152,10 @@ func BenchmarkReplayLatex(b *testing.B) {
 	tr := mustTrace(b, "acf.tex")
 	b.Run("treedoc", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.UDIS})
+			// SkipDisk: the logoot and woot baselines have no disk format,
+			// so the wall-time comparison must not charge treedoc for
+			// serialising one (BenchmarkStorageCodec measures that path).
+			res, err := bench.ReplayTreedoc(tr, bench.ReplayConfig{Mode: ident.UDIS, SkipDisk: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -438,5 +442,63 @@ func BenchmarkStorageCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(len(data)))
+	}
+}
+
+// BenchmarkApplyBatch measures batched remote-operation delivery: one typing
+// burst spliced at a source replica and applied to a fresh replica through
+// ApplyBatch, the path the replication engine uses for each incoming frame.
+func BenchmarkApplyBatch(b *testing.B) {
+	const batch = 2_000
+	src, err := NewTextBuffer(WithSite(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops, err := src.Append(strings.Repeat("treedoc! ", batch/9+1)[:batch])
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := NewTextBuffer(WithSite(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dst.ApplyBatch(ops); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		dst, err = NewTextBuffer(WithSite(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(batch, "ops/batch")
+}
+
+// BenchmarkSliceWalk guards the TextBuffer.Slice fix: the range streams out
+// of one in-order walk, so a full-document slice is linear in its length.
+// The per-rune-lookup implementation this replaced was quadratic, which a
+// regression here would reintroduce as a >20x blowup at this size.
+func BenchmarkSliceWalk(b *testing.B) {
+	const size = 20_000
+	buf, err := NewTextBuffer(WithSite(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := buf.Append(strings.Repeat("x", size)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := buf.Slice(0, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) != size {
+			b.Fatalf("slice length %d, want %d", len(s), size)
+		}
+		b.SetBytes(size)
 	}
 }

@@ -172,7 +172,7 @@ func main() {
 		fmt.Printf("  leaner: %-60s %12.0f -> %12.0f %s (%.2fx)\n", d.Name, d.Base, d.Current, d.Metric, d.Ratio)
 	}
 	for _, name := range c.MissingFromBase {
-		fmt.Printf("  ungated (not in baseline, re-seed to gate): %s\n", name)
+		fmt.Printf("  UNGATED (not in baseline): %s\n", name)
 	}
 	for _, name := range c.MissingFromRun {
 		fmt.Printf("  MISSING from run (renamed or deleted?): %s\n", name)
@@ -195,6 +195,14 @@ func main() {
 	if len(c.MissingFromRun) > 0 || len(mc.MissingFromRun) > 0 {
 		fmt.Printf("benchgate: FAIL: %d baseline benchmark(s) missing from the run (%d without allocation columns)\n",
 			len(c.MissingFromRun), len(mc.MissingFromRun))
+		failed = true
+	}
+	if len(c.MissingFromBase) > 0 {
+		// A benchmark the baseline has never seen runs with no regression
+		// bound at all — silently, which is how gates rot. Adding a benchmark
+		// therefore requires re-seeding the baseline in the same change.
+		fmt.Printf("benchgate: FAIL: %d benchmark(s) not in the baseline; re-seed with -update to gate them\n",
+			len(c.MissingFromBase))
 		failed = true
 	}
 	if failed {

@@ -36,6 +36,12 @@ type ReplayConfig struct {
 	FlattenInterval int
 	// Series records per-revision node counts (Figure 6).
 	Series bool
+	// SkipDisk leaves Result.Disk zero instead of running the on-disk
+	// encoder over the final tree. The CPU-replay comparisons set it: the
+	// Logoot and WOOT baselines have no disk format, so a fair wall-time
+	// comparison must not charge Treedoc for serialising one (Table 1's
+	// disk experiment measures it separately).
+	SkipDisk bool
 }
 
 func (rc ReplayConfig) name() string {
@@ -118,7 +124,9 @@ func ReplayTreedoc(tr *trace.Trace, rc ReplayConfig) (*Result, error) {
 	}
 	res.Duration = time.Since(start)
 	res.Stats = doc.Stats()
-	res.Disk = storage.Measure(doc.Tree())
+	if !rc.SkipDisk {
+		res.Disk = storage.Measure(doc.Tree())
+	}
 	sum, err := tr.Summarize()
 	if err != nil {
 		return nil, err

@@ -51,6 +51,12 @@ type Document struct {
 	cfg      Config
 	tree     *doctree.Tree
 	strategy Strategy
+	// trusted marks the package's own strategies, whose allocations are
+	// exhaustively property-tested (order_prop_test.go): the per-insert
+	// Between re-verification is skipped for them and runs only for
+	// third-party Strategy implementations, whose bugs would otherwise
+	// silently break convergence.
+	trusted  bool
 	counter  uint32 // per-site persistent counter (UDIS disambiguators)
 	seq      uint64 // local operation sequence
 	revision int64  // revision clock for the flatten heuristic
@@ -66,6 +72,27 @@ type Document struct {
 	// Apply use; the causal layer performs the authoritative filtering.
 	opsApplied uint64
 	netBits    uint64 // accumulated network cost of all ops seen
+
+	// scratchP/scratchF are the reused neighbour-identifier buffers for
+	// local edits. Strategies receive them read-only and never retain them
+	// (every returned identifier is freshly built), so one buffer pair
+	// serves every insert without allocating.
+	scratchP ident.Path
+	scratchF ident.Path
+
+	// Insert-run cache: typing and pastes insert at consecutive gaps, so
+	// after an insert at gap i the neighbours of gap i+1 are already known —
+	// the atom just inserted and the unchanged right neighbour. runGap is
+	// the gap a continuing insert would land on (-1 when invalid); runP/runF
+	// are owned copies of its neighbour identifiers (runF nil = document
+	// end). Any other mutation invalidates the cache.
+	runGap int
+	runP   ident.Path
+	runF   ident.Path
+
+	// arena bump-allocates the identifiers that escape into operations
+	// (one per local edit); see ident.Arena.
+	arena ident.Arena
 }
 
 // NewDocument creates an empty replica. It returns an error for invalid
@@ -86,7 +113,12 @@ func NewDocument(cfg Config) (*Document, error) {
 	if cfg.Flatten.MinNodes == 0 {
 		cfg.Flatten.MinNodes = 2
 	}
-	return &Document{cfg: cfg, tree: doctree.New(), strategy: cfg.Strategy, version: vclock.New()}, nil
+	trusted := false
+	switch cfg.Strategy.(type) {
+	case Naive, Balanced:
+		trusted = true
+	}
+	return &Document{cfg: cfg, tree: doctree.New(), strategy: cfg.Strategy, trusted: trusted, version: vclock.New(), runGap: -1}, nil
 }
 
 // Restore rebuilds a replica from a deserialised tree and its persistent
@@ -141,6 +173,7 @@ func (d *Document) InstallSnapshot(tree *doctree.Tree, version vclock.VC, origin
 	if !version.Dominates(d.version) {
 		return ErrStaleSnapshot
 	}
+	d.runGap = -1
 	d.tree = tree
 	d.version = version.Clone()
 	if v := d.version.Get(d.cfg.Site); v > d.seq {
@@ -190,6 +223,13 @@ func (d *Document) ContentString() string { return strings.Join(d.tree.Content()
 // AtomAt returns the atom at index i.
 func (d *Document) AtomAt(i int) (string, error) { return d.tree.AtomAt(i) }
 
+// VisitRange streams the atoms of the index range [from, to) in document
+// order in one tree walk, O(height + to - from); fn returning false stops
+// the iteration early.
+func (d *Document) VisitRange(from, to int, fn func(atom string) bool) error {
+	return d.tree.VisitRange(from, to, fn)
+}
+
 // IDAt returns the position identifier of the atom at index i.
 func (d *Document) IDAt(i int) (ident.Path, error) { return d.tree.IDAt(i) }
 
@@ -203,11 +243,48 @@ func (d *Document) nextDis() ident.Dis {
 	return ident.Dis{Site: d.cfg.Site}
 }
 
+// neighborIDs returns the identifiers around insertion gap i in the reused
+// scratch buffers. The returned paths are valid until the next neighborIDs
+// call; callers must not retain them (ops clone identifiers on allocation).
+func (d *Document) neighborIDs(i int) (p, f ident.Path, err error) {
+	n := d.tree.Len()
+	if i < 0 || i > n {
+		return nil, nil, fmt.Errorf("doctree: gap %d out of range [0,%d]", i, n)
+	}
+	if i > 0 && i < n {
+		// Interior gap: one fused descent resolves both neighbours, walking
+		// their shared identifier prefix once.
+		if d.scratchP, d.scratchF, err = d.tree.AppendNeighborIDs(d.scratchP[:0], d.scratchF[:0], i); err != nil {
+			return nil, nil, err
+		}
+		return d.scratchP, d.scratchF, nil
+	}
+	if i < n {
+		if d.scratchF, err = d.tree.AppendIDAt(d.scratchF[:0], i); err != nil {
+			return nil, nil, err
+		}
+		f = d.scratchF
+	}
+	if i > 0 {
+		if d.scratchP, err = d.tree.AppendIDAt(d.scratchP[:0], i-1); err != nil {
+			return nil, nil, err
+		}
+		p = d.scratchP
+	}
+	return p, f, nil
+}
+
 // InsertAt inserts atom at index i (0 ≤ i ≤ Len) as a local edit and returns
 // the operation to propagate.
 func (d *Document) InsertAt(i int, atom string) (Op, error) {
-	p, f, err := d.tree.NeighborIDs(i)
-	if err != nil {
+	var p, f ident.Path
+	var err error
+	if i > 0 && i == d.runGap {
+		// Continuing an insert run: the left neighbour is the atom inserted
+		// by the previous call and the right neighbour is unchanged, so the
+		// two root-to-leaf locate walks are skipped entirely.
+		p, f = d.runP, d.runF
+	} else if p, f, err = d.neighborIDs(i); err != nil {
 		return Op{}, err
 	}
 	id, err := d.allocate(p, f)
@@ -219,7 +296,25 @@ func (d *Document) InsertAt(i int, atom string) (Op, error) {
 	if err := d.apply(op); err != nil {
 		return Op{}, err
 	}
+	d.primeRun(i+1, id, f)
 	return op, nil
+}
+
+// primeRun records the neighbour identifiers of gap g for a continuing
+// insert run: the just-inserted id on the left, f on the right. id is
+// arena-allocated and immutable once escaped into the op, so the cache
+// holds it by reference (nothing ever writes through runP); f is
+// scratch-backed and copied into a document-owned buffer. apply
+// invalidates the cache on every mutation, so the cache only survives
+// between back-to-back local inserts.
+func (d *Document) primeRun(g int, id, f ident.Path) {
+	d.runGap = g
+	d.runP = id
+	if f == nil {
+		d.runF = nil
+	} else {
+		d.runF = append(d.runF[:0], f...)
+	}
 }
 
 // allocate mints a fresh identifier strictly between p and f that is not a
@@ -233,9 +328,18 @@ func (d *Document) InsertAt(i int, atom string) (Op, error) {
 func (d *Document) allocate(p, f ident.Path) (ident.Path, error) {
 	dis := d.nextDis()
 	for {
-		id := d.strategy.NewID(d.tree, p, f, dis)
-		if err := checkAllocation(p, id, f); err != nil {
-			return nil, err
+		id := d.strategy.NewID(d.tree, &d.arena, p, f, dis)
+		if !d.trusted {
+			if err := checkAllocation(p, id, f); err != nil {
+				return nil, err
+			}
+		}
+		if d.cfg.Mode == ident.UDIS {
+			// A UDIS disambiguator is (counter, site) with a counter this
+			// site has never used before, and the identifier ends with it:
+			// it cannot collide with any used identifier (Section 3.3.1's
+			// uniqueness argument), so the tree probe is skipped.
+			return id, nil
 		}
 		if !d.tree.Exists(id) {
 			return id, nil
@@ -251,11 +355,11 @@ func (d *Document) InsertRunAt(i int, atoms []string) ([]Op, error) {
 	if len(atoms) == 0 {
 		return nil, nil
 	}
-	p, f, err := d.tree.NeighborIDs(i)
+	p, f, err := d.neighborIDs(i)
 	if err != nil {
 		return nil, err
 	}
-	ids := d.strategy.NewRun(d.tree, p, f, d.nextDis(), len(atoms))
+	ids := d.strategy.NewRun(d.tree, &d.arena, p, f, d.nextDis(), len(atoms))
 	if len(ids) != len(atoms) {
 		return nil, fmt.Errorf("core: strategy returned %d ids for %d atoms", len(ids), len(atoms))
 	}
@@ -266,7 +370,14 @@ func (d *Document) InsertRunAt(i int, atoms []string) ([]Op, error) {
 		var id ident.Path
 		if usable {
 			id = ids[j]
-			if !ident.Between(prev, id, f) || d.tree.Exists(id) {
+			// Every identifier in the run ends with this edit's fresh
+			// (counter, site) disambiguator, so under UDIS none can collide
+			// with a used identifier (the same Section 3.3.1 uniqueness
+			// argument allocate relies on) and the tree probes are skipped.
+			// The Between re-verification runs for third-party strategies
+			// only, like allocate's.
+			if (!d.trusted && !ident.Between(prev, id, f)) ||
+				(d.cfg.Mode != ident.UDIS && d.tree.Exists(id)) {
 				// A used identifier (or an out-of-order substitute earlier in
 				// the run) spoils the precomputed packing; allocate the rest
 				// individually.
@@ -288,21 +399,26 @@ func (d *Document) InsertRunAt(i int, atoms []string) ([]Op, error) {
 		}
 		ops = append(ops, op)
 	}
+	d.primeRun(i+len(atoms), prev, f)
 	return ops, nil
 }
 
 // DeleteAt deletes the atom at index i as a local edit and returns the
 // operation to propagate.
 func (d *Document) DeleteAt(i int) (Op, error) {
-	id, err := d.tree.IDAt(i)
+	// One fused descent locates the atom, emits its identifier into the
+	// scratch buffer, and deletes it; only the arena copy that escapes into
+	// the op touches the heap. Going through apply instead would re-walk the
+	// identifier the locate descent just produced.
+	sp, err := d.tree.DeleteAtIndex(i, d.cfg.Mode == ident.UDIS, d.scratchP[:0])
 	if err != nil {
 		return Op{}, err
 	}
+	d.scratchP = sp
+	id := d.arena.Copy(sp)
 	d.seq++
 	op := Op{Kind: OpDelete, ID: id, Site: d.cfg.Site, Seq: d.seq}
-	if err := d.apply(op); err != nil {
-		return Op{}, err
-	}
+	d.noteApplied(op)
 	return op, nil
 }
 
@@ -332,17 +448,27 @@ func (d *Document) apply(op Op) error {
 			return err
 		}
 	}
+	d.noteApplied(op)
+	return nil
+}
+
+// noteApplied records an operation's bookkeeping after its tree mutation has
+// been performed — by apply's dispatch, or by a fused edit that already
+// mutated the tree during its locate descent (DeleteAt).
+func (d *Document) noteApplied(op Op) {
+	d.runGap = -1 // any mutation invalidates the insert-run cache; InsertAt re-primes it
 	if op.Seq > d.version.Get(op.Site) {
 		d.version[op.Site] = op.Seq
 	}
-	if op.Site == d.cfg.Site {
+	if op.Site == d.cfg.Site && op.Seq > d.seq {
 		// Our own operation replayed from a durable log or a snapshot: the
 		// allocation state must advance past it, or a restarted replica
 		// would re-mint the same sequence numbers and disambiguators for
-		// fresh edits and peers would discard them as duplicates.
-		if op.Seq > d.seq {
-			d.seq = op.Seq
-		}
+		// fresh edits and peers would discard them as duplicates. A locally
+		// minted op (op.Seq == d.seq, advanced by the caller) carries only
+		// disambiguators at or below the current counter by construction,
+		// so the identifier scan runs only on genuine replays.
+		d.seq = op.Seq
 		for _, el := range op.ID {
 			if el.Kind == ident.Mini && el.Dis.Site == d.cfg.Site && el.Dis.Counter > d.counter {
 				d.counter = el.Dis.Counter
@@ -351,7 +477,6 @@ func (d *Document) apply(op Op) error {
 	}
 	d.opsApplied++
 	d.netBits += uint64(op.NetworkBits(d.cfg.Cost))
-	return nil
 }
 
 // EndRevision advances the revision clock and runs the flatten heuristic
@@ -377,6 +502,7 @@ func (d *Document) EndRevision() ident.Path {
 	if err := d.tree.Flatten(cold); err != nil {
 		return nil
 	}
+	d.runGap = -1
 	return cold
 }
 
@@ -420,11 +546,17 @@ func (d *Document) FlattenOp(path ident.Path, afterSeq uint64) (Op, error) {
 // discarding tombstones and identifier metadata in the region. Callers are
 // responsible for coordination (see internal/commit); concurrent edits to a
 // flattened region would diverge.
-func (d *Document) FlattenSubtree(path ident.Path) error { return d.tree.Flatten(path) }
+func (d *Document) FlattenSubtree(path ident.Path) error {
+	d.runGap = -1
+	return d.tree.Flatten(path)
+}
 
 // FlattenAll compacts the whole document to a plain array: the paper's
 // zero-overhead best case.
-func (d *Document) FlattenAll() error { return d.tree.FlattenAll() }
+func (d *Document) FlattenAll() error {
+	d.runGap = -1
+	return d.tree.FlattenAll()
+}
 
 // ColdestSubtree exposes the flatten heuristic's candidate selection: the
 // largest subtree not edited for `revisions` revisions with at least

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/intern"
 )
 
 // OpKind identifies an edit operation type (Section 2.2).
@@ -164,7 +165,10 @@ func DecodeOp(buf []byte) (Op, int, error) {
 		if alen > uint64(len(buf)-off) {
 			return o, 0, fmt.Errorf("core: atom length %d exceeds buffer", alen)
 		}
-		o.Atom = string(buf[off : off+int(alen)])
+		// Character-granularity documents make almost every decoded atom a
+		// single ASCII byte; interning those shares one table entry instead
+		// of allocating a fresh string per replayed insert.
+		o.Atom = intern.Bytes(buf[off : off+int(alen)])
 		off += int(alen)
 	}
 	if err := o.Validate(); err != nil {

@@ -15,11 +15,14 @@ import (
 type Strategy interface {
 	// NewID returns a fresh identifier strictly between p and f, carrying
 	// disambiguator d. The tree provides structural context (existing empty
-	// slots, current height); implementations must not modify it.
-	NewID(t *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path
+	// slots, current height); implementations must not modify it. The arena
+	// is the preferred allocator for the returned identifier (one escaping
+	// path per local edit is the dominant allocation cost of a replica);
+	// implementations may ignore it and allocate directly.
+	NewID(t *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis) ident.Path
 	// NewRun returns n fresh identifiers in ascending order, all strictly
 	// between p and f, for a consecutive insert run.
-	NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path
+	NewRun(t *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis, n int) []ident.Path
 	// Name identifies the strategy in benchmark output.
 	Name() string
 }
@@ -33,14 +36,16 @@ type Strategy interface {
 //   - rule 4: p is an ancestor of f (f's walk passes through p's node): the
 //     new atom becomes the left child of f's node;
 //   - rules 5/7: otherwise the new atom becomes the right child of p's node.
-func naiveID(p, f ident.Path, d ident.Dis) ident.Path {
+func naiveID(a *ident.Arena, p, f ident.Path, d ident.Dis) ident.Path {
 	switch {
 	case p == nil && f == nil:
-		return ident.Path{ident.M(1, d)}
+		id := a.Alloc(1)
+		id[0] = ident.M(1, d)
+		return id
 	case p == nil:
-		return f.StripLastDis().Child(ident.M(0, d))
+		return childOfStripped(a, f, ident.M(0, d))
 	case f == nil:
-		return p.StripLastDis().Child(ident.M(1, d))
+		return childOfStripped(a, p, ident.M(1, d))
 	}
 	k := len(p)
 	if len(f) >= k && f[k-1].Kind == ident.Mini &&
@@ -48,17 +53,34 @@ func naiveID(p, f ident.Path, d ident.Dis) ident.Path {
 		f[:k-1].Equal(p[:k-1]) {
 		// Rule 6: mini-siblings (p < f implies f's sibling disambiguator is
 		// the larger, so p's node-level right child would overshoot it).
-		return p.Child(ident.M(1, d))
+		// Extend writes the child element in place when p was the arena's
+		// last mint — every insert of a typing run — so a run of rule-6
+		// children costs one element per atom instead of one path copy.
+		return a.Extend(p, ident.M(1, d))
 	}
-	if ident.RegionCompare(f, p.StripLastDis()) == 0 {
+	if len(f) >= k && f[k-1].Bit == p[k-1].Bit && f[:k-1].Equal(p[:k-1]) {
 		// Rule 4: f descends through p's node (p is its ancestor): attach
 		// left of f. Everything under f's node-left slot sorts after p here.
-		return f.StripLastDis().Child(ident.M(0, d))
+		// (The structural test is RegionCompare(f, p.StripLastDis()) == 0,
+		// spelled out to avoid materialising the stripped path.)
+		return childOfStripped(a, f, ident.M(0, d))
 	}
 	// Rules 5 and 7: f is an ancestor of p or unrelated; in both cases p's
 	// node-level right region lies strictly between p and f (subtree regions
 	// are intervals, and f sorts beyond p's node's region).
-	return p.StripLastDis().Child(ident.M(1, d))
+	return childOfStripped(a, p, ident.M(1, d))
+}
+
+// childOfStripped returns p.StripLastDis().Child(e) built in one exact-size
+// arena allocation; naiveID runs once per local insert, so the fused
+// arena-backed form removes its per-insert heap cost. The result never
+// aliases p.
+func childOfStripped(a *ident.Arena, p ident.Path, e ident.Elem) ident.Path {
+	q := a.Alloc(len(p) + 1)
+	copy(q, p)
+	q[len(p)-1] = ident.J(q[len(p)-1].Bit)
+	q[len(p)] = e
+	return q
 }
 
 // Naive is Algorithm 1 without balancing: always an immediate child of a
@@ -66,17 +88,17 @@ func naiveID(p, f ident.Path, d ident.Dis) ident.Path {
 type Naive struct{}
 
 // NewID implements Strategy.
-func (Naive) NewID(_ *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path {
-	return naiveID(p, f, d)
+func (Naive) NewID(_ *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis) ident.Path {
+	return naiveID(a, p, f, d)
 }
 
 // NewRun implements Strategy: a chain of immediate children (each atom the
 // right child of its predecessor's node), which is exactly what replaying
 // Algorithm 1 per atom produces.
-func (Naive) NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path {
+func (Naive) NewRun(t *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis, n int) []ident.Path {
 	out := make([]ident.Path, 0, n)
 	for i := 0; i < n; i++ {
-		id := naiveID(p, f, d)
+		id := naiveID(a, p, f, d)
 		out = append(out, id)
 		p = id
 	}
@@ -94,11 +116,11 @@ func (Naive) Name() string { return "naive" }
 type Balanced struct{}
 
 // NewID implements Strategy.
-func (Balanced) NewID(t *doctree.Tree, p, f ident.Path, d ident.Dis) ident.Path {
+func (Balanced) NewID(t *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis) ident.Path {
 	if id := t.FreeMiniBetween(p, f, d); id != nil {
 		return id
 	}
-	id := naiveID(p, f, d)
+	id := naiveID(a, p, f, d)
 	if h := t.Height(); len(id) > h {
 		k := growLevels(h)
 		if k >= 2 {
@@ -146,13 +168,13 @@ func grow(id ident.Path, k int) ident.Path {
 // revision into a minimal sub-tree". The run occupies the canonical complete
 // subtree of depth ⌈log2(n+1)⌉ below one allocated slot, every atom carrying
 // the same disambiguator (identifiers differ by their bits).
-func (Balanced) NewRun(t *doctree.Tree, p, f ident.Path, d ident.Dis, n int) []ident.Path {
+func (Balanced) NewRun(t *doctree.Tree, a *ident.Arena, p, f ident.Path, d ident.Dis, n int) []ident.Path {
 	if n == 1 {
-		return []ident.Path{Balanced{}.NewID(t, p, f, d)}
+		return []ident.Path{Balanced{}.NewID(t, a, p, f, d)}
 	}
 	// Allocate the run's region root: the naive slot (without growth — the
 	// run subtree is already the growth).
-	head := naiveID(p, f, d)
+	head := naiveID(a, p, f, d)
 	slot := head[:len(head)-1] // structural path of the region root's parent slot
 	bit := head[len(head)-1].Bit
 	root := append(slot.Clone(), ident.J(bit))
@@ -205,7 +227,8 @@ var (
 
 // checkAllocation verifies an allocated identifier lies strictly between the
 // neighbours; allocation bugs would silently break convergence, so Document
-// always validates.
+// validates every identifier a third-party strategy returns (its own
+// strategies carry the property-test suite instead — see Document.trusted).
 func checkAllocation(p, id, f ident.Path) error {
 	if !ident.Between(p, id, f) {
 		return fmt.Errorf("core: allocated identifier %v not strictly between %v and %v", id, p, f)

@@ -53,7 +53,7 @@ func TestNaiveIDRules(t *testing.T) {
 			if tt.f != "" {
 				f = id(t, tt.f)
 			}
-			got := naiveID(p, f, d)
+			got := naiveID(new(ident.Arena), p, f, d)
 			if got.String() != tt.want {
 				t.Errorf("naiveID(%s, %s) = %v, want %s", tt.p, tt.f, got, tt.want)
 			}
@@ -79,7 +79,7 @@ func TestNaiveIDBetweenProperty(t *testing.T) {
 		if gap < len(ids) {
 			f = ids[gap]
 		}
-		got := naiveID(p, f, dis())
+		got := naiveID(new(ident.Arena), p, f, dis())
 		if !ident.Between(p, got, f) {
 			t.Fatalf("step %d: naiveID(%v, %v) = %v not between", step, p, f, got)
 		}
@@ -137,7 +137,7 @@ func TestBalancedFillsReservedInfix(t *testing.T) {
 	p := ident.MustParsePath("[1(1:s2)]") // f, the last atom
 	var got []string
 	for i := 0; i < 7; i++ {
-		nid := strat.NewID(tr, p, nil, dis)
+		nid := strat.NewID(tr, new(ident.Arena), p, nil, dis)
 		if err := tr.InsertID(nid, "x"); err != nil {
 			t.Fatalf("append %d (%v): %v", i, nid, err)
 		}

@@ -27,26 +27,97 @@ func (t *Tree) Check() error {
 	if _, _, _, err := checkNode(t.root); err != nil {
 		return err
 	}
-	// Invariant 6: infix identifiers strictly increase.
-	var prev ident.Path
-	var bad error
-	t.VisitLive(func(i int, atom string, m *Mini) bool {
-		if m == nil {
-			return true // flattened atoms have canonical identifiers by construction
-		}
-		id := PathToMini(m)
-		if err := id.Validate(); err != nil {
-			bad = fmt.Errorf("doctree: atom %d has invalid identifier: %w", i, err)
-			return false
-		}
-		if prev != nil && ident.Compare(prev, id) >= 0 {
-			bad = fmt.Errorf("doctree: atom %d identifier %v does not sort after %v", i, id, prev)
-			return false
-		}
-		prev = id
+	// Invariant 6: infix identifiers strictly increase. The walk maintains
+	// the current identifier incrementally in a reused buffer (one element
+	// per tree level) instead of materialising a fresh path per atom, so
+	// Check stays linear in tree size with O(height) extra memory — it runs
+	// on every snapshot decode.
+	c := &orderChecker{}
+	c.walk(t.root, 0)
+	return c.bad
+}
+
+// orderChecker verifies invariant 6 during one infix walk. cur[:d] is the
+// identifier prefix of the current position at depth d; prev is the previous
+// live atom's identifier, copied into a second reused buffer.
+type orderChecker struct {
+	cur     ident.Path
+	prev    ident.Path
+	prevSet bool
+	i       int // live-atom index, for error messages
+	bad     error
+}
+
+func (c *orderChecker) set(i int, e ident.Elem) {
+	for len(c.cur) <= i {
+		c.cur = append(c.cur, ident.Elem{})
+	}
+	c.cur[i] = e
+}
+
+// walk visits node n at depth d with cur[:d-1] holding the finalized
+// elements for n's ancestors; it owns element d-1 (the step into n), which
+// differs between n's major subtrees (a bare bit) and each mini's region (the
+// bit plus that mini's disambiguator).
+func (c *orderChecker) walk(n *Node, d int) bool {
+	if n == nil {
 		return true
-	})
-	return bad
+	}
+	if n.flat != nil {
+		// Flattened atoms have canonical identifiers by construction; they
+		// are not compared (matching the identifiers they would explode to
+		// would require materialising the region).
+		c.i += len(n.flat)
+		return true
+	}
+	if d == 0 && len(n.minis) > 0 {
+		c.bad = fmt.Errorf("doctree: root holds mini-nodes")
+		return false
+	}
+	if d > 0 {
+		c.set(d-1, ident.J(n.bit))
+	}
+	if !c.walk(n.left, d+1) {
+		return false
+	}
+	for _, m := range n.minis {
+		if d > 0 {
+			c.set(d-1, ident.M(n.bit, m.dis))
+		}
+		if !c.walk(m.left, d+1) {
+			return false
+		}
+		if !m.dead {
+			if !c.atom(d) {
+				return false
+			}
+		}
+		if !c.walk(m.right, d+1) {
+			return false
+		}
+	}
+	if d > 0 {
+		c.set(d-1, ident.J(n.bit))
+	}
+	return c.walk(n.right, d+1)
+}
+
+// atom checks the live atom whose identifier is cur[:d] against the previous
+// one, then records it as the new lower bound.
+func (c *orderChecker) atom(d int) bool {
+	id := c.cur[:d]
+	if err := id.Validate(); err != nil {
+		c.bad = fmt.Errorf("doctree: atom %d has invalid identifier: %w", c.i, err)
+		return false
+	}
+	if c.prevSet && ident.Compare(c.prev, id) >= 0 {
+		c.bad = fmt.Errorf("doctree: atom %d identifier %v does not sort after %v", c.i, id.Clone(), c.prev.Clone())
+		return false
+	}
+	c.prev = append(c.prev[:0], id...)
+	c.prevSet = true
+	c.i++
+	return true
 }
 
 // checkNode validates n's subtree and returns its recomputed live, node and

@@ -12,6 +12,114 @@ import (
 // a live atom already holds the identifier: position identifiers are unique
 // (Section 2.1), so a duplicate indicates a protocol violation upstream.
 func (t *Tree) InsertID(id ident.Path, atom string) error {
+	// Fast path: walk the identifier accumulating all count deltas, then
+	// climb to the root once. Nodes created here form a suffix of the walk
+	// (a created node's children cannot pre-exist), so their counters are
+	// set exactly in one bottom-up pass over the created chain. The one case
+	// needing a placeholder mini inside a *pre-existing* node mid-path — a
+	// replay whose ancestors were concurrently discarded (Section 3.3.1) —
+	// falls back to the per-delta slow path before anything is modified.
+	cur, depth := t.resumeSlot(id)
+	skip := depth
+	if err := id.ValidateFrom(depth); err != nil {
+		return fmt.Errorf("doctree: insert %v: %w", id, err)
+	}
+	var first *Node       // shallowest node created by this walk
+	finalCreated := false // the atom's mini was created (vs found)
+	ownerWasFree := false // final mini added to an existing node with no minis
+	for _, e := range id[depth:] {
+		if cur.node.flat != nil {
+			t.explodeNode(cur.node)
+		}
+		depth++
+		next := cur.child(e.Bit)
+		created := next == nil
+		if created {
+			next = t.newNode(cur.node, cur.mini, e.Bit)
+			cur.setChild(e.Bit, next)
+			if first == nil {
+				first = next
+			}
+			if depth > t.height {
+				t.height = depth
+			}
+		} else if next.flat != nil {
+			t.explodeNode(next)
+		}
+		if e.Kind == ident.Major {
+			cur = slot{node: next}
+			continue
+		}
+		m := next.findMini(e.Dis)
+		if m == nil {
+			if !created && depth != len(id) {
+				return t.insertSlow(id, atom)
+			}
+			if !created {
+				ownerWasFree = len(next.minis) == 0
+			}
+			m = t.insertMini(next, e.Dis)
+			m.dead = true
+			if depth == len(id) {
+				finalCreated = true
+			}
+		}
+		cur = slot{node: next, mini: m}
+	}
+	m := cur.mini
+	if !finalCreated {
+		if !m.dead {
+			return fmt.Errorf("doctree: insert %v: identifier already holds a live atom", id)
+		}
+		// Revive an existing tombstone.
+		m.dead = false
+		m.atom = atom
+		t.bubble(m.owner, +1, 0, -1)
+		t.cacheWalkFrom(id, m, skip)
+		return nil
+	}
+	m.dead = false
+	m.atom = atom
+	if first == nil {
+		// Fresh mini in an existing node; no structure added.
+		d := 0
+		if ownerWasFree {
+			d = -1 // the node stops being a free slot
+		}
+		t.bubbleAll(m.owner, +1, 0, 0, d)
+		t.cacheWalkFrom(id, m, skip)
+		return nil
+	}
+	// Set the created chain's counters bottom-up, then climb once from the
+	// chain's attachment point with the accumulated deltas.
+	accNodes, accDead, accEmpty := 0, 0, 0
+	for n := m.owner; ; n = n.parent {
+		accNodes++
+		for _, mm := range n.minis {
+			if mm.dead {
+				accDead++
+			}
+		}
+		if len(n.minis) == 0 {
+			accEmpty++
+		}
+		n.live = 1
+		n.nodes = accNodes
+		n.dead = accDead
+		n.emptyN = accEmpty
+		n.lastMod = t.rev
+		if n == first {
+			break
+		}
+	}
+	t.bubbleAll(first.parent, +1, accNodes, accDead, accEmpty)
+	t.cacheWalkFrom(id, m, skip)
+	return nil
+}
+
+// insertSlow is InsertID's general path: full per-delta materialisation, for
+// replays that must re-create placeholder minis inside existing nodes.
+func (t *Tree) insertSlow(id ident.Path, atom string) error {
 	m, err := t.materialize(id)
 	if err != nil {
 		return fmt.Errorf("doctree: insert %v: %w", id, err)
@@ -41,67 +149,85 @@ func (t *Tree) DeleteID(id ident.Path, prune bool) (found bool, err error) {
 		}
 		return false, fmt.Errorf("doctree: delete %v: %w", id, err)
 	}
+	return t.deleteMini(m, prune), nil
+}
+
+// DeleteAtIndex deletes the i-th live atom in a single count-guided descent,
+// appending its identifier to dst. The locate walk already ends at the
+// atom's mini-node, so the delete needs no second identifier walk — local
+// deletes are the other half of an editor's hot path, and the re-walk
+// DeleteID would do costs a full O(depth) prefix comparison even when it
+// resumes from the walk cache.
+func (t *Tree) DeleteAtIndex(i int, prune bool, dst ident.Path) (ident.Path, error) {
+	if i < 0 || i >= t.root.live {
+		return dst, fmt.Errorf("doctree: index %d out of range [0,%d)", i, t.root.live)
+	}
+	base := len(dst)
+	dst, m := t.appendIDDown(t.root, i, dst)
+	kept := !prune || m.left != nil || m.right != nil
+	t.deleteMini(m, prune)
+	if kept && base == 0 {
+		// The tombstone stays addressable, so the completed walk may seed the
+		// cache exactly as AppendIDAt would (a prune invalidates it instead,
+		// inside deleteMini).
+		t.cacheWalk(dst, m)
+	}
+	return dst, nil
+}
+
+// deleteMini applies delete semantics to a located mini-node; see DeleteID.
+func (t *Tree) deleteMini(m *Mini, prune bool) (found bool) {
 	if m.dead {
-		return false, nil
+		return false
 	}
 	m.dead = true
 	m.atom = ""
-	t.bubble(m.owner, -1, 0, +1)
-	if prune {
-		t.pruneMini(m)
+	if !prune || m.left != nil || m.right != nil {
+		// Tombstone (SDIS), or a discard blocked by descendants (UDIS).
+		t.bubble(m.owner, -1, 0, +1)
+		return true
 	}
-	return true, nil
-}
-
-// pruneMini discards a dead, childless mini-node and cascades upward:
-// "if all the mini-nodes of a major node are deleted, and all its
-// descendants, then the major node is discarded" (Section 3.3.1).
-func (t *Tree) pruneMini(m *Mini) {
-	if !m.dead || m.left != nil || m.right != nil {
-		return
-	}
+	// UDIS discard: remove the mini and cascade emptied ancestors, then
+	// climb once with the accumulated deltas. Nodes detached mid-cascade
+	// need no counter updates (they are gone); only the chain above the
+	// cascade's stop point sees the net change.
+	t.cacheDrop()
 	n := m.owner
 	for i, mm := range n.minis {
 		if mm == m {
 			n.minis = append(n.minis[:i], n.minis[i+1:]...)
-			t.bubble(n, 0, 0, -1)
-			if n.empty() {
-				bubbleEmpty(n, +1)
-			}
 			break
 		}
 	}
-	t.pruneNode(n)
-}
-
-// pruneNode discards n if it holds nothing and has no children, then
-// continues with the slot it hung from.
-func (t *Tree) pruneNode(n *Node) {
-	for n != nil && n.parent != nil && n.empty() && n.left == nil && n.right == nil {
+	dNodes, dDead, dEmpty := 0, 0, 0
+	if n.empty() {
+		dEmpty++
+	}
+	for n.parent != nil && n.empty() && n.left == nil && n.right == nil {
 		parent, pmini := n.parent, n.pmini
 		if pmini != nil {
 			pmini.setChild(n.bit, nil)
 		} else {
 			parent.setChild(n.bit, nil)
 		}
-		t.bubbleCounts(parent, 0, -1)
-		bubbleEmpty(parent, -1) // the removed node was an empty slot
+		dNodes--
+		dEmpty-- // the detached node was an empty slot
 		if pmini != nil && pmini.dead && pmini.left == nil && pmini.right == nil {
 			for i, mm := range parent.minis {
 				if mm == pmini {
 					parent.minis = append(parent.minis[:i], parent.minis[i+1:]...)
-					t.bubble(parent, 0, 0, -1)
-					if parent.empty() {
-						bubbleEmpty(parent, +1)
-					}
 					break
 				}
 			}
-			n = parent
-			continue
+			dDead--
+			if parent.empty() {
+				dEmpty++
+			}
 		}
 		n = parent
 	}
+	t.bubbleAll(n, -1, dNodes, dDead, dEmpty)
+	return true
 }
 
 // HasLive reports whether id currently identifies a live atom.
@@ -118,8 +244,9 @@ func (t *Tree) HasLive(id ident.Path) bool {
 // bitstrings, so any site-disambiguated candidate is known absent without
 // materialising the region.
 func (t *Tree) Exists(id ident.Path) bool {
-	cur := slot{node: t.root}
-	for i, e := range id {
+	cur, skip := t.resumeSlot(id)
+	for i, e := range id[skip:] {
+		i += skip
 		if cur.node.flat != nil {
 			// Inside a flattened region every used identifier carries only
 			// canonical disambiguators on a pure bitstring; a candidate with

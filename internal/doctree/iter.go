@@ -98,6 +98,173 @@ func (t *Tree) IDAt(i int) (ident.Path, error) {
 	return PathToMini(m), nil
 }
 
+// AppendIDAt appends the position identifier of the i-th live atom to dst.
+// It is IDAt in append-to-dst form for callers that consult identifiers per
+// edit (neighbour lookups), and it builds the identifier during the locate
+// descent itself: the nodes the count-guided descent visits are exactly the
+// identifier's chain, so the element for each node is emitted as the walk
+// leaves it, with no separate path-building climb afterwards. Flattened
+// regions on the way are exploded (applying a path to an array,
+// Section 4.2).
+func (t *Tree) AppendIDAt(dst ident.Path, i int) (ident.Path, error) {
+	if i < 0 || i >= t.root.live {
+		return dst, fmt.Errorf("doctree: index %d out of range [0,%d)", i, t.root.live)
+	}
+	base := len(dst)
+	dst, m := t.appendIDDown(t.root, i, dst)
+	if base == 0 {
+		// The identifier is well-formed by construction, so it may seed the
+		// walk cache: the operation that consults an atom's identifier (a
+		// delete, a neighbour probe) walks to this same mini next.
+		t.cacheWalk(dst, m)
+	}
+	return dst, nil
+}
+
+// appendIDDown locates the i-th live atom of n's subtree, appending the
+// identifier elements of the descent to dst, and returns the extended path
+// and the atom's mini-node. i must be within n's live count. Flattened
+// regions on the way are exploded.
+func (t *Tree) appendIDDown(n *Node, i int, dst ident.Path) (ident.Path, *Mini) {
+	for {
+		if n.flat != nil {
+			t.explodeNode(n)
+		}
+		if n.left != nil && i < n.left.live {
+			// Leaving n through its major-left slot: a plain element.
+			// The root contributes no element.
+			if n.parent != nil {
+				dst = append(dst, ident.J(n.bit))
+			}
+			n = n.left
+			continue
+		}
+		if n.left != nil {
+			i -= n.left.live
+		}
+		var next *Node
+		for _, m := range n.minis {
+			if m.left != nil {
+				if i < m.left.live {
+					next = m.left
+					dst = append(dst, ident.M(n.bit, m.dis))
+					break
+				}
+				i -= m.left.live
+			}
+			if !m.dead {
+				if i == 0 {
+					return append(dst, ident.M(n.bit, m.dis)), m
+				}
+				i--
+			}
+			if m.right != nil {
+				if i < m.right.live {
+					next = m.right
+					dst = append(dst, ident.M(n.bit, m.dis))
+					break
+				}
+				i -= m.right.live
+			}
+		}
+		if next != nil {
+			n = next
+			continue
+		}
+		if n.parent != nil {
+			dst = append(dst, ident.J(n.bit))
+		}
+		n = n.right
+	}
+}
+
+// AppendNeighborIDs appends the identifiers of the atoms at i-1 (to dstP)
+// and i (to dstF) around insertion gap i, with 0 < i < Len. Adjacent atoms
+// share their identifier prefix down to the node where their routes split,
+// so the shared part is walked (and written) once instead of twice — the
+// per-edit neighbour lookup is the hottest read path of a replica. The walk
+// cache is left at the left neighbour: the identifier allocated for the gap
+// extends it, so the insert that follows resumes deepest there.
+func (t *Tree) AppendNeighborIDs(dstP, dstF ident.Path, i int) (p, f ident.Path, err error) {
+	if i <= 0 || i >= t.root.live {
+		return dstP, dstF, fmt.Errorf("doctree: interior gap %d out of range (0,%d)", i, t.root.live)
+	}
+	pBase := len(dstP)
+	a := i - 1 // left target, relative to the current subtree; right = a+1
+	n := t.root
+descend:
+	for {
+		if n.flat != nil {
+			t.explodeNode(n)
+		}
+		// Find the region holding the left target; descend only while the
+		// right target lands in the same child subtree. rel tracks the
+		// left target's offset within the regions scanned so far and is
+		// committed to a only on descent, so a stays relative to n's whole
+		// subtree when the routes split here.
+		rel := a
+		var next *Node
+		var elem ident.Elem
+		if n.left != nil {
+			if rel+1 < n.left.live {
+				next, elem = n.left, ident.J(n.bit)
+			} else if rel < n.left.live {
+				break descend
+			} else {
+				rel -= n.left.live
+			}
+		}
+		if next == nil {
+			for _, m := range n.minis {
+				if m.left != nil {
+					if rel+1 < m.left.live {
+						next, elem = m.left, ident.M(n.bit, m.dis)
+						break
+					}
+					if rel < m.left.live {
+						break descend
+					}
+					rel -= m.left.live
+				}
+				if !m.dead {
+					if rel == 0 {
+						break descend
+					}
+					rel--
+				}
+				if m.right != nil {
+					if rel+1 < m.right.live {
+						next, elem = m.right, ident.M(n.bit, m.dis)
+						break
+					}
+					if rel < m.right.live {
+						break descend
+					}
+					rel -= m.right.live
+				}
+			}
+		}
+		if next == nil {
+			// Both targets remain in the major-right subtree.
+			next, elem = n.right, ident.J(n.bit)
+		}
+		if n.parent != nil {
+			dstP = append(dstP, elem)
+		}
+		n, a = next, rel
+	}
+	// The routes split inside n: finish each target separately. The right
+	// target first, so the walk cache ends at the left neighbour.
+	dstF = append(dstF, dstP[pBase:]...)
+	dstF, _ = t.appendIDDown(n, a+1, dstF)
+	var pm *Mini
+	dstP, pm = t.appendIDDown(n, a, dstP)
+	if pBase == 0 {
+		t.cacheWalk(dstP, pm)
+	}
+	return dstP, dstF, nil
+}
+
 // NeighborIDs returns the identifiers around insertion gap i: the atom at
 // i-1 (nil at the document start) and the atom at i (nil at the end).
 // Inserting at gap i places the new atom between them.
@@ -190,6 +357,68 @@ func miniLive(m *Mini) int {
 		n += m.right.live
 	}
 	return n
+}
+
+// VisitRange calls fn for the live atoms of the index range [from, to) in
+// document order, descending by live counts to skip whole subtrees before
+// the range: one walk of cost O(height + to - from), where per-atom lookup
+// would cost O((to-from)·height). It does not explode flattened regions.
+// Iteration stops early if fn returns false.
+func (t *Tree) VisitRange(from, to int, fn func(atom string) bool) error {
+	if from < 0 || to < from || to > t.root.live {
+		return fmt.Errorf("doctree: range [%d,%d) out of range [0,%d]", from, to, t.root.live)
+	}
+	skip, count := from, to-from
+	visitRange(t.root, &skip, &count, fn)
+	return nil
+}
+
+func visitRange(n *Node, skip, count *int, fn func(string) bool) bool {
+	if n == nil || *count == 0 {
+		return true
+	}
+	if *skip >= n.live {
+		*skip -= n.live
+		return true
+	}
+	if n.flat != nil {
+		for _, a := range n.flat[*skip:] {
+			if *count == 0 {
+				return true
+			}
+			if !fn(a) {
+				return false
+			}
+			*count--
+		}
+		*skip = 0
+		return true
+	}
+	if !visitRange(n.left, skip, count, fn) {
+		return false
+	}
+	for _, m := range n.minis {
+		if *count == 0 {
+			return true
+		}
+		if !visitRange(m.left, skip, count, fn) {
+			return false
+		}
+		if !m.dead && *count > 0 {
+			if *skip > 0 {
+				*skip--
+			} else {
+				if !fn(m.atom) {
+					return false
+				}
+				*count--
+			}
+		}
+		if !visitRange(m.right, skip, count, fn) {
+			return false
+		}
+	}
+	return visitRange(n.right, skip, count, fn)
 }
 
 // VisitLive calls fn for every live atom in document order with its index.

@@ -29,21 +29,28 @@ import (
 // A node with a non-nil flat slice is a flattened region (Section 4.2): it
 // stores its whole subtree's live atoms as a plain array with no metadata,
 // and has no minis or children until a path walk explodes it.
+// Field order is cache-conscious: the first 64 bytes hold exactly what the
+// two hot per-edit loops touch — the count-guided descent (left, right,
+// minis, live) and the counter climb (parent, live, nodes) — so each level
+// of a walk or bubble stays within one cache line of the node. Occasional
+// fields (tombstone and empty-slot counters, flatten bookkeeping) fill the
+// second line; bubble writes them only when their delta is non-zero, so
+// ordinary inserts dirty a single line per ancestor. Nodes are bump-chunk
+// allocated (see Tree.nodeChunk) and 128 bytes long, keeping the split
+// aligned.
 type Node struct {
-	parent *Node // node containing the slot we hang from; nil at root
-	pmini  *Mini // mini of parent we hang from; nil = parent's major slot
-	bit    uint8 // which side of the parent slot
-
-	left, right *Node
+	parent      *Node   // node containing the slot we hang from; nil at root
+	left, right *Node   // major child slots
 	minis       []*Mini // sorted by disambiguator
+	live        int     // live atoms in this subtree, including flat content
+	nodes       int     // tree nodes in this subtree (flat regions count as 0)
 
-	flat []string // non-nil: flattened subtree content (leaf region)
-
-	live    int   // live atoms in this subtree, including flat content
-	nodes   int   // tree nodes in this subtree (flat regions count as 0)
-	dead    int   // tombstone mini-nodes in this subtree
-	emptyN  int   // empty (reusable-slot) nodes in this subtree
-	lastMod int64 // latest revision that edited inside this subtree
+	dead    int      // tombstone mini-nodes in this subtree
+	emptyN  int      // empty (reusable-slot) nodes in this subtree
+	lastMod int64    // latest revision that edited at this node (see bubble)
+	pmini   *Mini    // mini of parent we hang from; nil = parent's major slot
+	flat    []string // non-nil: flattened subtree content (leaf region)
+	bit     uint8    // which side of the parent slot
 }
 
 // Mini is a mini-node: one atom slot inside a major node, identified by its
@@ -73,6 +80,138 @@ type Tree struct {
 	root   *Node
 	height int   // max depth of any node (root = 0)
 	rev    int64 // current revision stamp for lastMod bookkeeping
+
+	// Walk cache: the identifier and mini-node of the last successful
+	// root-to-leaf walk. Consecutive operations on nearby identifiers (an
+	// insert run, an insert followed by its delete) share long path
+	// prefixes, so the next walk resumes from the deepest shared slot
+	// instead of descending from the root. Any structural removal (prune,
+	// flatten) drops the cache; see cacheDrop call sites.
+	ckID   ident.Path
+	ckMini *Mini
+
+	// Chunked node and mini allocation: tree structure is built from bump
+	// blocks instead of individual heap objects, so deep-chain creation
+	// (the naive strategy adds one node per atom) costs one allocation per
+	// chunk, and consecutively created nodes — which are exactly the
+	// parent chains the count climbs traverse — sit adjacent in memory.
+	// Chunks are abandoned to the garbage collector when full; a pruned
+	// node pins at most its own chunk.
+	nodeChunk []Node
+	miniChunk []Mini
+}
+
+const (
+	nodeChunkLen = 128
+	miniChunkLen = 256
+)
+
+// newNode allocates a node from the tree's bump chunk.
+func (t *Tree) newNode(parent *Node, pmini *Mini, bit uint8) *Node {
+	if len(t.nodeChunk) == cap(t.nodeChunk) {
+		t.nodeChunk = make([]Node, 0, nodeChunkLen)
+	}
+	t.nodeChunk = append(t.nodeChunk, Node{parent: parent, pmini: pmini, bit: bit})
+	return &t.nodeChunk[len(t.nodeChunk)-1]
+}
+
+// insertMini adds a chunk-allocated mini with disambiguator d to n in sorted
+// position and returns it. The caller must ensure d is not already present.
+func (t *Tree) insertMini(n *Node, d ident.Dis) *Mini {
+	if len(t.miniChunk) == cap(t.miniChunk) {
+		t.miniChunk = make([]Mini, 0, miniChunkLen)
+	}
+	t.miniChunk = append(t.miniChunk, Mini{owner: n, dis: d})
+	return n.placeMini(&t.miniChunk[len(t.miniChunk)-1])
+}
+
+// insertMini is the chunk-less form for builders without a tree handle
+// (canonical explosion).
+func (n *Node) insertMini(d ident.Dis) *Mini {
+	return n.placeMini(&Mini{owner: n, dis: d})
+}
+
+// placeMini links m into n's mini list in disambiguator order.
+func (n *Node) placeMini(m *Mini) *Mini {
+	i := 0
+	for i < len(n.minis) && n.minis[i].dis.Compare(m.dis) < 0 {
+		i++
+	}
+	n.minis = append(n.minis, nil)
+	copy(n.minis[i+1:], n.minis[i:])
+	n.minis[i] = m
+	return m
+}
+
+// cacheWalk records a completed walk to mini m at identifier p. The
+// identifier is copied into a tree-owned buffer, so callers may reuse p.
+// Callers must have validated p (every walk does): cache-resumed walks
+// validate only the elements beyond the shared prefix, which is sound
+// precisely because everything cached here is known well-formed.
+func (t *Tree) cacheWalk(p ident.Path, m *Mini) {
+	t.ckID = append(t.ckID[:0], p...)
+	t.ckMini = m
+}
+
+// cacheWalkFrom is cacheWalk for walks that resumed from the cache at depth
+// skip: resumeSlot verified ckID[:skip] == p[:skip] element-wise and nothing
+// rewrites ckID mid-walk, so only the suffix needs copying. Consecutive
+// edits in one region share almost their whole identifier, making this the
+// common case an O(1)-ish cache update instead of an O(depth) copy. If the
+// cache was dropped mid-walk the prefix guarantee is gone and the whole
+// identifier is copied.
+func (t *Tree) cacheWalkFrom(p ident.Path, m *Mini, skip int) {
+	if t.ckMini == nil {
+		skip = 0
+	}
+	t.ckID = append(t.ckID[:skip], p[skip:]...)
+	t.ckMini = m
+}
+
+// cacheDrop invalidates the walk cache. It must be called before any
+// mini-node or node is detached from the tree (the cached chain climbs
+// parent pointers).
+func (t *Tree) cacheDrop() { t.ckMini = nil }
+
+// resumeSlot returns the deepest walk slot shared between p and the cached
+// last walk, plus the number of elements of p already consumed by it.
+// Exact-prefix element equality guarantees the cached chain reaches the
+// identical slot; the chain's nodes are materialised (never flat), so the
+// skipped elements need no explosion checks.
+func (t *Tree) resumeSlot(p ident.Path) (slot, int) {
+	m := t.ckMini
+	if m == nil {
+		return slot{node: t.root}, 0
+	}
+	last := t.ckID
+	max := len(p)
+	if len(last) < max {
+		max = len(last)
+	}
+	j := 0
+	for j < max && p[j] == last[j] {
+		j++
+	}
+	if j == 0 {
+		return slot{node: t.root}, 0
+	}
+	// Climb from the cached mini's owner (at depth len(last)) to the node at
+	// depth j, remembering the node below it on the chain: if element j-1
+	// selects a mini, that selection is the below node's parent mini (or the
+	// cached mini itself when j is the full cached depth).
+	n := m.owner
+	var below *Node
+	for d := len(last); d > j; d-- {
+		below = n
+		n = n.parent
+	}
+	if p[j-1].Kind == ident.Major {
+		return slot{node: n}, j
+	}
+	if below == nil {
+		return slot{node: n, mini: m}, j
+	}
+	return slot{node: n, mini: below.pmini}, j
 }
 
 // New returns an empty document tree.
@@ -137,20 +276,6 @@ func (n *Node) findMini(d ident.Dis) *Mini {
 	return nil
 }
 
-// insertMini adds a mini with disambiguator d in sorted position and returns
-// it. The caller must ensure d is not already present.
-func (n *Node) insertMini(d ident.Dis) *Mini {
-	m := &Mini{owner: n, dis: d}
-	i := 0
-	for i < len(n.minis) && n.minis[i].dis.Compare(d) < 0 {
-		i++
-	}
-	n.minis = append(n.minis, nil)
-	copy(n.minis[i+1:], n.minis[i:])
-	n.minis[i] = m
-	return m
-}
-
 // depth returns the node's depth (root = 0).
 func (n *Node) depth() int {
 	d := 0
@@ -169,21 +294,39 @@ func (n *Node) empty() bool {
 
 // PathToMini returns the position identifier of mini-node m.
 func PathToMini(m *Mini) ident.Path {
-	rev := make([]ident.Elem, 0, 8)
+	return AppendPathToMini(nil, m)
+}
+
+// AppendPathToMini appends the position identifier of mini-node m to dst and
+// returns the extended path. The identifier length is known from the node
+// chain, so the append is a single exact-size operation: this is the
+// allocation-lean form used by the hot paths (identifier queries dominate the
+// replay profile otherwise).
+func AppendPathToMini(dst ident.Path, m *Mini) ident.Path {
+	d := 0
+	for n := m.owner; n != nil && n.parent != nil; n = n.parent {
+		d++
+	}
+	base := len(dst)
+	if cap(dst) < base+d {
+		grown := make(ident.Path, base+d)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+d]
+	}
+	i := base + d - 1
 	sel := m
 	for n := m.owner; n != nil && n.parent != nil; n = n.parent {
 		if sel != nil {
-			rev = append(rev, ident.M(n.bit, sel.dis))
+			dst[i] = ident.M(n.bit, sel.dis)
 		} else {
-			rev = append(rev, ident.J(n.bit))
+			dst[i] = ident.J(n.bit)
 		}
 		sel = n.pmini
+		i--
 	}
-	p := make(ident.Path, len(rev))
-	for i, e := range rev {
-		p[len(rev)-1-i] = e
-	}
-	return p
+	return dst
 }
 
 // PathToNode returns the structural path of major node n (ending in a Major
@@ -192,35 +335,54 @@ func PathToNode(n *Node) ident.Path {
 	if n.parent == nil {
 		return ident.Path{}
 	}
-	rev := make([]ident.Elem, 0, 8)
+	d := 0
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		d++
+	}
+	p := make(ident.Path, d)
+	i := d - 1
 	sel := (*Mini)(nil)
 	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
 		if sel != nil {
-			rev = append(rev, ident.M(cur.bit, sel.dis))
+			p[i] = ident.M(cur.bit, sel.dis)
 		} else {
-			rev = append(rev, ident.J(cur.bit))
+			p[i] = ident.J(cur.bit)
 		}
 		sel = cur.pmini
-	}
-	p := make(ident.Path, len(rev))
-	for i, e := range rev {
-		p[len(rev)-1-i] = e
+		i--
 	}
 	return p
 }
 
 // bubbleCounts adjusts live atom, node and tombstone counts from n up to
-// the root and stamps lastMod with the tree's current revision.
+// the root and stamps n's lastMod with the tree's current revision.
 func (t *Tree) bubbleCounts(n *Node, dLive, dNodes int) {
 	t.bubble(n, dLive, dNodes, 0)
 }
 
+// bubble climbs to the root applying the count deltas. lastMod is stamped
+// only on n itself — the edit point — not the whole ancestor chain: subtree
+// recency is the maximum stamp over the subtree, which coldWalk computes
+// during its own traversal. Keeping the climb to the first-line counters
+// (and skipping the tombstone counter when unchanged) means an ordinary
+// insert dirties one cache line per ancestor instead of two, and the climb
+// is the single hottest write loop of a deep-tree replay.
 func (t *Tree) bubble(n *Node, dLive, dNodes, dDead int) {
+	if n == nil {
+		return
+	}
+	n.lastMod = t.rev
+	if dDead == 0 {
+		for ; n != nil; n = n.parent {
+			n.live += dLive
+			n.nodes += dNodes
+		}
+		return
+	}
 	for ; n != nil; n = n.parent {
 		n.live += dLive
 		n.nodes += dNodes
 		n.dead += dDead
-		n.lastMod = t.rev
 	}
 }
 
@@ -230,6 +392,31 @@ func (t *Tree) bubble(n *Node, dLive, dNodes, dDead int) {
 func bubbleEmpty(n *Node, d int) {
 	for ; n != nil; n = n.parent {
 		n.emptyN += d
+	}
+}
+
+// bubbleAll adjusts every counter from n to the root in one climb and stamps
+// n's lastMod. The edit fast paths accumulate their whole delta set and climb
+// once; the equivalent sequence of bubble/bubbleEmpty calls would walk the
+// ancestor chain per delta, which dominates deep-tree edit profiles. Like
+// bubble, the climb writes the second-line counters only when they change.
+func (t *Tree) bubbleAll(n *Node, dLive, dNodes, dDead, dEmpty int) {
+	if n == nil {
+		return
+	}
+	n.lastMod = t.rev
+	if dDead == 0 && dEmpty == 0 {
+		for ; n != nil; n = n.parent {
+			n.live += dLive
+			n.nodes += dNodes
+		}
+		return
+	}
+	for ; n != nil; n = n.parent {
+		n.live += dLive
+		n.nodes += dNodes
+		n.dead += dDead
+		n.emptyN += dEmpty
 	}
 }
 

@@ -192,3 +192,77 @@ func TestRandomFlattenPreservesContent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNeighborLookupsAgainstIDAt drives a random document and checks the
+// fused lookup paths — AppendIDAt's build-during-descent and
+// AppendNeighborIDs' shared-prefix split — against the plain IDAt walk at
+// every interior gap, interleaved with deletes so walk-cache resumption and
+// pruned chains are exercised too.
+func TestNeighborLookupsAgainstIDAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New()
+	var liveIDs []ident.Path
+	nextSite := ident.SiteID(1)
+	for step := 0; step < 600; step++ {
+		if len(liveIDs) == 0 || rng.Intn(100) < 75 {
+			var id ident.Path
+			d := ident.Dis{Site: nextSite}
+			nextSite++
+			if len(liveIDs) == 0 {
+				id = ident.Path{ident.M(1, d)}
+			} else {
+				base := liveIDs[rng.Intn(len(liveIDs))]
+				switch rng.Intn(3) {
+				case 0:
+					id = base.Child(ident.M(0, d))
+				case 1:
+					id = base.Child(ident.M(1, d))
+				default:
+					id = base.StripLastDis().Child(ident.M(uint8(rng.Intn(2)), d))
+				}
+			}
+			if tr.HasLive(id) {
+				continue
+			}
+			if err := tr.InsertID(id, "x"); err != nil {
+				t.Fatalf("step %d: insert %v: %v", step, id, err)
+			}
+			liveIDs = append(liveIDs, id)
+		} else {
+			i := rng.Intn(len(liveIDs))
+			if _, err := tr.DeleteID(liveIDs[i], true); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+		}
+		if step%31 != 0 {
+			continue
+		}
+		for i := 0; i < tr.Len(); i++ {
+			want, err := tr.IDAt(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tr.AppendIDAt(nil, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("step %d: AppendIDAt(%d) = %v, want %v", step, i, got, want)
+			}
+			if i > 0 {
+				wantP, err := tr.IDAt(i - 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, f, err := tr.AppendNeighborIDs(nil, nil, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !p.Equal(wantP) || !f.Equal(want) {
+					t.Fatalf("step %d: AppendNeighborIDs(%d) = %v, %v; want %v, %v", step, i, p, f, wantP, want)
+				}
+			}
+		}
+	}
+}

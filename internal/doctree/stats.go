@@ -74,11 +74,15 @@ func (s Stats) MemOverheadRatio() float64 {
 // Flattened regions cost nothing: they are the plain sequential buffer.
 func (t *Tree) Stats(c ident.Cost) Stats {
 	var s Stats
-	statsWalk(t.root, 0, c, &s)
+	statsWalk(t.root, 0, 0, c, &s)
 	return s
 }
 
-func statsWalk(n *Node, depth int, c ident.Cost, s *Stats) {
+// statsWalk accumulates s over n's subtree. depth is n's level (one
+// identifier bit per level) and disBits the disambiguator bits of the
+// mini-node selections above n, threaded down the recursion so each
+// identifier's size is known at its mini without re-climbing to the root.
+func statsWalk(n *Node, depth, disBits int, c ident.Cost, s *Stats) {
 	if n == nil {
 		return
 	}
@@ -105,38 +109,26 @@ func statsWalk(n *Node, depth int, c ident.Cost, s *Stats) {
 			}
 		}
 	}
-	statsWalk(n.left, depth+1, c, s)
+	statsWalk(n.left, depth+1, disBits, c, s)
 	for _, m := range n.minis {
 		s.Minis++
+		mBits := disBits + c.Bits(m.dis)
 		if m.dead {
 			s.DeadMinis++
-			s.DeadIDBits += depth + bitsOfMiniID(m, c)
+			s.DeadIDBits += depth + mBits
 		} else {
 			s.LiveAtoms++
 			s.DocBytes += len(m.atom)
-			bits := depth + bitsOfMiniID(m, c)
+			bits := depth + mBits
 			s.TotalIDBits += bits
 			if bits > s.MaxIDBits {
 				s.MaxIDBits = bits
 			}
 		}
-		statsWalk(m.left, depth+1, c, s)
-		statsWalk(m.right, depth+1, c, s)
+		statsWalk(m.left, depth+1, mBits, c, s)
+		statsWalk(m.right, depth+1, mBits, c, s)
 	}
-	statsWalk(n.right, depth+1, c, s)
-}
-
-// bitsOfMiniID returns the disambiguator bits along m's identifier beyond
-// the one bit per level already accounted by depth: every mini-node
-// selection on the path contributes its disambiguator cost.
-func bitsOfMiniID(m *Mini, c ident.Cost) int {
-	bits := c.Bits(m.dis)
-	for n := m.owner; n != nil; n = n.parent {
-		if n.pmini != nil {
-			bits += c.Bits(n.pmini.dis)
-		}
-	}
-	return bits
+	statsWalk(n.right, depth+1, disBits, c, s)
 }
 
 // flatIDBits returns the total and maximum identifier bit sizes the n atoms
@@ -212,7 +204,7 @@ func canonicalDepthSum(n, levels, base int) (sum, max int) {
 // garbage flatten actually collects. Returns nil if nothing qualifies; the
 // root (whole document) is returned only when everything is cold.
 func (t *Tree) ColdestSubtree(cutoff int64, minNodes int) ident.Path {
-	best := coldWalk(t.root, cutoff, minNodes, nil)
+	best, _ := coldWalk(t.root, cutoff, minNodes)
 	if best == nil {
 		return nil
 	}
@@ -223,24 +215,41 @@ func (t *Tree) ColdestSubtree(cutoff int64, minNodes int) ident.Path {
 // payoff, shortening identifiers the secondary one.
 func coldScore(n *Node) int { return 8*n.dead + n.nodes }
 
-func coldWalk(n *Node, cutoff int64, minNodes int, best *Node) *Node {
-	if n == nil || n.flat != nil {
-		return best
+// coldWalk returns the best flatten candidate within n's subtree and the
+// subtree's latest edit revision. Edits stamp lastMod only at the edit
+// point (bubble keeps its climb to the counter cache line), so subtree
+// recency is the maximum node-local stamp, computed by this same post-order
+// walk. A subtree whose maximum is at or before cutoff is cold; its root
+// dominates every descendant's coldScore (the counters are inclusive), so
+// the highest cold node on each path is the candidate — exactly what the
+// old pruning descent selected.
+func coldWalk(n *Node, cutoff int64, minNodes int) (best *Node, maxRev int64) {
+	if n == nil {
+		return nil, 0
 	}
-	if n.lastMod <= cutoff {
-		// Candidates must contain at least one mini-node: regions made only
-		// of locally reserved slots are not materialised at remote replicas,
-		// so a distributed flatten could not resolve them there.
-		if n.nodes >= minNodes && n.live+n.dead >= 1 &&
-			(best == nil || coldScore(n) > coldScore(best)) {
-			return n
+	if n.flat != nil {
+		return nil, n.lastMod
+	}
+	maxRev = n.lastMod
+	consider := func(b *Node, r int64) {
+		if r > maxRev {
+			maxRev = r
 		}
-		return best
+		if b != nil && (best == nil || coldScore(b) > coldScore(best)) {
+			best = b
+		}
 	}
-	best = coldWalk(n.left, cutoff, minNodes, best)
+	consider(coldWalk(n.left, cutoff, minNodes))
 	for _, m := range n.minis {
-		best = coldWalk(m.left, cutoff, minNodes, best)
-		best = coldWalk(m.right, cutoff, minNodes, best)
+		consider(coldWalk(m.left, cutoff, minNodes))
+		consider(coldWalk(m.right, cutoff, minNodes))
 	}
-	return coldWalk(n.right, cutoff, minNodes, best)
+	consider(coldWalk(n.right, cutoff, minNodes))
+	// Candidates must contain at least one mini-node: regions made only of
+	// locally reserved slots are not materialised at remote replicas, so a
+	// distributed flatten could not resolve them there.
+	if maxRev <= cutoff && n.nodes >= minNodes && n.live+n.dead >= 1 {
+		return n, maxRev
+	}
+	return best, maxRev
 }

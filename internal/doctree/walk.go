@@ -34,11 +34,15 @@ func (s slot) setChild(bit uint8, c *Node) {
 // converted to tree storage when necessary, e.g., when applying a path to
 // an array").
 func (t *Tree) walkMini(p ident.Path) (*Mini, error) {
-	if err := p.Validate(); err != nil {
+	cur, skip := t.resumeSlot(p)
+	// The resumed prefix matched a cached, already-validated identifier
+	// elementwise, so only the remaining elements need checking.
+	if err := p.ValidateFrom(skip); err != nil {
 		return nil, err
 	}
-	cur := slot{node: t.root}
-	for i, e := range p {
+	cacheFrom := skip
+	for i, e := range p[skip:] {
+		i += skip
 		if cur.node.flat != nil {
 			t.explodeNode(cur.node)
 		}
@@ -59,6 +63,7 @@ func (t *Tree) walkMini(p ident.Path) (*Mini, error) {
 		}
 		cur = slot{node: next, mini: m}
 	}
+	t.cacheWalkFrom(p, cur.mini, cacheFrom)
 	return cur.mini, nil
 }
 
@@ -68,19 +73,19 @@ func (t *Tree) walkMini(p ident.Path) (*Mini, error) {
 // re-create empty nodes to replace them"). The final mini is returned
 // as-is; the caller decides its atom and liveness.
 func (t *Tree) materialize(p ident.Path) (*Mini, error) {
-	if err := p.Validate(); err != nil {
+	cur, depth := t.resumeSlot(p)
+	skip := depth
+	if err := p.ValidateFrom(depth); err != nil {
 		return nil, err
 	}
-	cur := slot{node: t.root}
-	depth := 0
-	for _, e := range p {
+	for _, e := range p[depth:] {
 		if cur.node.flat != nil {
 			t.explodeNode(cur.node)
 		}
 		depth++
 		next := cur.child(e.Bit)
 		if next == nil {
-			next = &Node{parent: cur.node, pmini: cur.mini, bit: e.Bit}
+			next = t.newNode(cur.node, cur.mini, e.Bit)
 			cur.setChild(e.Bit, next)
 			t.bubbleCounts(next, 0, 1)
 			bubbleEmpty(next, +1)
@@ -99,12 +104,13 @@ func (t *Tree) materialize(p ident.Path) (*Mini, error) {
 			if len(next.minis) == 0 {
 				bubbleEmpty(next, -1) // the node stops being a free slot
 			}
-			m = next.insertMini(e.Dis)
+			m = t.insertMini(next, e.Dis)
 			m.dead = true // placeholder until the caller revives it
 			t.bubble(next, 0, 0, +1)
 		}
 		cur = slot{node: next, mini: m}
 	}
+	t.cacheWalkFrom(p, cur.mini, skip)
 	return cur.mini, nil
 }
 
@@ -244,6 +250,7 @@ func (t *Tree) Flatten(path ident.Path) error {
 	if err != nil {
 		return err
 	}
+	t.cacheDrop()
 	atoms := make([]string, 0, n.live)
 	collectLive(n, &atoms)
 	removedNodes, removedDead, removedEmpty := n.nodes, n.dead, n.emptyN

@@ -1,0 +1,66 @@
+package ident
+
+// arenaChunkElems is the bump-allocation block size: 4096 elements is 64 KiB
+// per chunk, amortising one heap allocation over dozens of identifiers even
+// at the deep-tree identifier lengths the naive strategy produces.
+const arenaChunkElems = 4096
+
+// Arena is a bump allocator for identifier paths. Hot paths that mint one
+// escaping identifier per operation (local edit ops carry their identifier
+// out to the caller) allocate from an arena so the per-operation heap
+// allocation collapses into one chunk allocation per few dozen operations.
+//
+// The arena never reuses memory: allocation only advances within a chunk,
+// and a full chunk is abandoned to the garbage collector, which frees it
+// once no allocated path references it. A long-retained path therefore pins
+// at most one chunk. Element slices handed out are capacity-clipped, so
+// appending to an allocated path can never overwrite a neighbouring one.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent use;
+// each Document owns one.
+type Arena struct {
+	chunk []Elem
+}
+
+// Alloc returns a zeroed path of length n. Oversized requests fall through
+// to a direct allocation rather than wasting a fresh chunk.
+func (a *Arena) Alloc(n int) Path {
+	if n > arenaChunkElems/4 {
+		return make(Path, n)
+	}
+	if len(a.chunk)+n > cap(a.chunk) {
+		a.chunk = make([]Elem, 0, arenaChunkElems)
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[:off+n]
+	return Path(a.chunk[off : off+n : off+n])
+}
+
+// Copy returns an arena-allocated copy of p.
+func (a *Arena) Copy(p Path) Path {
+	q := a.Alloc(len(p))
+	copy(q, p)
+	return q
+}
+
+// Extend returns the path p+e. When p is the most recent allocation from
+// this arena — a run of child-of-previous mints, the shape typing produces —
+// the element is written in place after p and no copy happens: the chunk
+// then backs both p and the result, which is safe because handed-out paths
+// are immutable and capacity-clipped. The shared backing also makes prefix
+// comparison against p O(1) (see Compare). Otherwise it falls back to an
+// allocate-and-copy.
+func (a *Arena) Extend(p Path, e Elem) Path {
+	n := len(p)
+	if n > 0 && n <= len(a.chunk) && len(a.chunk) < cap(a.chunk) &&
+		&p[0] == &a.chunk[len(a.chunk)-n] {
+		off := len(a.chunk)
+		a.chunk = a.chunk[:off+1]
+		a.chunk[off] = e
+		return Path(a.chunk[off-n : off+1 : off+1])
+	}
+	q := a.Alloc(n + 1)
+	copy(q, p)
+	q[n] = e
+	return q
+}

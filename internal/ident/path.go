@@ -113,10 +113,20 @@ func (p Path) HasPrefix(q Path) bool {
 // bit is 0 or 1, every element kind is Major or Mini, and the final element
 // is a Mini (atoms live in mini-nodes).
 func (p Path) Validate() error {
+	return p.ValidateFrom(0)
+}
+
+// ValidateFrom is Validate for a path whose first skip elements are already
+// known well-formed — typically because they matched a previously validated
+// identifier elementwise (the doctree walk cache). Only the remaining
+// elements are checked, which keeps validation O(suffix) on cache-resumed
+// walks instead of O(depth) per operation.
+func (p Path) ValidateFrom(skip int) error {
 	if len(p) == 0 {
 		return fmt.Errorf("ident: empty path is not an atom identifier")
 	}
-	for i, e := range p {
+	for i := skip; i < len(p); i++ {
+		e := p[i]
 		if e.Bit > 1 {
 			return fmt.Errorf("ident: element %d has bit %d (want 0 or 1)", i, e.Bit)
 		}
@@ -209,7 +219,14 @@ func Compare(p, q Path) int {
 	if len(q) < n {
 		n = len(q)
 	}
-	for i := 0; i < n; i++ {
+	i := 0
+	if n > 0 && &p[0] == &q[0] {
+		// Shared backing from index 0 (one path arena-Extends the other):
+		// the common prefix is the whole shorter path, element by element the
+		// same memory, so the scan starts at the length tiebreak.
+		i = n
+	}
+	for ; i < n; i++ {
 		pe, qe := p[i], q[i]
 		if pe == qe {
 			continue

@@ -1,0 +1,42 @@
+// Package intern provides allocation-free interning for the small strings
+// the hot paths churn through: character-granularity documents carry one
+// atom per rune, so every keystroke, every decoded insert op and every
+// snapshot atom is a one-rune string. Converting through this package makes
+// all ASCII atoms share one preallocated table instead of costing a heap
+// allocation each.
+package intern
+
+// asciiMax bounds the preallocated table: one entry per ASCII code point.
+const asciiMax = 128
+
+// ascii holds the canonical single-byte strings. Built once at init; the
+// entries are immutable and shared freely across goroutines.
+var ascii [asciiMax]string
+
+func init() {
+	// One backing array for the whole table keeps it a single allocation.
+	backing := make([]byte, asciiMax)
+	for i := range backing {
+		backing[i] = byte(i)
+	}
+	for i := range ascii {
+		ascii[i] = string(backing[i : i+1])
+	}
+}
+
+// Rune returns the single-rune string for r, allocation-free for ASCII.
+func Rune(r rune) string {
+	if r >= 0 && r < asciiMax {
+		return ascii[r]
+	}
+	return string(r)
+}
+
+// Bytes returns string(b), reusing the interned table when b is a single
+// ASCII byte — the common case for decoded character atoms.
+func Bytes(b []byte) string {
+	if len(b) == 1 && b[0] < asciiMax {
+		return ascii[b[0]]
+	}
+	return string(b)
+}

@@ -14,9 +14,11 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"github.com/treedoc/treedoc/internal/doctree"
 	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/intern"
 )
 
 // Format marker and version.
@@ -35,9 +37,29 @@ const (
 	miniCanonical = 1 << 1
 )
 
-// Encode serialises the document tree.
+// encScratch pools the growth buffer Encode and Measure serialise into:
+// the encoded size is unknown up front, so building in a reused scratch
+// and copying once keeps the append-growth garbage out of every snapshot,
+// stats and anti-entropy cycle. Pooled buffers never escape: Encode hands
+// out an exact-size copy, Measure only reads the length.
+var encScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// Encode serialises the document tree. The result is exactly sized.
 func Encode(t *doctree.Tree) []byte {
-	buf := append([]byte(nil), magic[:]...)
+	bp := encScratch.Get().(*[]byte)
+	buf := AppendEncode((*bp)[:0], t)
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	*bp = buf[:0]
+	encScratch.Put(bp)
+	return out
+}
+
+// AppendEncode appends the tree's encoding to dst and returns the extended
+// slice, letting callers with their own buffer (snapshot headers, pooled
+// scratch) serialise without an intermediate copy.
+func AppendEncode(dst []byte, t *doctree.Tree) []byte {
+	buf := append(dst, magic[:]...)
 	run := uint64(0)
 	flushRun := func() {
 		if run > 0 {
@@ -91,6 +113,30 @@ type decoder struct {
 	buf []byte
 	off int
 	run uint64 // remaining absent-run slots
+	// seen interns multi-byte atoms repeated across the snapshot, so a
+	// document of recurring tokens decodes into shared strings instead of
+	// one allocation per occurrence. Single ASCII atoms — the whole
+	// document, at character granularity — intern through the global table
+	// and never touch the map.
+	seen map[string]string
+}
+
+// atom converts decoded atom bytes to a string through the intern paths.
+func (d *decoder) atom(b []byte) string {
+	if len(b) <= 1 {
+		return intern.Bytes(b)
+	}
+	// The map lookup keyed by string(b) does not allocate; only the first
+	// occurrence of each distinct atom pays for its string.
+	if s, ok := d.seen[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.seen == nil {
+		d.seen = make(map[string]string)
+	}
+	d.seen[s] = s
+	return s
 }
 
 func (d *decoder) uvarint() (uint64, error) {
@@ -154,7 +200,7 @@ func (d *decoder) next() (doctree.ExportNode, error) {
 			if err != nil {
 				return doctree.ExportNode{}, err
 			}
-			atoms = append(atoms, string(b))
+			atoms = append(atoms, d.atom(b))
 		}
 		return doctree.ExportNode{Present: true, IsFlat: true, Flat: atoms}, nil
 	case tokNode:
@@ -198,7 +244,7 @@ func (d *decoder) next() (doctree.ExportNode, error) {
 				if err != nil {
 					return doctree.ExportNode{}, err
 				}
-				m.Atom = string(b)
+				m.Atom = d.atom(b)
 			}
 			minis = append(minis, m)
 		}
@@ -248,13 +294,19 @@ func (m Measurement) OverheadPercent() float64 {
 	return 100 * float64(m.OverheadBytes) / float64(m.AtomBytes)
 }
 
-// Measure encodes the tree and reports the size split.
+// Measure encodes the tree and reports the size split. The encoding runs
+// entirely in pooled scratch — only the sizes survive — and the atom bytes
+// are summed by streaming the live atoms rather than materialising them.
 func Measure(t *doctree.Tree) Measurement {
-	data := Encode(t)
-	m := Measurement{TotalBytes: len(data)}
-	for _, a := range t.Content() {
+	bp := encScratch.Get().(*[]byte)
+	buf := AppendEncode((*bp)[:0], t)
+	m := Measurement{TotalBytes: len(buf)}
+	*bp = buf[:0]
+	encScratch.Put(bp)
+	t.VisitLive(func(_ int, a string, _ *doctree.Mini) bool {
 		m.AtomBytes += len(a)
-	}
+		return true
+	})
 	m.OverheadBytes = m.TotalBytes - m.AtomBytes
 	return m
 }

@@ -50,6 +50,14 @@ type Trace struct {
 	Granularity Granularity `json:"granularity"`
 	Initial     []string    `json:"initial"`
 	Revisions   []Revision  `json:"revisions"`
+
+	// summary memoises Summarize: traces are immutable once built, and the
+	// replay harness summarises the same trace once per replica flavour —
+	// without the memo the summary replay dwarfs the replica being measured
+	// in the benchmark profiles.
+	summary     Summary
+	summaryErr  error
+	summaryDone bool
 }
 
 // Summary are the workload statistics reported in Table 2.
@@ -64,8 +72,19 @@ type Summary struct {
 }
 
 // Summarize replays the trace against a plain buffer and reports its
-// statistics.
+// statistics. The result is computed once and memoised; callers must not
+// mutate the trace after the first call (loaded and generated traces never
+// are). Not safe for concurrent first use.
 func (t *Trace) Summarize() (Summary, error) {
+	if t.summaryDone {
+		return t.summary, t.summaryErr
+	}
+	t.summary, t.summaryErr = t.summarize()
+	t.summaryDone = true
+	return t.summary, t.summaryErr
+}
+
+func (t *Trace) summarize() (Summary, error) {
 	s := Summary{Name: t.Name, Revisions: len(t.Revisions), InitialAtoms: len(t.Initial)}
 	doc := append([]string(nil), t.Initial...)
 	for i, rev := range t.Revisions {

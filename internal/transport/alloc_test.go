@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/causal"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// TestEncodeAllocs guards the buffer-reuse contract of the frame encoders:
+// EncodeOps builds frames in pooled scratch and hands out one exact-size
+// copy, so a batch encode costs one allocation regardless of batch size,
+// and the doc-scoped envelope adds exactly one more. These run once per
+// delivered frame on every hub and replica; append-growth creeping back in
+// here is invisible to correctness tests and only surfaces as GC pressure
+// under load.
+func TestEncodeAllocs(t *testing.T) {
+	r := newTestReplica(t, 7)
+	msgs := make([]causal.Message, 0, 64)
+	for i := 0; i < 64; i++ {
+		op := r.insertAt(t, i, "x")
+		msgs = append(msgs, causal.Message{From: 7, TS: vclock.VC{7: uint64(i + 1)}, Payload: op})
+	}
+
+	t.Run("EncodeOps", func(t *testing.T) {
+		got := testing.AllocsPerRun(100, func() {
+			if _, err := EncodeOps(msgs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 1 {
+			t.Errorf("EncodeOps(64 ops): %.1f allocs/op, want <= 1 (the exact-size result)", got)
+		}
+	})
+
+	t.Run("EncodeDocFrame", func(t *testing.T) {
+		inner, err := EncodeOps(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(100, func() {
+			if _, err := EncodeDocFrame("doc-1", inner); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 1 {
+			t.Errorf("EncodeDocFrame: %.1f allocs/op, want <= 1 (the envelope)", got)
+		}
+	})
+}

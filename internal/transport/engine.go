@@ -21,6 +21,18 @@ type Applier interface {
 	Apply(op core.Op) error
 }
 
+// BatchApplier is the optional replica interface for batched remote
+// application (the public Doc and TextBuffer both qualify): ApplyBatch
+// applies ops in order under one replica lock, returning how many applied
+// before the first failure (len(ops) and nil on success). The engine
+// prefers it on the delivery path — one lock acquisition per causally-ready
+// run instead of per op, and the replica's tree walk caches stay hot across
+// the whole batch.
+type BatchApplier interface {
+	Applier
+	ApplyBatch(ops []core.Op) (int, error)
+}
+
 // Snapshotter is the optional replica interface behind log compaction and
 // snapshot catch-up (the public Doc and TextBuffer both qualify). Snapshot
 // must capture the state and the version vector describing it atomically:
@@ -207,8 +219,9 @@ type command struct {
 type Engine struct {
 	site       ident.SiteID
 	doc        Applier
-	snap       Snapshotter // doc, when it supports snapshots; else nil
-	flat       Flattener   // doc, when it supports coordinated flatten; else nil
+	batcher    BatchApplier // doc, when it supports batched apply; else nil
+	snap       Snapshotter  // doc, when it supports snapshots; else nil
+	flat       Flattener    // doc, when it supports coordinated flatten; else nil
 	batchSize  int
 	queueDepth int
 	syncEvery  time.Duration
@@ -279,6 +292,8 @@ type Engine struct {
 	// snapAsm holds in-progress chunked-snapshot reassemblies, keyed by the
 	// sending site (snapchunk handling in flatten.go's sibling code path).
 	snapAsm map[ident.SiteID]*snapAssembly
+	// opScratch is deliverBatch's reusable op buffer (actor-owned).
+	opScratch []core.Op
 
 	// firstErr outlives the actor so Err stays truthful after Stop.
 	errMu    sync.Mutex
@@ -313,6 +328,7 @@ func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) 
 		drained:       make(chan struct{}),
 		buf:           causal.NewBuffer(site),
 	}
+	e.batcher, _ = doc.(BatchApplier)
 	e.snap, _ = doc.(Snapshotter)
 	e.flat, _ = doc.(Flattener)
 	for _, o := range opts {
@@ -759,8 +775,14 @@ func (e *Engine) ingest(m causal.Message) {
 	e.deliver(deliverable)
 }
 
-// deliver records and applies causally-ready messages.
+// deliver records and applies causally-ready messages. When the replica
+// supports batched application, the whole run goes through ApplyBatch —
+// one replica lock per run instead of per op.
 func (e *Engine) deliver(msgs []causal.Message) {
+	if e.batcher != nil && len(msgs) > 1 {
+		e.deliverBatch(msgs)
+		return
+	}
 	for _, dm := range msgs {
 		e.record(dm)
 		op, ok := dm.Payload.(core.Op)
@@ -776,6 +798,39 @@ func (e *Engine) deliver(msgs []causal.Message) {
 			e.onRemoteOpDelivered(op)
 		}
 	}
+}
+
+// deliverBatch is deliver's batched form: record every message, then apply
+// the ops through the replica's batch entry point. A failing op is
+// tolerated exactly as on the per-op path — the error is latched, the op
+// skipped, and the rest of the batch continues.
+func (e *Engine) deliverBatch(msgs []causal.Message) {
+	ops := e.opScratch[:0]
+	for _, dm := range msgs {
+		e.record(dm)
+		if op, ok := dm.Payload.(core.Op); ok {
+			ops = append(ops, op)
+		}
+	}
+	all := ops
+	for len(ops) > 0 {
+		n, err := e.batcher.ApplyBatch(ops)
+		e.applied.Add(uint64(n))
+		if e.fl != nil {
+			for _, op := range ops[:n] {
+				e.onRemoteOpDelivered(op)
+			}
+		}
+		if err == nil {
+			break
+		}
+		e.setErr(fmt.Errorf("transport: apply op from s%d: %w", ops[n].Site, err))
+		ops = ops[n+1:]
+	}
+	// Drop the op references (each pins an identifier path) but keep the
+	// grown capacity for the next delivered run.
+	clear(all)
+	e.opScratch = all[:0]
 }
 
 // gap returns how far behind clock is relative to ahead: the number of

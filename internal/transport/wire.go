@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/treedoc/treedoc/internal/causal"
 	"github.com/treedoc/treedoc/internal/core"
@@ -388,24 +389,43 @@ func DecodeMsgBody(body []byte) (causal.Message, error) {
 	return m, nil
 }
 
+// frameScratch pools the growth buffer EncodeOps serialises into: frame
+// sizes are unknown up front, so building in reused scratch and copying
+// once keeps the append-growth garbage off the batch fanout and
+// anti-entropy retransmission paths. Pooled buffers never escape — callers
+// receive an exact-size copy.
+var frameScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // EncodeOps encodes a batch of stamped operations as one kindOps frame.
-// Every message payload must be a core.Op.
+// Every message payload must be a core.Op. The returned frame is exactly
+// sized and owned by the caller.
 func EncodeOps(msgs []causal.Message) ([]byte, error) {
 	if len(msgs) > maxBatch {
 		return nil, fmt.Errorf("transport: batch of %d ops exceeds limit", len(msgs))
 	}
-	buf := []byte{kindOps}
+	bp := frameScratch.Get().(*[]byte)
+	buf := append((*bp)[:0], kindOps)
 	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
 	var err error
 	for _, m := range msgs {
 		if buf, err = appendMsg(buf, m); err != nil {
+			*bp = buf[:0]
+			frameScratch.Put(bp)
 			return nil, err
 		}
 	}
-	if len(buf) > MaxFrameSize {
-		return nil, fmt.Errorf("transport: ops frame of %d bytes exceeds limit", len(buf))
+	n := len(buf)
+	var out []byte
+	if n <= MaxFrameSize {
+		out = make([]byte, n)
+		copy(out, buf)
 	}
-	return buf, nil
+	*bp = buf[:0]
+	frameScratch.Put(bp)
+	if out == nil {
+		return nil, fmt.Errorf("transport: ops frame of %d bytes exceeds limit", n)
+	}
+	return out, nil
 }
 
 // EncodeSyncReq encodes an anti-entropy digest frame.

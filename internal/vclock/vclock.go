@@ -9,7 +9,7 @@ package vclock
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/treedoc/treedoc/internal/ident"
@@ -111,7 +111,7 @@ func (v VC) String() string {
 	for s := range v {
 		sites = append(sites, s)
 	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	slices.Sort(sites)
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, s := range sites {
@@ -129,13 +129,19 @@ func (v VC) String() string {
 // entries omitted. The same layout is shared by the transport wire
 // format, the oplog snapshot header, and the document snapshot format.
 func (v VC) AppendBinary(dst []byte) []byte {
-	sites := make([]ident.SiteID, 0, len(v))
+	// The site list lives on the stack and is sorted without sort.Slice:
+	// this encoder runs once per op in every frame and oplog record, and
+	// the slice-plus-closure pair it used to allocate was the last per-op
+	// heap cost of the encode path. Clocks bigger than the stack buffer
+	// (rare: that many sites in one document) fall back to the heap.
+	var stack [16]ident.SiteID
+	sites := stack[:0]
 	for s, n := range v {
 		if n > 0 {
 			sites = append(sites, s)
 		}
 	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	slices.Sort(sites)
 	dst = binary.AppendUvarint(dst, uint64(len(sites)))
 	for _, s := range sites {
 		dst = binary.AppendUvarint(dst, uint64(s))

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"unicode/utf8"
+
+	"github.com/treedoc/treedoc/internal/intern"
 )
 
 // ErrOutOfRange reports a splice or slice whose offsets fall outside the
@@ -82,10 +85,12 @@ func (b *TextBuffer) splice(off, delCount int, text string) ([]Op, error) {
 	}
 	var atoms []string
 	if text != "" {
-		runes := []rune(text)
-		atoms = make([]string, len(runes))
-		for i, r := range runes {
-			atoms[i] = string(r)
+		// One interned string per rune: ASCII atoms share the intern table,
+		// so typing costs no per-character heap allocation, and the rune
+		// count is taken without materialising a []rune copy of the text.
+		atoms = make([]string, 0, utf8.RuneCountInString(text))
+		for _, r := range text {
+			atoms = append(atoms, intern.Rune(r))
 		}
 	}
 	return b.doc.spliceOps(off, delCount, atoms)
@@ -129,7 +134,19 @@ func (b *TextBuffer) ApplyAll(ops []Op) error {
 	return nil
 }
 
-// Slice returns the text of the rune range [from, to).
+// ApplyBatch replays remote operations in order under one lock, returning
+// how many applied before the first failure (see Doc.ApplyBatch); the
+// replication engine prefers it over per-op Apply.
+func (b *TextBuffer) ApplyBatch(ops []Op) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doc.ApplyBatch(ops)
+}
+
+// Slice returns the text of the rune range [from, to). It streams the
+// range in one in-order tree walk (O(height + to - from)); looking each
+// atom up by index would re-descend from the root per rune and make long
+// slices quadratic.
 func (b *TextBuffer) Slice(from, to int) (string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -138,12 +155,12 @@ func (b *TextBuffer) Slice(from, to int) (string, error) {
 		return "", fmt.Errorf("treedoc: slice [%d,%d) outside [0,%d]: %w", from, to, n, ErrOutOfRange)
 	}
 	var sb strings.Builder
-	for i := from; i < to; i++ {
-		a, err := b.doc.AtomAt(i)
-		if err != nil {
-			return "", err
-		}
+	sb.Grow(to - from) // at least one byte per atom
+	if err := b.doc.VisitRange(from, to, func(a string) bool {
 		sb.WriteString(a)
+		return true
+	}); err != nil {
+		return "", err
 	}
 	return sb.String(), nil
 }

@@ -188,6 +188,17 @@ func (d *Doc) AtomAt(i int) (string, error) {
 	return d.doc.AtomAt(i)
 }
 
+// VisitRange calls fn for each atom of the index range [from, to) in
+// document order, under one lock and one tree walk — O(height + to - from),
+// where per-index AtomAt calls would descend from the root each time.
+// Iteration stops early if fn returns false. fn must not call back into
+// the Doc.
+func (d *Doc) VisitRange(from, to int, fn func(atom string) bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doc.VisitRange(from, to, fn)
+}
+
 // InsertAt inserts atom at index i (0 ≤ i ≤ Len) and returns the operation
 // to broadcast to other replicas. While a flatten commitment vote has the
 // target region locked it fails with an error wrapping ErrRegionLocked;
@@ -263,6 +274,22 @@ func (d *Doc) ApplyAll(ops []Op) error {
 		}
 	}
 	return nil
+}
+
+// ApplyBatch replays remote operations in order under one lock, returning
+// how many applied before the first failure (len(ops) and nil on success).
+// The replication engine prefers it over per-op Apply: one lock acquisition
+// per delivered frame, and the document's walk caches stay hot across the
+// whole batch instead of being re-primed per call.
+func (d *Doc) ApplyBatch(ops []Op) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, op := range ops {
+		if err := d.doc.Apply(op); err != nil {
+			return i, err
+		}
+	}
+	return len(ops), nil
 }
 
 // EndRevision marks the end of an edit session, driving the flatten
@@ -502,7 +529,9 @@ func (d *Doc) marshalLocked() []byte {
 	buf = binary.AppendUvarint(buf, uint64(d.doc.Counter()))
 	buf = append(buf, byte(d.doc.Config().Mode))
 	buf = d.doc.Version().AppendBinary(buf)
-	return append(buf, storage.Encode(d.doc.Tree())...)
+	// Appending the tree directly avoids encoding it into a separate
+	// buffer and copying it over.
+	return storage.AppendEncode(buf, d.doc.Tree())
 }
 
 // Snapshot captures the replica state and the version vector describing
