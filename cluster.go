@@ -91,7 +91,7 @@ func NewCluster(sites int, opts ...ClusterOption) (*Cluster, error) {
 	}
 	c, err := cluster.New(cc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("treedoc: new cluster: %w", err)
 	}
 	return &Cluster{c: c}, nil
 }

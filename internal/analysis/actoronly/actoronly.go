@@ -1,0 +1,223 @@
+// Package actoronly checks that struct fields annotated "actor-owned" are
+// only touched from the actor goroutine's call tree.
+//
+// Field annotation (doc or trailing comment):
+//
+//	buf *causal.Buffer // actor-owned
+//
+// Function directives:
+//
+//	//treedoc:actorloop   the actor goroutine's run loop; the root of the
+//	                      allowed call tree
+//	//treedoc:actorsafe   runs before the actor starts (constructors,
+//	                      recovery) or under an external happens-before
+//	//treedoc:actorexec   function literals passed as arguments execute on
+//	                      the actor (Engine.ctl)
+//
+// The allowed set is the static same-package call tree of actorloop and
+// actorsafe functions, plus closures passed to actorexec functions, plus
+// closures nested in allowed code — except a closure launched by a go
+// statement, which is a new goroutine and must re-earn access. A field
+// access anywhere else is reported.
+//
+// Deliberately not proven: that an allowed helper isn't *also* called
+// from a non-actor goroutine (the analyzer whitelists the function, not
+// the call site), and calls through function values or interfaces. Those
+// stay with the race detector; this analyzer makes the cheap mistake —
+// reading engine state from an RPC or test hook without ctl — fail vet.
+package actoronly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/treedoc/treedoc/internal/analysis"
+)
+
+// Analyzer is the actoronly check.
+var Analyzer = &analysis.Analyzer{
+	Name: "actoronly",
+	Doc:  "check that fields commented \"actor-owned\" are touched only from the actor loop's call tree",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	owned := collectOwned(pass)
+	if len(owned) == 0 {
+		return nil
+	}
+
+	c := &checker{
+		pass:        pass,
+		owned:       owned,
+		decls:       make(map[*types.Func]*ast.FuncDecl),
+		allowedDecl: make(map[*ast.FuncDecl]bool),
+		actorExec:   make(map[*types.Func]bool),
+		actorLit:    make(map[*ast.FuncLit]bool),
+	}
+	var funcs []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			funcs = append(funcs, fn)
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj != nil {
+				c.decls[obj] = fn
+			}
+			if _, ok := analysis.Directive(fn.Doc, "actorloop"); ok {
+				c.allowedDecl[fn] = true
+			}
+			if _, ok := analysis.Directive(fn.Doc, "actorsafe"); ok {
+				c.allowedDecl[fn] = true
+			}
+			if obj != nil {
+				if _, ok := analysis.Directive(fn.Doc, "actorexec"); ok {
+					c.actorExec[obj] = true
+				}
+			}
+		}
+	}
+
+	// Fixpoint: grow the allowed set until no walk discovers a new
+	// allowed function or closure. Both sets only ever grow, so this
+	// terminates.
+	for {
+		c.changed = false
+		for _, fn := range funcs {
+			c.walk(fn.Body, c.allowedDecl[fn], false)
+		}
+		if !c.changed {
+			break
+		}
+	}
+
+	c.reporting = true
+	for _, fn := range funcs {
+		c.walk(fn.Body, c.allowedDecl[fn], false)
+	}
+	return nil
+}
+
+func collectOwned(pass *analysis.Pass) map[*types.Var]bool {
+	owned := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, ok := analysis.FieldAnnotation(field, "actor-owned"); !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						owned[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owned
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	owned map[*types.Var]bool
+	decls map[*types.Func]*ast.FuncDecl
+	// allowedDecl marks functions in the actor/actorsafe call tree;
+	// actorLit marks closures that execute on the actor.
+	allowedDecl map[*ast.FuncDecl]bool
+	actorExec   map[*types.Func]bool
+	actorLit    map[*ast.FuncLit]bool
+	changed     bool
+	reporting   bool
+}
+
+// walk visits n with `allowed` saying whether this syntactic context runs
+// on the actor (or is actorsafe). goCall marks the callee position of a
+// go statement, where a call edge does not extend the allowed tree.
+func (c *checker) walk(n ast.Node, allowed, goCall bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		// The spawned goroutine is not the actor; argument expressions
+		// still evaluate here.
+		c.walk(n.Call.Fun, allowed, true)
+		for _, arg := range n.Call.Args {
+			c.walk(arg, allowed, false)
+		}
+		return
+	case *ast.FuncLit:
+		litAllowed := c.actorLit[n] || (allowed && !goCall)
+		if litAllowed && !c.actorLit[n] {
+			c.actorLit[n] = true
+			c.changed = true
+		}
+		c.walk(n.Body, litAllowed, false)
+		return
+	case *ast.CallExpr:
+		callee := c.callee(n)
+		if callee != nil {
+			if c.actorExec[callee] {
+				// Closures handed to ctl-style dispatchers run on the
+				// actor no matter who queues them.
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok && !c.actorLit[lit] {
+						c.actorLit[lit] = true
+						c.changed = true
+					}
+				}
+			}
+			if allowed && !goCall {
+				if d, ok := c.decls[callee]; ok && !c.allowedDecl[d] {
+					c.allowedDecl[d] = true
+					c.changed = true
+				}
+			}
+		}
+		c.walk(n.Fun, allowed, goCall)
+		for _, arg := range n.Args {
+			c.walk(arg, allowed, false)
+		}
+		return
+	case *ast.SelectorExpr:
+		if c.reporting && !allowed {
+			if sel := c.pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && c.owned[v] {
+					c.pass.Reportf(n.Sel.Pos(),
+						"actor-owned field %s touched outside the actor call tree (dispatch via ctl, or mark the path //treedoc:actorsafe)", v.Name())
+				}
+			}
+		}
+		c.walk(n.X, allowed, false)
+		return
+	}
+	// Generic traversal for everything else: recurse one level, keeping
+	// the context flags.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n || child == nil {
+			return child == n
+		}
+		c.walk(child, allowed, false)
+		return false
+	})
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

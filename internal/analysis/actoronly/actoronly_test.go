@@ -1,0 +1,15 @@
+package actoronly_test
+
+import (
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/analysis/actoronly"
+	"github.com/treedoc/treedoc/internal/analysis/analysistest"
+)
+
+func TestActorOnly(t *testing.T) {
+	diags := analysistest.Run(t, actoronly.Analyzer, "testdata/src/a")
+	if len(diags) == 0 {
+		t.Fatal("positive fixture produced no diagnostics; actor-owned handling is not running")
+	}
+}

@@ -1,0 +1,156 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against // want "regex" comments in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// in-repo analysis framework.
+//
+// A fixture directory is one package. A line expecting diagnostics
+// carries a trailing comment:
+//
+//	h.conns["x"] = c // want `access to conns without holding mu`
+//
+// Each want pattern must be matched by a diagnostic reported on that
+// file and line, and every diagnostic must be claimed by a want — any
+// mismatch in either direction fails the test. Fixtures with their own
+// go.mod (the noalloc suite, which shells out to the compiler) are
+// treated as standalone modules; plain fixture directories type-check
+// against the enclosing repo's module.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies the analyzer to the package in dir and reports any
+// divergence from the fixture's want comments. It returns the
+// diagnostics for tests that assert beyond positions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, importPath := fixtureModule(t, abs)
+
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(abs, importPath, modRoot)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	expects := collectWants(t, pkg)
+	for i := range diags {
+		d := &diags[i]
+		claimed := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+	return diags
+}
+
+// fixtureModule decides the module context: a go.mod in the fixture makes
+// it standalone; otherwise the enclosing repo's module root is used.
+func fixtureModule(t *testing.T, abs string) (modRoot, importPath string) {
+	t.Helper()
+	if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+		return abs, "fixture.example/" + filepath.Base(abs)
+	}
+	dir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, "fixture.example/" + filepath.Base(abs)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above fixture %s", abs)
+		}
+		dir = parent
+	}
+}
+
+var wantRE = regexp.MustCompile("want\\s+((?:[`\"](?:[^`\"]|\\\\.)*[`\"]\\s*)+)")
+var patRE = regexp.MustCompile("[`\"]((?:[^`\"]|\\\\.)*)[`\"]")
+
+// collectWants extracts // want expectations from every fixture file,
+// non-test and test alike.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+	files = append(files, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") {
+					continue
+				}
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					t.Fatalf("malformed want comment: %s", c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pm[1], err)
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  pm[1],
+					})
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// Position formats a token.Position relative to dir, for failure output.
+func Position(dir string, pos token.Position) string {
+	rel, err := filepath.Rel(dir, pos.Filename)
+	if err != nil {
+		rel = pos.Filename
+	}
+	return fmt.Sprintf("%s:%d:%d", rel, pos.Line, pos.Column)
+}

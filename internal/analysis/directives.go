@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive looks for a "//treedoc:<name>" line in a comment group and
+// returns the rest of that line (trimmed) plus whether it was found.
+// Directives follow the compiler's own convention: no space after "//",
+// so "// treedoc:noalloc" is prose, not a directive.
+func Directive(cg *ast.CommentGroup, name string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	prefix := "//treedoc:" + name
+	for _, c := range cg.List {
+		text := c.Text
+		if !strings.HasPrefix(text, prefix) {
+			continue
+		}
+		rest := text[len(prefix):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // longer directive name, e.g. noallocfoo
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// FieldAnnotation scans a struct field's doc and trailing comments for a
+// marker phrase ("guarded by", "actor-owned") and returns the first word
+// following it, if any. Matching is case-insensitive on the phrase so the
+// existing "Guarded by mu." comments in the tree count.
+func FieldAnnotation(field *ast.Field, phrase string) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		idx := strings.Index(strings.ToLower(text), strings.ToLower(phrase))
+		if idx < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(text[idx+len(phrase):])
+		// First token after the phrase, stripped of sentence punctuation.
+		word := rest
+		if i := strings.IndexAny(word, " \t\n"); i >= 0 {
+			word = word[:i]
+		}
+		word = strings.TrimRight(word, ".,;:)")
+		return word, true
+	}
+	return "", false
+}

@@ -1,0 +1,240 @@
+// Package errwrap checks that exported functions don't leak another
+// internal package's errors bare. An error produced by a call into a
+// different internal/* package must be wrapped (fmt.Errorf with %w, or
+// any transforming expression) or be an exported Err* sentinel before it
+// crosses an exported signature — otherwise callers start matching on
+// sub-package error strings and the internal layering leaks into the API.
+//
+// Two deliberate exemptions:
+//
+//   - A function whose whole body is a single return statement is a
+//     delegation facade (the root package's transport.go); the wrapping
+//     obligation sits on the internal function it forwards to, which this
+//     analyzer checks in its own package.
+//   - Identifiers resolving to package-level Err* variables are exported
+//     sentinels; returning them bare is the API contract, not a leak.
+//
+// The trace is intentionally shallow: a returned identifier is flagged if
+// the last assignment to it before the return (in source-position order,
+// which stands in for control flow in straight-line error handling) is a
+// direct call into a foreign internal package. Re-assigning the same err
+// variable from a local call or expression clears the taint, so Go's
+// conventional err reuse doesn't produce cascading false positives.
+// Errors laundered through struct fields, channels, or function values
+// are not tracked — the analyzer aims at the dominant
+// "err := internalpkg.F(); return err" shape, not full dataflow.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "check that exported functions wrap errors from other internal packages",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !ast.IsExported(fn.Name.Name) {
+				continue
+			}
+			if !returnsError(pass, fn) {
+				continue
+			}
+			// Whole-body delegation facade: pass-through by design.
+			if len(fn.Body.List) == 1 {
+				if _, ok := fn.Body.List[0].(*ast.ReturnStmt); ok {
+					continue
+				}
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func returnsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && types.Identical(t, errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	taint := collectTaints(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// Returns inside closures are not this function's results.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			switch e := ast.Unparen(res).(type) {
+			case *ast.CallExpr:
+				if pkg := foreignInternalCallee(pass, e); pkg != "" && yieldsError(pass, e) {
+					pass.Reportf(res.Pos(),
+						"exported %s returns unwrapped error from %s; wrap it or return an exported sentinel", fn.Name.Name, pkg)
+				}
+			case *ast.Ident:
+				if t := pass.TypesInfo.TypeOf(e); t == nil || !types.Identical(t, errorType) {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[e]
+				if obj == nil || isSentinel(obj) {
+					continue
+				}
+				if pkg := taintedAt(taint[obj], ret.Pos()); pkg != "" {
+					pass.Reportf(res.Pos(),
+						"exported %s returns unwrapped error from %s; wrap it or return an exported sentinel", fn.Name.Name, pkg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintEvent records one assignment to an error variable: the position of
+// the assignment, and the foreign internal package it came from ("" for a
+// clean assignment, which kills any earlier taint).
+type taintEvent struct {
+	pos token.Pos
+	pkg string
+}
+
+// taintedAt returns the tainting package in effect at position pos — the
+// pkg of the latest assignment event before pos, or "" if that event is
+// clean or no assignment precedes pos.
+func taintedAt(events []taintEvent, pos token.Pos) string {
+	pkg := ""
+	var at token.Pos
+	for _, e := range events {
+		if e.pos < pos && e.pos >= at {
+			at, pkg = e.pos, e.pkg
+		}
+	}
+	return pkg
+}
+
+// collectTaints maps local error variables to their assignment history:
+// which assignments came from a call into a foreign internal package and
+// which re-assignments cleared that.
+func collectTaints(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object][]taintEvent {
+	taint := make(map[types.Object][]taintEvent)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		record := func(lhs ast.Expr, pkg string) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if t := obj.Type(); t != nil && types.Identical(t, errorType) {
+				taint[obj] = append(taint[obj], taintEvent{pos: id.Pos(), pkg: pkg})
+			}
+		}
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			pkg := ""
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				pkg = foreignInternalCallee(pass, call)
+			}
+			for _, lhs := range as.Lhs {
+				record(lhs, pkg)
+			}
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			pkg := ""
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				pkg = foreignInternalCallee(pass, call)
+			}
+			record(as.Lhs[i], pkg)
+		}
+		return true
+	})
+	return taint
+}
+
+// foreignInternalCallee returns the callee's package path when the call
+// statically resolves to a function in a different internal/* package.
+func foreignInternalCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg() == pass.Pkg {
+		return ""
+	}
+	path := f.Pkg().Path()
+	if strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/") {
+		return path
+	}
+	return ""
+}
+
+// yieldsError reports whether the call has an error among its results.
+func yieldsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// isSentinel reports whether obj is a package-level Err* variable — an
+// exported (or exportable) sentinel callers are meant to compare against.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return strings.HasPrefix(v.Name(), "Err")
+}

@@ -1,0 +1,15 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/analysis/analysistest"
+	"github.com/treedoc/treedoc/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	diags := analysistest.Run(t, errwrap.Analyzer, "testdata/src/a")
+	if len(diags) == 0 {
+		t.Fatal("positive fixture produced no diagnostics; boundary checks are not running")
+	}
+}

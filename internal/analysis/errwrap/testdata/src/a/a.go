@@ -1,0 +1,77 @@
+// Package a exercises the errwrap analyzer: exported functions leaking
+// another internal package's errors bare, against the wrapped, sentinel,
+// delegation, and taint-clearing shapes that are allowed.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/treedoc/treedoc/internal/ident"
+	"github.com/treedoc/treedoc/internal/vclock"
+)
+
+// ErrBad is an exported sentinel; returning it bare is the contract.
+var ErrBad = errors.New("a: bad")
+
+// Bare leaks the vclock error to callers unwrapped.
+func Bare(data []byte) error {
+	_, _, err := vclock.DecodeBinary(data, -1)
+	return err // want `exported Bare returns unwrapped error from github.com/treedoc/treedoc/internal/vclock; wrap it or return an exported sentinel`
+}
+
+// DirectLeak returns a foreign internal call's error straight through.
+func DirectLeak(p ident.Path) error {
+	if len(p) == 0 {
+		return nil
+	}
+	return p.ValidateStructural() // want `exported DirectLeak returns unwrapped error from github.com/treedoc/treedoc/internal/ident; wrap it or return an exported sentinel`
+}
+
+// Wrapped adds this package's context before the error escapes.
+func Wrapped(data []byte) error {
+	_, _, err := vclock.DecodeBinary(data, -1)
+	if err != nil {
+		return fmt.Errorf("a: decode: %w", err)
+	}
+	return nil
+}
+
+// Delegate is a whole-body delegation facade: the wrapping obligation
+// sits on the callee, checked in its own package.
+func Delegate(p ident.Path) error {
+	return p.ValidateStructural()
+}
+
+// Sentinel returns an exported Err* variable bare: the API contract.
+func Sentinel(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return ErrBad
+}
+
+// Killed re-assigns err from a local call after handling the foreign
+// error, which clears the taint.
+func Killed(data []byte) error {
+	_, _, err := vclock.DecodeBinary(data, -1)
+	if err != nil {
+		return fmt.Errorf("a: decode: %w", err)
+	}
+	err = localCheck(data)
+	return err
+}
+
+// bare is unexported, so its callers inside this package carry the
+// wrapping obligation instead.
+func bare(data []byte) error {
+	_, _, err := vclock.DecodeBinary(data, -1)
+	return err
+}
+
+func localCheck(data []byte) error {
+	if len(data) > 1<<20 {
+		return ErrBad
+	}
+	return nil
+}

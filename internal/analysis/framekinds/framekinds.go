@@ -1,0 +1,173 @@
+// Package framekinds checks that every wire-frame kind constant is fully
+// wired: referenced by an encode function, handled on the decode side,
+// and exercised by at least one fuzz target. A frame that can be encoded
+// but not decoded (or vice versa), or that ships without fuzz coverage of
+// its decoder, is the PR 5 failure class this analyzer exists to block.
+//
+// The contract is inferred from naming conventions rather than
+// annotations, because the wire package already follows them strictly:
+//
+//   - kind constants: package-level consts matching ^kind[A-Z]
+//   - encode side: functions whose lowercased name starts with "encode"
+//   - decode side: functions whose lowercased name starts with "decode"
+//     or "split" (the envelope splitters DecodeFrame delegates to)
+//   - fuzz targets: Fuzz* functions in the package's _test.go files; a
+//     kind counts as fuzzed if the target mentions the constant itself
+//     or calls one of the encode functions that emits it
+//
+// Test files are matched syntactically (they are not type-checked), so a
+// fuzz target in package transport_test would count too.
+package framekinds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/analysis"
+)
+
+// Analyzer is the framekinds check.
+var Analyzer = &analysis.Analyzer{
+	Name: "framekinds",
+	Doc:  "check that every kind* wire constant is encoded, decoded, and covered by a fuzz target",
+	Run:  run,
+}
+
+type kindInfo struct {
+	name     string
+	pos      token.Pos
+	encoders map[string]bool // encode functions referencing this kind
+	decoded  bool
+	fuzzed   bool
+}
+
+func run(pass *analysis.Pass) error {
+	// Kind constants, in declaration order.
+	var kinds []*kindInfo
+	byObj := make(map[types.Object]*kindInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					if !isKindName(name.Name) {
+						continue
+					}
+					k := &kindInfo{
+						name:     name.Name,
+						pos:      name.Pos(),
+						encoders: make(map[string]bool),
+					}
+					kinds = append(kinds, k)
+					byObj[pass.TypesInfo.Defs[name]] = k
+				}
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+
+	// Attribute each use of a kind constant to its enclosing function.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lower := strings.ToLower(fn.Name.Name)
+			isEnc := strings.HasPrefix(lower, "encode")
+			isDec := strings.HasPrefix(lower, "decode") || strings.HasPrefix(lower, "split")
+			if !isEnc && !isDec {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				k := byObj[pass.TypesInfo.Uses[id]]
+				if k == nil {
+					return true
+				}
+				if isEnc {
+					k.encoders[fn.Name.Name] = true
+				}
+				if isDec {
+					k.decoded = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Fuzz coverage: syntactic scan of Fuzz* bodies in test files.
+	for _, file := range pass.TestFiles {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !strings.HasPrefix(fn.Name.Name, "Fuzz") {
+				continue
+			}
+			mentioned := make(map[string]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					mentioned[id.Name] = true
+				}
+				return true
+			})
+			for _, k := range kinds {
+				if k.fuzzed || mentioned[k.name] {
+					k.fuzzed = true
+					continue
+				}
+				for enc := range k.encoders {
+					if mentioned[enc] {
+						k.fuzzed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for _, k := range kinds {
+		if len(k.encoders) == 0 {
+			pass.Reportf(k.pos, "%s is not referenced by any encode function", k.name)
+		}
+		if !k.decoded {
+			pass.Reportf(k.pos, "%s is not handled by any decode function", k.name)
+		}
+		if !k.fuzzed {
+			pass.Reportf(k.pos, "%s is not exercised by any fuzz target (reference %s or one of %s in a Fuzz function)",
+				k.name, k.name, encoderList(k))
+		}
+	}
+	return nil
+}
+
+func isKindName(name string) bool {
+	if !strings.HasPrefix(name, "kind") || len(name) == len("kind") {
+		return false
+	}
+	c := name[len("kind")]
+	return c >= 'A' && c <= 'Z'
+}
+
+func encoderList(k *kindInfo) string {
+	if len(k.encoders) == 0 {
+		return "its encoder"
+	}
+	names := make([]string, 0, len(k.encoders))
+	for enc := range k.encoders {
+		names = append(names, enc)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

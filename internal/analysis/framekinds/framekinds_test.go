@@ -1,0 +1,15 @@
+package framekinds_test
+
+import (
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/analysis/analysistest"
+	"github.com/treedoc/treedoc/internal/analysis/framekinds"
+)
+
+func TestFrameKinds(t *testing.T) {
+	diags := analysistest.Run(t, framekinds.Analyzer, "testdata/src/a")
+	if len(diags) == 0 {
+		t.Fatal("positive fixture produced no diagnostics; kind wiring checks are not running")
+	}
+}

@@ -1,0 +1,30 @@
+// Package a models a miniature wire protocol for the framekinds
+// analyzer: one fully wired kind, one kind missing fuzz coverage, and
+// one orphan missing everything.
+package a
+
+const (
+	kindPing   = 0x01
+	kindPong   = 0x02 // want `kindPong is not exercised by any fuzz target \(reference kindPong or one of EncodePong in a Fuzz function\)`
+	kindOrphan = 0x03 // want `kindOrphan is not referenced by any encode function` `kindOrphan is not handled by any decode function` `kindOrphan is not exercised by any fuzz target \(reference kindOrphan or one of its encoder in a Fuzz function\)`
+)
+
+// EncodePing frames an empty ping.
+func EncodePing() []byte { return []byte{kindPing} }
+
+// EncodePong frames an empty pong.
+func EncodePong() []byte { return []byte{kindPong} }
+
+// DecodeFrame dispatches on the kind byte.
+func DecodeFrame(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	switch b[0] {
+	case kindPing:
+		return kindPing
+	case kindPong:
+		return kindPong
+	}
+	return 0
+}

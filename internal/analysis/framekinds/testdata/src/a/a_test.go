@@ -1,0 +1,12 @@
+package a
+
+import "testing"
+
+// FuzzPing covers kindPing by calling its encoder; kindPong is
+// deliberately left out so the analyzer flags it.
+func FuzzPing(f *testing.F) {
+	f.Add(EncodePing())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeFrame(b)
+	})
+}

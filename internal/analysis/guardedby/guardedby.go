@@ -1,0 +1,381 @@
+// Package guardedby checks that struct fields annotated "guarded by <mu>"
+// are only accessed while that mutex is held on the syntactic path.
+//
+// The annotation lives in the field's doc or trailing comment:
+//
+//	conns map[string]*conn // guarded by mu
+//
+// and names a mutex by its final identifier ("mu" matches h.mu.Lock(),
+// s.mu.Lock(), or a plain mu.Lock()). The check is flow-insensitive
+// across calls and name-based across instances: it proves "every access
+// sits under a Lock/RLock of a mutex with that name in the same function,
+// or in a function that declares //treedoc:holds <mu>", not that the
+// runtime lock instance is the right one. Aliased mutexes, locks taken in
+// a caller without the holds directive, and cross-goroutine handoffs are
+// out of scope — the race detector owns those; this analyzer catches the
+// plain forgotten-lock edit cheaply and deterministically.
+//
+// Function-level directives:
+//
+//	//treedoc:holds mu        caller guarantees mu is held on entry
+//	//treedoc:unguarded why   pre-publication/externally-synchronized code
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/treedoc/treedoc/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields commented \"guarded by <mu>\" are accessed with the mutex held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guarded: guarded}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, skip := analysis.Directive(fn.Doc, "unguarded"); skip {
+				continue
+			}
+			held := make(lockSet)
+			if names, ok := analysis.Directive(fn.Doc, "holds"); ok {
+				for _, name := range strings.Fields(names) {
+					held[lastName(name)] = true
+				}
+			}
+			c.block(fn.Body, held)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated field object to the bare name of its
+// guarding mutex ("hub.mu" and "mu" both normalize to "mu").
+func collectGuarded(pass *analysis.Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := analysis.FieldAnnotation(field, "guarded by")
+				if !ok || mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = lastName(mu)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// lockSet is the set of mutex names held at a program point.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect drops names not held in o.
+func (s lockSet) intersect(o lockSet) {
+	for k := range s {
+		if !o[k] {
+			delete(s, k)
+		}
+	}
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[*types.Var]string
+}
+
+// block walks statements in order, threading lock acquire/release effects
+// through held.
+func (c *checker) block(b *ast.BlockStmt, held lockSet) {
+	for _, s := range b.List {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s, held)
+	case *ast.ExprStmt:
+		if mu, op, ok := lockCall(s.X); ok {
+			// Check the call's own subexpressions first (the receiver
+			// chain is never a guarded field access), then apply.
+			if op == acquire {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at function exit, so it does not
+		// change what is held on the remaining path. Deferred closures
+		// are checked against the current set: in this codebase they run
+		// while the function's locks are still pending release.
+		if _, _, ok := lockCall(s.Call); ok {
+			return
+		}
+		c.expr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: whatever is held here is not
+		// held there.
+		for _, arg := range s.Call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				c.block(lit.Body, make(lockSet))
+			} else {
+				c.expr(arg, held)
+			}
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.block(lit.Body, make(lockSet))
+		} else {
+			c.expr(s.Call.Fun, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		thenHeld := held.clone()
+		c.block(s.Body, thenHeld)
+		elseHeld := held.clone()
+		if s.Else != nil {
+			c.stmt(s.Else, elseHeld)
+		}
+		// Fall-through state: the intersection of the exit states of the
+		// branches that can fall through — a branch that terminates
+		// (returns, breaks, panics) contributes nothing, and with no else
+		// the implicit branch falls through with the entry state. A lock
+		// acquired on every falling-through path is held afterwards.
+		var states []lockSet
+		if !terminates(s.Body) {
+			states = append(states, thenHeld)
+		}
+		if s.Else == nil || !stmtTerminates(s.Else) {
+			states = append(states, elseHeld)
+		}
+		if len(states) > 0 {
+			merged := states[0]
+			for _, st := range states[1:] {
+				merged.intersect(st)
+			}
+			for mu := range held {
+				if !merged[mu] {
+					delete(held, mu)
+				}
+			}
+			for mu := range merged {
+				held[mu] = true
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, held)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, held.clone())
+		}
+		c.block(s.Body, held.clone())
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		c.block(s.Body, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			branch := held.clone()
+			for _, e := range cc.List {
+				c.expr(e, branch)
+			}
+			for _, st := range cc.Body {
+				c.stmt(st, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.stmt(s.Assign, held)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			branch := held.clone()
+			for _, st := range cc.Body {
+				c.stmt(st, branch)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			branch := held.clone()
+			if cc.Comm != nil {
+				c.stmt(cc.Comm, branch)
+			}
+			for _, st := range cc.Body {
+				c.stmt(st, branch)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+	case *ast.SendStmt:
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// expr reports guarded-field selections reached without their mutex.
+// Closures encountered here inherit the current lock set: the dominant
+// patterns are immediate invocation and callbacks run under the caller's
+// lock (publishShards-style); a closure stashed for later concurrent use
+// must be caught by review or the race detector.
+func (c *checker) expr(e ast.Expr, held lockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.block(n.Body, held.clone())
+			return false
+		case *ast.SelectorExpr:
+			sel := c.pass.TypesInfo.Selections[n]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if mu, guarded := c.guarded[v]; guarded && !held[mu] {
+				c.pass.Reportf(n.Sel.Pos(), "access to %s without holding %s", v.Name(), mu)
+			}
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	acquire lockOp = iota
+	release
+)
+
+// lockCall recognizes <expr>.Lock/RLock/Unlock/RUnlock() and returns the
+// bare name of the mutex expression.
+func lockCall(e ast.Expr) (mu string, op lockOp, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = acquire
+	case "Unlock", "RUnlock":
+		op = release
+	default:
+		return "", 0, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return x.Name, op, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, op, true
+	}
+	return "", 0, false
+}
+
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+// stmtTerminates reports whether control cannot fall out of s — enough
+// precision for merging if/else lock states.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	}
+	return false
+}
+
+func lastName(dotted string) string {
+	if i := strings.LastIndexByte(dotted, '.'); i >= 0 {
+		return dotted[i+1:]
+	}
+	return dotted
+}

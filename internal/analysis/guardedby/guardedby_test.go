@@ -1,0 +1,20 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"github.com/treedoc/treedoc/internal/analysis/analysistest"
+	"github.com/treedoc/treedoc/internal/analysis/guardedby"
+)
+
+// TestGuardedBy checks the fixture's want expectations in both
+// directions. The explicit non-empty assertion makes the suite
+// load-bearing: deleting the "guarded by" annotation handling from the
+// analyzer would silence every diagnostic and fail here, not just
+// quietly stop vetting the repo.
+func TestGuardedBy(t *testing.T) {
+	diags := analysistest.Run(t, guardedby.Analyzer, "testdata/src/a")
+	if len(diags) == 0 {
+		t.Fatal("positive fixture produced no diagnostics; guarded-by handling is not running")
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one directory of Go source, parsed and type-checked, ready
+// to hand to analyzers.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	// Dir is the package directory; ImportPath the path used to
+	// type-check it; ModRoot the module root that go-build-driven
+	// analyzers use as their working directory.
+	Dir        string
+	ImportPath string
+	ModRoot    string
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet and
+// a source importer across every Load call, so dependencies type-checked
+// for one package (internal/transport pulls in ident, vclock, core, ...)
+// are reused by the next.
+//
+// Imports resolve through the standard library's source importer, which
+// locates module dependencies relative to the process working directory —
+// so the process must be running inside the module being analyzed.
+// treedoc-vet enforces that at startup.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Fset exposes the shared FileSet (fixture runners resolve expectation
+// positions against it).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses every .go file in dir and type-checks the non-test files as
+// importPath. Test files (*_test.go, both in-package and external) are
+// parsed but not type-checked: they land in Package.TestFiles for
+// analyzers that only need their syntax. Subdirectories are not visited.
+func (l *Loader) Load(dir, importPath, modRoot string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		Fset:       l.fset,
+		Dir:        dir,
+		ImportPath: importPath,
+		ModRoot:    modRoot,
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,3 @@
+module fixture.example/perrune
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package perrune re-creates the per-rune heap-string bug the intern
+// table was built to kill: converting each typed rune with string(r)
+// allocates once per keystroke. The noalloc annotation must catch the
+// conversion, and the waived fallback must stay silent.
+package perrune
+
+var ascii [128]string
+
+func init() {
+	for i := range ascii {
+		ascii[i] = string(rune(i))
+	}
+}
+
+// Atom interns ASCII runes but falls back to a fresh conversion — the
+// allocation this fixture exists to catch.
+//
+//treedoc:noalloc
+func Atom(r rune) string {
+	if r >= 0 && r < 128 {
+		return ascii[r]
+	}
+	return string(r) // want `Atom is //treedoc:noalloc but string\(r\) escapes to heap \(add //treedoc:escape <reason> if intended\)`
+}
+
+// Waived makes the same conversion but declares it: the line-scoped
+// waiver keeps the analyzer silent.
+//
+//treedoc:noalloc
+func Waived(r rune) string {
+	return string(r) //treedoc:escape the fallback conversion is the contract here
+}
+
+// Clean allocates nothing; the annotation holds without help.
+//
+//treedoc:noalloc
+func Clean(r rune) bool {
+	return r < 128
+}

@@ -1,0 +1,3 @@
+module fixture.example/pooled
+
+go 1.22

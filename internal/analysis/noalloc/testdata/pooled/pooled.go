@@ -1,0 +1,27 @@
+// Package pooled contrasts the pooled append-style encoder the hot path
+// requires with the un-pooled variant that allocates a fresh buffer per
+// call: the noalloc annotation must reject the latter.
+package pooled
+
+import "encoding/binary"
+
+// AppendEncode appends the encoding to a caller-managed buffer; no heap
+// allocation of its own.
+//
+//treedoc:noalloc
+func AppendEncode(dst []byte, vals []uint64) []byte {
+	for _, v := range vals {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	return dst
+}
+
+// Encode is the un-pooled variant: the fresh result buffer escapes.
+//
+//treedoc:noalloc
+func Encode(vals []uint64) []byte {
+	out := make([]byte, 0, binary.MaxVarintLen64*len(vals)) // want `Encode is //treedoc:noalloc but make\(.*\) escapes to heap`
+	return AppendEncode(out, vals)
+}

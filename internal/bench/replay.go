@@ -99,7 +99,7 @@ func ReplayTreedoc(tr *trace.Trace, rc ReplayConfig) (*Result, error) {
 	}
 	doc, err := core.NewDocument(cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: new document: %w", err)
 	}
 	start := time.Now()
 	if len(tr.Initial) > 0 {
@@ -129,7 +129,7 @@ func ReplayTreedoc(tr *trace.Trace, rc ReplayConfig) (*Result, error) {
 	}
 	sum, err := tr.Summarize()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: summarize %s: %w", tr.Name, err)
 	}
 	res.Trace = sum
 	return res, nil
@@ -186,12 +186,12 @@ type LogootResult struct {
 func ReplayLogoot(tr *trace.Trace) (*LogootResult, error) {
 	doc, err := logoot.New(logoot.Config{Site: 1})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: logoot: %w", err)
 	}
 	start := time.Now()
 	for i, atom := range tr.Initial {
 		if _, err := doc.InsertAt(i, atom); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: logoot %s initial: %w", tr.Name, err)
 		}
 	}
 	for ri, rev := range tr.Revisions {
@@ -209,7 +209,7 @@ func ReplayLogoot(tr *trace.Trace) (*LogootResult, error) {
 	}
 	sum, err := tr.Summarize()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: summarize %s: %w", tr.Name, err)
 	}
 	return &LogootResult{Trace: sum, Stats: doc.Stats(), Duration: time.Since(start)}, nil
 }
@@ -226,12 +226,12 @@ type WootResult struct {
 func ReplayWoot(tr *trace.Trace) (*WootResult, error) {
 	doc, err := woot.New(1)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: woot: %w", err)
 	}
 	start := time.Now()
 	for i, atom := range tr.Initial {
 		if _, err := doc.InsertAt(i, atom); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: woot %s initial: %w", tr.Name, err)
 		}
 	}
 	for ri, rev := range tr.Revisions {
@@ -249,7 +249,7 @@ func ReplayWoot(tr *trace.Trace) (*WootResult, error) {
 	}
 	sum, err := tr.Summarize()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: summarize %s: %w", tr.Name, err)
 	}
 	return &WootResult{Trace: sum, Stats: doc.Stats(), Duration: time.Since(start)}, nil
 }

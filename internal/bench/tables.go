@@ -33,7 +33,7 @@ func Table1() ([]Table1Row, error) {
 	for _, p := range trace.Profiles() {
 		tr, err := trace.Generate(p)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 		}
 		intervals := []int{0, 2, 8}
 		if p.Granularity == trace.Paragraphs {
@@ -97,11 +97,11 @@ func Table2() ([]Table2Row, error) {
 	for _, p := range trace.Profiles() {
 		tr, err := trace.Generate(p)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 		}
 		s, err := tr.Summarize()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: summarize %s: %w", p.Name, err)
 		}
 		sums = append(sums, s)
 	}
@@ -161,7 +161,7 @@ func Table3() ([]Table3Cell, error) {
 			for _, p := range trace.LatexProfiles() {
 				tr, err := trace.Generate(p)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 				}
 				res, err := ReplayTreedoc(tr, ReplayConfig{
 					Mode: ident.SDIS, Balanced: balanced, Batch: balanced, FlattenInterval: in.iv,
@@ -227,7 +227,7 @@ func Table4() ([]Table4Cell, error) {
 				for _, p := range trace.LatexProfiles() {
 					tr, err := trace.Generate(p)
 					if err != nil {
-						return nil, err
+						return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 					}
 					res, err := ReplayTreedoc(tr, ReplayConfig{
 						Mode: mode, Balanced: balanced, Batch: balanced, FlattenInterval: in.iv,
@@ -293,7 +293,7 @@ func Table5() ([]Table5Row, error) {
 	for _, p := range trace.Profiles() {
 		tr, err := trace.Generate(p)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 		}
 		td, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.UDIS})
 		if err != nil {
@@ -333,11 +333,11 @@ func FormatTable5(rows []Table5Row) string {
 func Figure6() ([]SeriesPoint, error) {
 	p, err := trace.ProfileByName("acf.tex")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: profile acf.tex: %w", err)
 	}
 	tr, err := trace.Generate(p)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: trace %s: %w", p.Name, err)
 	}
 	res, err := ReplayTreedoc(tr, ReplayConfig{Mode: ident.SDIS, FlattenInterval: 8, Series: true})
 	if err != nil {

@@ -154,7 +154,7 @@ func (r *Replica) InsertAt(i int, atom string) error {
 	}
 	op, err := r.doc.InsertAt(i, atom)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: insert at %d: %w", i, err)
 	}
 	r.record(op)
 	r.broadcast(op)
@@ -165,7 +165,7 @@ func (r *Replica) InsertAt(i int, atom string) error {
 func (r *Replica) DeleteAt(i int) error {
 	id, err := r.doc.IDAt(i)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: delete at %d: %w", i, err)
 	}
 	if r.part.Blocks(id) {
 		r.editsBlocked++
@@ -173,7 +173,7 @@ func (r *Replica) DeleteAt(i int) error {
 	}
 	op, err := r.doc.DeleteAt(i)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: delete at %d: %w", i, err)
 	}
 	r.record(op)
 	r.broadcast(op)
@@ -188,7 +188,7 @@ func (r *Replica) InsertRunAt(i int, atoms []string) error {
 	}
 	ops, err := r.doc.InsertRunAt(i, atoms)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: insert run at %d: %w", i, err)
 	}
 	for _, op := range ops {
 		r.record(op)
@@ -302,7 +302,7 @@ func (rs *resource) UneditedSince(path ident.Path, obs vclock.VC) bool {
 func (rs *resource) ApplyFlatten(path ident.Path) error {
 	r := (*Replica)(rs)
 	if err := r.doc.FlattenSubtree(path); err != nil {
-		return err
+		return fmt.Errorf("cluster: apply flatten: %w", err)
 	}
 	r.flattensApplied++
 	r.flattenClock = r.buf.Clock()

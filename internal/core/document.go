@@ -412,7 +412,7 @@ func (d *Document) DeleteAt(i int) (Op, error) {
 	// identifier the locate descent just produced.
 	sp, err := d.tree.DeleteAtIndex(i, d.cfg.Mode == ident.UDIS, d.scratchP[:0])
 	if err != nil {
-		return Op{}, err
+		return Op{}, fmt.Errorf("core: delete at %d: %w", i, err)
 	}
 	d.scratchP = sp
 	id := d.arena.Copy(sp)
@@ -529,7 +529,7 @@ var ErrMintRaced = errors.New("core: local edit raced the flatten mint")
 // post-flatten edit at every replica.
 func (d *Document) FlattenOp(path ident.Path, afterSeq uint64) (Op, error) {
 	if err := path.ValidateStructural(); err != nil {
-		return Op{}, err
+		return Op{}, fmt.Errorf("core: flatten path: %w", err)
 	}
 	if d.seq != afterSeq {
 		return Op{}, fmt.Errorf("core: flatten mint at seq %d, expected %d: %w", d.seq, afterSeq, ErrMintRaced)
@@ -548,14 +548,20 @@ func (d *Document) FlattenOp(path ident.Path, afterSeq uint64) (Op, error) {
 // flattened region would diverge.
 func (d *Document) FlattenSubtree(path ident.Path) error {
 	d.runGap = -1
-	return d.tree.Flatten(path)
+	if err := d.tree.Flatten(path); err != nil {
+		return fmt.Errorf("core: flatten subtree: %w", err)
+	}
+	return nil
 }
 
 // FlattenAll compacts the whole document to a plain array: the paper's
 // zero-overhead best case.
 func (d *Document) FlattenAll() error {
 	d.runGap = -1
-	return d.tree.FlattenAll()
+	if err := d.tree.FlattenAll(); err != nil {
+		return fmt.Errorf("core: flatten all: %w", err)
+	}
+	return nil
 }
 
 // ColdestSubtree exposes the flatten heuristic's candidate selection: the

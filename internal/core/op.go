@@ -111,6 +111,8 @@ func (o Op) String() string {
 // AppendBinary appends the wire encoding of o to dst. Layout: kind byte,
 // uvarint site, uvarint seq, path, and for inserts a uvarint-length-prefixed
 // atom.
+//
+//treedoc:noalloc
 func (o Op) AppendBinary(dst []byte) []byte {
 	dst = append(dst, byte(o.Kind))
 	dst = binary.AppendUvarint(dst, uint64(o.Site))

@@ -24,6 +24,8 @@ const (
 )
 
 // AppendBinary appends the wire encoding of p to dst and returns the result.
+//
+//treedoc:noalloc
 func (p Path) AppendBinary(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(p)))
 	for _, e := range p {

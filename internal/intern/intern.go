@@ -25,18 +25,22 @@ func init() {
 }
 
 // Rune returns the single-rune string for r, allocation-free for ASCII.
+//
+//treedoc:noalloc
 func Rune(r rune) string {
 	if r >= 0 && r < asciiMax {
 		return ascii[r]
 	}
-	return string(r)
+	return string(r) //treedoc:escape non-ASCII fallback; the ASCII fast path is the contract
 }
 
 // Bytes returns string(b), reusing the interned table when b is a single
 // ASCII byte — the common case for decoded character atoms.
+//
+//treedoc:noalloc
 func Bytes(b []byte) string {
 	if len(b) == 1 && b[0] < asciiMax {
 		return ascii[b[0]]
 	}
-	return string(b)
+	return string(b) //treedoc:escape multi-byte fallback; the single-ASCII fast path is the contract
 }

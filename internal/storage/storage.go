@@ -45,10 +45,12 @@ const (
 var encScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // Encode serialises the document tree. The result is exactly sized.
+//
+//treedoc:noalloc
 func Encode(t *doctree.Tree) []byte {
 	bp := encScratch.Get().(*[]byte)
 	buf := AppendEncode((*bp)[:0], t)
-	out := make([]byte, len(buf))
+	out := make([]byte, len(buf)) //treedoc:escape the exact-size result copy is the function's one allocation
 	copy(out, buf)
 	*bp = buf[:0]
 	encScratch.Put(bp)
@@ -58,6 +60,8 @@ func Encode(t *doctree.Tree) []byte {
 // AppendEncode appends the tree's encoding to dst and returns the extended
 // slice, letting callers with their own buffer (snapshot headers, pooled
 // scratch) serialise without an intermediate copy.
+//
+//treedoc:noalloc
 func AppendEncode(dst []byte, t *doctree.Tree) []byte {
 	buf := append(dst, magic[:]...)
 	run := uint64(0)
@@ -266,7 +270,7 @@ func Decode(data []byte) (*doctree.Tree, error) {
 	d := &decoder{buf: data, off: len(magic)}
 	t, err := doctree.BuildFromBFS(d.next)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: decode: %w", err)
 	}
 	if err := t.Check(); err != nil {
 		return nil, fmt.Errorf("storage: invalid snapshot: %w", err)

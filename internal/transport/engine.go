@@ -257,14 +257,16 @@ type Engine struct {
 	flattensCommitted atomic.Uint64
 	flattensAborted   atomic.Uint64
 
-	// Actor-owned state: touched only from run().
-	buf    *causal.Buffer
-	msgLog []causal.Message
-	batch  []causal.Message
-	peers  []*peer
-	log    *oplog.Log
+	// Actor-owned state: touched only from run(). The trailing
+	// "actor-owned" markers are load-bearing — treedoc-vet's actoronly
+	// analyzer rejects any access outside the actor loop's call tree.
+	buf    *causal.Buffer   // actor-owned
+	msgLog []causal.Message // actor-owned
+	batch  []causal.Message // actor-owned
+	peers  []*peer          // actor-owned
+	log    *oplog.Log       // actor-owned
 	// logBroken latches after the first append failure: see record.
-	logBroken bool
+	logBroken bool // actor-owned
 	// snapData/snapVC are the serving barrier: the latest snapshot and the
 	// version vector of exactly what it contains. truncVC is the
 	// truncation floor — the previous barrier — below which messages have
@@ -273,25 +275,27 @@ type Engine struct {
 	// behind the newest barrier is still served operations; only a digest
 	// below the floor (whose missing ops no longer exist as messages)
 	// forces a snapshot.
-	snapData []byte
-	snapVC   vclock.VC
-	truncVC  vclock.VC
+	snapData []byte    // actor-owned
+	snapVC   vclock.VC // actor-owned
+	truncVC  vclock.VC // actor-owned
 	// barrierAt is when the serving barrier was adopted; once it has aged
 	// past floorDelay, the floor is promoted up to it (live peers have had
 	// time to catch up past the barrier, so truncating below it can no
 	// longer force snapshots on them).
-	barrierAt time.Time
+	barrierAt time.Time // actor-owned
 	// sinceSnap counts retained messages since the serving barrier,
 	// driving the compaction policy.
-	sinceSnap int
+	sinceSnap int // actor-owned
 	// snapReqSent limits explicit snapshot requests to one per sync tick.
-	snapReqSent bool
+	snapReqSent bool // actor-owned
 	// fl is the flatten commitment state (flatten.go); nil unless the
-	// replica implements Flattener.
+	// replica implements Flattener. The pointer is set in NewEngine and
+	// immutable thereafter (safe to nil-check from any goroutine); the
+	// state it points to belongs to the actor, marked field by field.
 	fl *flattenState
 	// snapAsm holds in-progress chunked-snapshot reassemblies, keyed by the
 	// sending site (snapchunk handling in flatten.go's sibling code path).
-	snapAsm map[ident.SiteID]*snapAssembly
+	snapAsm map[ident.SiteID]*snapAssembly // actor-owned
 	// opScratch is deliverBatch's reusable op buffer (actor-owned).
 	opScratch []core.Op
 
@@ -308,6 +312,8 @@ type Engine struct {
 // snapshot and replays the log suffix before the engine goes live, so an
 // engine restarted over the same directory resumes exactly where it
 // crashed and re-stamps nothing.
+//
+//treedoc:actorsafe construction happens before the actor goroutine starts
 func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) {
 	if site == 0 || site > ident.MaxSiteID {
 		return nil, fmt.Errorf("transport: site must be in [1, 2^48)")
@@ -363,6 +369,8 @@ func NewEngine(site ident.SiteID, doc Applier, opts ...Option) (*Engine, error) 
 // openAndReplay opens the durable log and rebuilds the replica: install
 // the stored snapshot (if any), then replay every retained record the
 // snapshot does not cover, advancing the causal clock as it goes.
+//
+//treedoc:actorsafe recovery runs from NewEngine, before the actor starts
 func (e *Engine) openAndReplay() error {
 	l, err := oplog.Open(e.logDir, oplog.Options{Fsync: e.fsync})
 	if err != nil {
@@ -620,6 +628,8 @@ func (e *Engine) Stop() {
 
 // ctl queues a control closure for the actor, reporting false if the
 // engine already stopped.
+//
+//treedoc:actorexec
 func (e *Engine) ctl(fn func()) bool {
 	select {
 	case <-e.done:
@@ -636,6 +646,8 @@ func (e *Engine) ctl(fn func()) bool {
 
 // run is the actor loop: the only goroutine touching buf, msgLog, batch,
 // peers, the durable log and the compaction barrier.
+//
+//treedoc:actorloop
 func (e *Engine) run() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(e.syncEvery)

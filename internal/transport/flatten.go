@@ -95,39 +95,39 @@ const maxDecidedMemory = 256
 
 // flattenState is the engine's commitment bookkeeping. Actor-owned.
 type flattenState struct {
-	coord *commit.Coordinator
-	part  *commit.Participant
+	coord *commit.Coordinator // actor-owned
+	part  *commit.Participant // actor-owned
 	// locks are the Yes votes awaiting a decision, keyed by transaction.
-	locks   map[commit.TxID]*heldLock
-	nextTok uint64
+	locks   map[commit.TxID]*heldLock // actor-owned
+	nextTok uint64                    // actor-owned
 	// editLog records every stamped or delivered operation since the last
 	// applied flatten: the vote's "observed an insert, delete or flatten
 	// within the sub-tree" evidence. It resets when a flatten applies
 	// (proposals must observe the flatten, so older entries can never be
 	// uncovered again) and is pruned as the compaction floor rises.
-	editLog []editRec
+	editLog []editRec // actor-owned
 	// editFloor is the clock below which editLog entries have been pruned
 	// (snapshot install, log truncation): a proposal that does not observe
 	// at least this much cannot be evaluated and votes No.
-	editFloor vclock.VC
+	editFloor vclock.VC // actor-owned
 	// flattenVC is the delivered clock when the last flatten applied; any
 	// proposal must dominate it (a flatten renames identifiers, so it
 	// counts as an edit of its whole region).
-	flattenVC vclock.VC
+	flattenVC vclock.VC // actor-owned
 	// lastSeen is the membership estimate: engine-monotonic time of the
 	// last frame attributable to each site.
-	lastSeen map[ident.SiteID]time.Duration
+	lastSeen map[ident.SiteID]time.Duration // actor-owned
 	// decided remembers recent coordinator decisions so re-sent votes for
 	// finished transactions get an answer (presumed abort otherwise).
-	decided      map[commit.TxID]decision
-	decidedOrder []commit.TxID
+	decided      map[commit.TxID]decision // actor-owned
+	decidedOrder []commit.TxID            // actor-owned
 	// pendingCommits are commit decisions whose OpFlatten mint is deferred
 	// until every locally applied edit has been stamped (the op's sequence
 	// number must match its causal stamp).
-	pendingCommits []pendingCommit
+	pendingCommits []pendingCommit // actor-owned
 	// compactPending asks the ticker to keep trying to adopt the flatten
 	// epoch as the oplog compaction barrier until the snapshot lands.
-	compactPending bool
+	compactPending bool // actor-owned
 }
 
 type heldLock struct {
@@ -308,6 +308,10 @@ type flattenResource Engine
 // the coordinator observed, can still evaluate that far back (no pruned
 // evidence, no flatten beyond obs), holds no applied-but-unstamped local
 // edit, and has recorded no operation beyond obs inside the subtree.
+//
+// entry points (handleFlatPropose/Vote/Decision) all run on the actor
+//
+//treedoc:actorsafe invoked synchronously by the commit participant, whose
 func (r *flattenResource) UneditedSince(path ident.Path, obs vclock.VC) bool {
 	e := (*Engine)(r)
 	st := e.fl

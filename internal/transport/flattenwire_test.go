@@ -210,3 +210,62 @@ func TestSnapChunkFrameSizeLimit(t *testing.T) {
 		t.Fatal("chunk frame corrupted through frame IO")
 	}
 }
+
+// FuzzFlattenFrame fuzzes the flatten commitment frames (kindFlatPropose,
+// kindFlatVote, kindFlatDecision) and the chunked snapshot frame
+// (kindSnapChunk): arbitrary bodies behind those kind bytes must decode
+// cleanly or fail cleanly, never panic, and whatever decodes must
+// semantically round-trip through its encoder.
+func FuzzFlattenFrame(f *testing.F) {
+	if fr, err := EncodeFlatPropose(3, 12, structuralPath(), vclock.VC{3: 41, 9: 7}); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeFlatVote(4, 3, 12, true); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeFlatDecision(3, 12, true, 99, structuralPath()); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeSnapChunk(2, vclock.VC{2: 8}, 64, 16, []byte("chunk-bytes")); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{kindFlatPropose, 0xFF})
+	f.Add([]byte{kindFlatVote})
+	f.Add([]byte{kindFlatDecision, 0x00, 0x01})
+	f.Add([]byte{kindSnapChunk, 0x80})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, kind := range []byte{kindFlatPropose, kindFlatVote, kindFlatDecision, kindSnapChunk} {
+			frame := append([]byte{kind}, body...)
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				continue
+			}
+			// Re-encoding and re-decoding must yield the same frame (byte
+			// equality is too strict, since Uvarint tolerates non-minimal
+			// encodings on input).
+			var re []byte
+			switch fr := decoded.(type) {
+			case *FlatProposeFrame:
+				re, err = EncodeFlatPropose(fr.From, fr.N, fr.Path, fr.Obs)
+			case *FlatVoteFrame:
+				re, err = EncodeFlatVote(fr.From, fr.Coord, fr.N, fr.Yes)
+			case *FlatDecisionFrame:
+				re, err = EncodeFlatDecision(fr.From, fr.N, fr.Commit, fr.Seq, fr.Path)
+			case *SnapChunkFrame:
+				re, err = EncodeSnapChunk(fr.From, fr.Version, fr.Total, fr.Offset, fr.Data)
+			default:
+				t.Fatalf("kind %#x decoded to %T", kind, decoded)
+			}
+			if err != nil {
+				t.Fatalf("decoded kind %#x frame does not re-encode: %v", kind, err)
+			}
+			again, err := DecodeFrame(re)
+			if err != nil {
+				t.Fatalf("re-encoded kind %#x frame does not decode: %v", kind, err)
+			}
+			if !reflect.DeepEqual(again, decoded) {
+				t.Fatalf("kind %#x round trip:\n got %+v\nwant %+v", kind, again, decoded)
+			}
+		}
+	})
+}

@@ -240,7 +240,7 @@ func (h *Hub) Resign(timeout time.Duration) error {
 	}
 	next, err := shardmap.NewRing(ring.Epoch+1, nodes)
 	if err != nil {
-		return err
+		return fmt.Errorf("transport: resign: %w", err)
 	}
 	if err := h.ConfigureRing(self, next); err != nil {
 		return err
@@ -626,6 +626,8 @@ func (h *Hub) peer(addr string) *hubPeer {
 }
 
 // peerLocked is peer with h.mu already held.
+//
+//treedoc:holds mu
 func (h *Hub) peerLocked(addr string) *hubPeer {
 	if h.closed || addr == "" || addr == h.self {
 		return nil

@@ -48,15 +48,15 @@ type Hub struct {
 	ownership func(doc string, epoch uint64, acquired bool)
 
 	mu     sync.Mutex
-	conns  map[int64]*hubConn
-	nextID int64
-	closed bool
+	conns  map[int64]*hubConn // guarded by mu
+	nextID int64              // guarded by mu
+	closed bool               // guarded by mu
 	// shards maps document ID to its relay group. The map itself is
 	// copy-on-write behind an atomic pointer, and each shard keeps an
 	// immutable snapshot of its connections, so the per-frame relay path
 	// reads both lock-free; mu serialises the (rare) attach, detach and
 	// disconnect mutations.
-	shards   map[string]*docShard
+	shards   map[string]*docShard // guarded by mu (shardPtr is the lock-free view)
 	shardPtr atomic.Pointer[map[string]*docShard]
 
 	// ring is the epoch-versioned consistent-hash routing layer when this
@@ -64,7 +64,7 @@ type Hub struct {
 	// document. ringView republishes (ring, self) behind an atomic pointer
 	// for the per-frame paths (DocOwner on every kindForward), which must
 	// not take the hub lock; mu still guards the mutations.
-	ring     *shardmap.Ring
+	ring     *shardmap.Ring // guarded by mu (ringView is the lock-free view)
 	self     string
 	ringView atomic.Pointer[hubRingView]
 	// peers is the hub-to-hub mesh: one persistent outbound connection per
@@ -77,7 +77,7 @@ type Hub struct {
 	// pendingPeers carries WithHubShards arguments until ListenHub
 	// validates them; tests with :0 listeners use ConfigureSharding after
 	// the port is known instead.
-	pendingPeers []string
+	pendingPeers []string // guarded by mu
 
 	drops    atomic.Uint64
 	relays   atomic.Uint64
@@ -154,6 +154,8 @@ func WithHubLogger(logf func(format string, args ...any)) HubOption {
 // advertised address. Attaches for documents owned by another peer are
 // answered with a redirect. A bad ring (empty, duplicate or unknown self)
 // is reported by ListenHub.
+//
+//treedoc:unguarded options are applied in ListenHub before the hub goes live
 func WithHubShards(self string, peers []string) HubOption {
 	return func(h *Hub) {
 		// Defer validation to ListenHub via ConfigureSharding so the error
@@ -182,6 +184,8 @@ func WithHubOwnership(fn func(doc string, epoch uint64, acquired bool)) HubOptio
 
 // ListenHub starts a hub on addr (e.g. ":9707" or "127.0.0.1:0") and
 // begins accepting clients in the background.
+//
+//treedoc:unguarded the hub is not live until acceptLoop starts, at the end
 func ListenHub(addr string, opts ...HubOption) (*Hub, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -233,7 +237,7 @@ func (h *Hub) ConfigureSharding(self string, peers []string) error {
 		h.mu.Unlock()
 		ring, err := shardmap.NewRing(epoch, peers)
 		if err != nil {
-			return err
+			return fmt.Errorf("transport: configure sharding: %w", err)
 		}
 		if !ring.Has(self) {
 			return &net.AddrError{Err: "self address not in peer ring", Addr: self}
@@ -266,6 +270,8 @@ type hubRingView struct {
 
 // publishRingView refreshes the lock-free ring snapshot; call with mu
 // held (or before the hub goes live).
+//
+//treedoc:holds mu
 func (h *Hub) publishRingView() {
 	h.ringView.Store(&hubRingView{ring: h.ring, self: h.self})
 }
@@ -433,6 +439,8 @@ func (h *Hub) acceptLoop() {
 
 // publishShards refreshes the copy-on-write shard map; call with mu held
 // (or before the hub goes live).
+//
+//treedoc:holds mu
 func (h *Hub) publishShards() {
 	m := make(map[string]*docShard, len(h.shards))
 	for doc, s := range h.shards {
@@ -443,6 +451,8 @@ func (h *Hub) publishShards() {
 
 // attachLocked adds c to doc's relay group, creating it on first attach;
 // call with mu held.
+//
+//treedoc:holds mu
 func (h *Hub) attachLocked(c *hubConn, doc string) {
 	s := h.shards[doc]
 	if s == nil {
@@ -461,6 +471,8 @@ func (h *Hub) attachLocked(c *hubConn, doc string) {
 // enableForwardLocked puts doc's relay group (created if absent) in
 // forward mode towards its ring owner; call with mu held. No-op when this
 // hub owns the document or has no ring.
+//
+//treedoc:holds mu
 func (h *Hub) enableForwardLocked(doc string) {
 	if h.ring == nil {
 		return
@@ -503,6 +515,8 @@ func (h *Hub) ensureLegacyForward(c *hubConn) {
 // its last connection leaves — and releasing its mesh subscription, so a
 // dissolved forward-mode group stops drawing the document's traffic
 // cross-hub; call with mu held.
+//
+//treedoc:holds mu
 func (h *Hub) detachLocked(c *hubConn, doc string) {
 	if !c.docs[doc] {
 		return

@@ -50,9 +50,9 @@ type Session struct {
 	ringEpoch atomic.Uint64
 
 	mu     sync.Mutex
-	conns  map[string]*sessConn // keyed by hub address
-	links  map[string]*docLink  // attached documents, for live re-pointing
-	closed bool
+	conns  map[string]*sessConn // keyed by hub address; guarded by mu
+	links  map[string]*docLink  // attached documents, for live re-pointing; guarded by mu
+	closed bool                 // guarded by mu
 }
 
 // DialSession prepares a session against the hub at addr. Dialing is

@@ -399,6 +399,8 @@ var frameScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); retur
 // EncodeOps encodes a batch of stamped operations as one kindOps frame.
 // Every message payload must be a core.Op. The returned frame is exactly
 // sized and owned by the caller.
+//
+//treedoc:noalloc
 func EncodeOps(msgs []causal.Message) ([]byte, error) {
 	if len(msgs) > maxBatch {
 		return nil, fmt.Errorf("transport: batch of %d ops exceeds limit", len(msgs))
@@ -417,7 +419,7 @@ func EncodeOps(msgs []causal.Message) ([]byte, error) {
 	n := len(buf)
 	var out []byte
 	if n <= MaxFrameSize {
-		out = make([]byte, n)
+		out = make([]byte, n) //treedoc:escape the exact-size frame copy is the function's one allocation
 		copy(out, buf)
 	}
 	*bp = buf[:0]

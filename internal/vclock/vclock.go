@@ -128,6 +128,8 @@ func (v VC) String() string {
 // count, then (site, count) uvarint pairs with sites ascending, zero
 // entries omitted. The same layout is shared by the transport wire
 // format, the oplog snapshot header, and the document snapshot format.
+//
+//treedoc:noalloc
 func (v VC) AppendBinary(dst []byte) []byte {
 	// The site list lives on the stack and is sorted without sort.Slice:
 	// this encoder runs once per op in every frame and oplog record, and

@@ -27,7 +27,7 @@ var ErrOutOfRange = errors.New("treedoc: offset out of range")
 // All methods are safe for concurrent use.
 type TextBuffer struct {
 	mu  sync.Mutex
-	doc *Doc
+	doc *Doc // guarded by mu
 }
 
 // NewTextBuffer creates an empty character-granularity replica.
@@ -53,6 +53,7 @@ func (b *TextBuffer) String() string {
 	return b.text()
 }
 
+//treedoc:holds mu
 func (b *TextBuffer) text() string {
 	var sb strings.Builder
 	for _, a := range b.doc.Content() {
@@ -75,6 +76,8 @@ func (b *TextBuffer) Splice(off, delCount int, text string) ([]Op, error) {
 // applied as one atomic edit on the underlying Doc, so a flatten vote
 // locking the region either rejects the whole splice (ErrRegionLocked) or
 // none of it.
+//
+//treedoc:holds mu
 func (b *TextBuffer) splice(off, delCount int, text string) ([]Op, error) {
 	n := b.doc.Len()
 	if off < 0 || off > n {
@@ -245,4 +248,6 @@ func (b *TextBuffer) UnlockRegion(token uint64) {
 }
 
 // Doc exposes the underlying document replica (e.g. for snapshots).
+//
+//treedoc:unguarded the pointer is set at construction and never reassigned
 func (b *TextBuffer) Doc() *Doc { return b.doc }

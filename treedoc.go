@@ -129,12 +129,13 @@ func WithCompactSiteIDs() Option {
 // concurrent use by multiple goroutines.
 type Doc struct {
 	mu  sync.Mutex
-	doc *core.Document
+	doc *core.Document // guarded by mu
 	// locks are the regions frozen by outstanding flatten commitment votes
 	// (keyed by an engine-issued token): local edits that touch a locked
 	// subtree fail with ErrRegionLocked until the commitment decides. Remote
 	// operations (Apply) are never blocked — the protocol guarantees no
-	// conflicting remote operation exists while a lock is held.
+	// conflicting remote operation exists while a lock is held. Guarded
+	// by mu.
 	locks map[uint64]ident.Path
 }
 
@@ -148,7 +149,7 @@ func New(opts ...Option) (*Doc, error) {
 	}
 	d, err := core.NewDocument(c.core)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("treedoc: new: %w", err)
 	}
 	return &Doc{doc: d}, nil
 }
@@ -185,7 +186,11 @@ func (d *Doc) ContentString() string {
 func (d *Doc) AtomAt(i int) (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.AtomAt(i)
+	a, err := d.doc.AtomAt(i)
+	if err != nil {
+		return "", fmt.Errorf("treedoc: atom at %d: %w", i, err)
+	}
+	return a, nil
 }
 
 // VisitRange calls fn for each atom of the index range [from, to) in
@@ -196,7 +201,10 @@ func (d *Doc) AtomAt(i int) (string, error) {
 func (d *Doc) VisitRange(from, to int, fn func(atom string) bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.VisitRange(from, to, fn)
+	if err := d.doc.VisitRange(from, to, fn); err != nil {
+		return fmt.Errorf("treedoc: visit range [%d,%d): %w", from, to, err)
+	}
+	return nil
 }
 
 // InsertAt inserts atom at index i (0 ≤ i ≤ Len) and returns the operation
@@ -209,7 +217,11 @@ func (d *Doc) InsertAt(i int, atom string) (Op, error) {
 	if d.gapLocked(i) {
 		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", i, core.ErrRegionLocked)
 	}
-	return d.doc.InsertAt(i, atom)
+	op, err := d.doc.InsertAt(i, atom)
+	if err != nil {
+		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", i, err)
+	}
+	return op, nil
 }
 
 // Append inserts atom at the end of the document.
@@ -220,7 +232,11 @@ func (d *Doc) Append(atom string) (Op, error) {
 	if d.gapLocked(n) {
 		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", n, core.ErrRegionLocked)
 	}
-	return d.doc.InsertAt(n, atom)
+	op, err := d.doc.InsertAt(n, atom)
+	if err != nil {
+		return Op{}, fmt.Errorf("treedoc: insert at %d: %w", n, err)
+	}
+	return op, nil
 }
 
 // InsertRunAt inserts consecutive atoms starting at index i, packing them
@@ -233,7 +249,11 @@ func (d *Doc) InsertRunAt(i int, atoms []string) ([]Op, error) {
 	if d.gapLocked(i) {
 		return nil, fmt.Errorf("treedoc: insert at %d: %w", i, core.ErrRegionLocked)
 	}
-	return d.doc.InsertRunAt(i, atoms)
+	ops, err := d.doc.InsertRunAt(i, atoms)
+	if err != nil {
+		return nil, fmt.Errorf("treedoc: insert at %d: %w", i, err)
+	}
+	return ops, nil
 }
 
 // DeleteAt removes the atom at index i and returns the operation to
@@ -245,13 +265,17 @@ func (d *Doc) DeleteAt(i int) (Op, error) {
 	if len(d.locks) > 0 {
 		id, err := d.doc.IDAt(i)
 		if err != nil {
-			return Op{}, err
+			return Op{}, fmt.Errorf("treedoc: delete at %d: %w", i, err)
 		}
 		if d.idLocked(id) {
 			return Op{}, fmt.Errorf("treedoc: delete at %d: %w", i, core.ErrRegionLocked)
 		}
 	}
-	return d.doc.DeleteAt(i)
+	op, err := d.doc.DeleteAt(i)
+	if err != nil {
+		return Op{}, fmt.Errorf("treedoc: delete at %d: %w", i, err)
+	}
+	return op, nil
 }
 
 // Apply replays a remote operation. Operations must be delivered in
@@ -261,7 +285,10 @@ func (d *Doc) DeleteAt(i int) (Op, error) {
 func (d *Doc) Apply(op Op) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.Apply(op)
+	if err := d.doc.Apply(op); err != nil {
+		return fmt.Errorf("treedoc: apply: %w", err)
+	}
+	return nil
 }
 
 // ApplyAll replays a batch of operations in order.
@@ -286,7 +313,7 @@ func (d *Doc) ApplyBatch(ops []Op) (int, error) {
 	defer d.mu.Unlock()
 	for i, op := range ops {
 		if err := d.doc.Apply(op); err != nil {
-			return i, err
+			return i, fmt.Errorf("treedoc: op %d: %w", i, err)
 		}
 	}
 	return len(ops), nil
@@ -307,7 +334,10 @@ func (d *Doc) EndRevision() {
 func (d *Doc) Flatten() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.FlattenAll()
+	if err := d.doc.FlattenAll(); err != nil {
+		return fmt.Errorf("treedoc: flatten: %w", err)
+	}
+	return nil
 }
 
 // Stats measures the replica's overheads.
@@ -362,6 +392,8 @@ func (d *Doc) idLocked(id ident.Path) bool {
 // "locked" — it falls through to the core's own range error, so a caller
 // retrying on ErrRegionLocked is not strung along by an index that can
 // never succeed.
+//
+//treedoc:holds mu
 func (d *Doc) gapLocked(i int) bool {
 	if len(d.locks) == 0 || i < 0 || i > d.doc.Len() {
 		return false
@@ -469,7 +501,11 @@ func (d *Doc) spliceOps(off, delCount int, atoms []string) ([]Op, error) {
 func (d *Doc) FlattenOp(path Path, afterSeq uint64) (Op, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.FlattenOp(path, afterSeq)
+	op, err := d.doc.FlattenOp(path, afterSeq)
+	if err != nil {
+		return Op{}, fmt.Errorf("treedoc: flatten op: %w", err)
+	}
+	return op, nil
 }
 
 // ColdestSubtree returns the structural path of the best flatten
@@ -487,7 +523,10 @@ func (d *Doc) ColdestSubtree(revisions int64, minNodes int) Path {
 func (d *Doc) Check() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.doc.Check()
+	if err := d.doc.Check(); err != nil {
+		return fmt.Errorf("treedoc: check: %w", err)
+	}
+	return nil
 }
 
 // Snapshot formats. TDS1 (magic, site, seq, counter, mode, tree bytes)
@@ -522,6 +561,7 @@ func (d *Doc) MarshalBinary() ([]byte, error) {
 	return d.marshalLocked(), nil
 }
 
+//treedoc:holds mu
 func (d *Doc) marshalLocked() []byte {
 	buf := append([]byte(nil), snapMagic...)
 	buf = binary.AppendUvarint(buf, uint64(d.doc.Site()))
@@ -651,7 +691,7 @@ func Open(data []byte, opts ...Option) (*Doc, error) {
 	c.core.Mode = snap.mode
 	doc, err := core.Restore(c.core, snap.tree, snap.seq, snap.counter, snap.version)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("treedoc: open snapshot: %w", err)
 	}
 	return &Doc{doc: doc}, nil
 }
