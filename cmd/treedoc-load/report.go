@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/treedoc/treedoc/internal/loadstats"
+	"github.com/treedoc/treedoc/internal/transport"
+)
+
+// Report is the load-report.json schema (documented in
+// docs/ARCHITECTURE.md §12). Durations serialise as int64 nanoseconds —
+// machine-readable first; the human summary goes to the log.
+type Report struct {
+	Tool      string    `json:"tool"`
+	StartedAt time.Time `json:"started_at"`
+	Scenario  string    `json:"scenario"`
+
+	Config ReportConfig `json:"config"`
+
+	Sends        uint64  `json:"sends"`
+	Deliveries   uint64  `json:"deliveries"`
+	SendRate     float64 `json:"send_rate_per_sec"`
+	DeliveryRate float64 `json:"delivery_rate_per_sec"`
+	Reconnects   uint64  `json:"reconnects"`
+	PoolSessions int     `json:"pool_sessions"`
+
+	Latency  LatencySummary  `json:"latency"`
+	Timeline []WindowSummary `json:"timeline"`
+	PerDoc   []DocSummary    `json:"per_doc"`
+	HubStats []HubSeries     `json:"hub_stats"`
+
+	Chaos *ChaosSummary `json:"chaos,omitempty"`
+
+	Failures []string `json:"failures,omitempty"`
+	Passed   bool     `json:"passed"`
+}
+
+// ReportConfig echoes the run's knobs so a report is self-describing.
+type ReportConfig struct {
+	Hubs     int           `json:"hubs"`
+	Sessions int           `json:"sessions"`
+	Docs     int           `json:"docs"`
+	Rate     float64       `json:"rate_per_client"`
+	Duration time.Duration `json:"duration_ns"`
+	Pool     int           `json:"pool"`
+	Skew     float64       `json:"skew"`
+	Seed     int64         `json:"seed"`
+	Sync     time.Duration `json:"sync_ns"`
+	Queue    int           `json:"queue"`
+}
+
+// LatencySummary is the end-of-run stamp→deliver distribution.
+type LatencySummary struct {
+	Count uint64        `json:"count"`
+	Min   time.Duration `json:"min_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func summarize(h *loadstats.Hist) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// WindowSummary is one timeline second (empty windows are elided).
+type WindowSummary struct {
+	Second int           `json:"second"`
+	Count  uint64        `json:"count"`
+	P50    time.Duration `json:"p50_ns"`
+	P99    time.Duration `json:"p99_ns"`
+}
+
+// DocSummary is one document's fan-out: how many clients shared it and
+// how much traffic it carried.
+type DocSummary struct {
+	Doc        string `json:"doc"`
+	Clients    int    `json:"clients"`
+	Sends      uint64 `json:"sends"`
+	Deliveries uint64 `json:"deliveries"`
+	FinalAtoms int    `json:"final_atoms"`
+}
+
+// HubSeries is one hub's polled counter samples over the run.
+type HubSeries struct {
+	Hub     string      `json:"hub"`
+	Samples []HubSample `json:"samples"`
+}
+
+// HubSample is one expvar poll (offset from run start). Gaps in a series
+// are crash windows — the endpoint was down.
+type HubSample struct {
+	OffsetSec float64            `json:"offset_sec"`
+	Stats     transport.HubStats `json:"stats"`
+}
+
+// ChaosSummary is the scenario verdict: event times plus the envelope.
+type ChaosSummary struct {
+	InjectedAtSec   float64       `json:"injected_at_sec"`
+	HealedAtSec     float64       `json:"healed_at_sec"`
+	NoLostOps       bool          `json:"no_lost_ops"`
+	Converged       bool          `json:"converged"`
+	QuiesceSeconds  float64       `json:"quiesce_seconds"`
+	RecoveredWithin time.Duration `json:"recovered_within_ns"` // -1: never
+	RecoveryP99Max  time.Duration `json:"recovery_p99_max_ns"`
+	Details         []string      `json:"details,omitempty"`
+}
+
+func buildReport(cfg *config, clients []*client, m *metrics, series []HubSeries, env envelope, ch *chaos, started time.Time) *Report {
+	rep := &Report{
+		Tool:      "treedoc-load",
+		StartedAt: started,
+		Scenario:  cfg.scenario,
+		Config: ReportConfig{
+			Hubs: cfg.hubs, Sessions: cfg.sessions, Docs: cfg.docs,
+			Rate: cfg.rate, Duration: cfg.duration, Pool: cfg.pool,
+			Skew: cfg.skew, Seed: cfg.seed, Sync: cfg.sync, Queue: cfg.queue,
+		},
+		Sends:      m.sends.Load(),
+		Deliveries: m.deliveries.Load(),
+		Reconnects: sumReconnects(clients),
+		Latency:    summarize(m.hist),
+		HubStats:   series,
+	}
+	secs := cfg.duration.Seconds()
+	rep.SendRate = float64(rep.Sends) / secs
+	rep.DeliveryRate = float64(rep.Deliveries) / secs
+
+	for i := 0; i < m.timeline.Len(); i++ {
+		w := m.timeline.Window(i)
+		if w.Count() == 0 {
+			continue
+		}
+		rep.Timeline = append(rep.Timeline, WindowSummary{
+			Second: i, Count: w.Count(), P50: w.Quantile(0.5), P99: w.Quantile(0.99),
+		})
+	}
+
+	byDoc := make(map[string]*DocSummary)
+	for _, c := range clients {
+		d := byDoc[c.doc]
+		if d == nil {
+			d = &DocSummary{Doc: c.doc, FinalAtoms: c.replica.Len()}
+			byDoc[c.doc] = d
+		}
+		d.Clients++
+		d.Sends += c.sent.Load()
+	}
+	m.mu.Lock()
+	for doc, ctr := range m.perDoc {
+		if d := byDoc[doc]; d != nil {
+			d.Deliveries = ctr.Load()
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range byDoc {
+		rep.PerDoc = append(rep.PerDoc, *d)
+	}
+	sort.Slice(rep.PerDoc, func(i, j int) bool { return rep.PerDoc[i].Deliveries > rep.PerDoc[j].Deliveries })
+
+	if cfg.scenario != "steady" {
+		cs := &ChaosSummary{
+			NoLostOps:       env.NoLostOps,
+			Converged:       env.Converged,
+			QuiesceSeconds:  env.QuiesceSeconds,
+			RecoveredWithin: env.RecoveredWithin,
+			RecoveryP99Max:  env.RecoveryP99Max,
+			Details:         env.Details,
+		}
+		if !ch.injectedAt.IsZero() {
+			cs.InjectedAtSec = ch.injectedAt.Sub(started).Seconds()
+		}
+		if !ch.healedAt.IsZero() {
+			cs.HealedAtSec = ch.healedAt.Sub(started).Seconds()
+		}
+		rep.Chaos = cs
+	} else {
+		if !env.NoLostOps {
+			rep.Failures = append(rep.Failures, "steady: ops lost (see log)")
+		}
+		if !env.Converged {
+			rep.Failures = append(rep.Failures, "steady: replicas diverged")
+		}
+	}
+
+	if !env.passed(cfg) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("%s envelope failed", cfg.scenario))
+		rep.Failures = append(rep.Failures, env.Details...)
+	}
+	if cfg.sloP99 > 0 && rep.Latency.P99 > cfg.sloP99 {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("p99 %v over the -slo-p99 budget %v", rep.Latency.P99, cfg.sloP99))
+	}
+	rep.Passed = len(rep.Failures) == 0
+	return rep
+}
+
+func sumReconnects(clients []*client) uint64 {
+	var n uint64
+	for _, c := range clients {
+		n += c.reconnects.Load()
+	}
+	return n
+}
+
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("treedoc-load: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("treedoc-load: write report: %w", err)
+	}
+	return nil
+}
+
+func printSummary(rep *Report) {
+	log.Printf("%s: %d sends, %d deliveries (%.0f/s) across %d docs",
+		rep.Scenario, rep.Sends, rep.Deliveries, rep.DeliveryRate, len(rep.PerDoc))
+	l := rep.Latency
+	log.Printf("stamp→deliver: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v  (n=%d)",
+		l.P50, l.P90, l.P99, l.P999, l.Max, l.Count)
+	if rep.Chaos != nil {
+		c := rep.Chaos
+		rec := "never"
+		if c.RecoveredWithin >= 0 {
+			rec = c.RecoveredWithin.String()
+		}
+		log.Printf("chaos %s: inject %.0fs heal %.0fs — no-lost-ops=%v converged=%v (quiesce %.1fs) p99-recovery=%s",
+			rep.Scenario, c.InjectedAtSec, c.HealedAtSec, c.NoLostOps, c.Converged, c.QuiesceSeconds, rec)
+	}
+	if rep.Passed {
+		log.Printf("PASS")
+	} else {
+		for _, f := range rep.Failures {
+			log.Printf("FAIL: %s", f)
+		}
+	}
+}

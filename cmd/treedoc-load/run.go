@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// run executes one load run end to end: fleet up, clients attached,
+// open-loop write window with the chaos schedule overlaid, quiesce and
+// envelope checks, report assembly, teardown.
+func run(cfg *config) (*Report, error) {
+	started := time.Now()
+	log.Printf("starting %d-hub fleet (scenario %s)", cfg.hubs, cfg.scenario)
+	f, err := startFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.stop()
+
+	m := newMetrics(cfg.duration + cfg.quiesceTimeout)
+	pool := newSessionPool(f.advertised(), cfg.pool)
+	defer pool.closeAll()
+
+	supStop := make(chan struct{})
+	supStopped := false
+	stopSup := func() {
+		if !supStopped {
+			supStopped = true
+			close(supStop)
+		}
+	}
+	defer stopSup()
+
+	log.Printf("attaching %d clients across %d docs (pool cap %d)", cfg.sessions, cfg.docs, cfg.pool)
+	clients, err := fleetClients(cfg, pool, m, supStop, cfg.verbose)
+	if err != nil {
+		return nil, err
+	}
+	defer stopEngines(clients)
+	log.Printf("attached: %d sessions in pool", pool.size())
+
+	// Hub counter polling: one sample per hub per -stats-every, plus a
+	// final sample after quiesce. A down hub (crash window) leaves a gap.
+	pollCtx, pollCancel := context.WithCancel(context.Background())
+	defer pollCancel()
+	var (
+		seriesMu sync.Mutex
+		series   = make([]HubSeries, len(f.hubs))
+	)
+	for i, h := range f.hubs {
+		series[i].Hub = h.adv
+	}
+	sample := func() {
+		for i, h := range f.hubs {
+			hs, err := h.pollStats()
+			if err != nil {
+				continue
+			}
+			seriesMu.Lock()
+			series[i].Samples = append(series[i].Samples, HubSample{
+				OffsetSec: time.Since(started).Seconds(), Stats: hs,
+			})
+			seriesMu.Unlock()
+		}
+	}
+	go func() {
+		tick := time.NewTicker(cfg.statsEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollCtx.Done():
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	ch := newChaos(cfg, f)
+	wctx, wcancel := context.WithCancel(context.Background())
+	var writers sync.WaitGroup
+	for _, c := range clients {
+		writers.Add(1)
+		go func(c *client) {
+			defer writers.Done()
+			c.write(wctx, cfg, m)
+		}(c)
+	}
+	log.Printf("write window open: %v at %.2f ops/s/client (open loop)", cfg.duration, cfg.rate)
+	ch.schedule()
+
+	time.Sleep(cfg.duration)
+	wcancel()
+	writers.Wait()
+	<-ch.done
+	log.Printf("write window closed: %d sends, %d deliveries so far; quiescing (timeout %v)",
+		m.sends.Load(), m.deliveries.Load(), cfg.quiesceTimeout)
+
+	env := checkEnvelopes(cfg, clients, m, ch)
+	stopSup()
+	sample() // final post-quiesce counters
+	pollCancel()
+
+	rep := buildReport(cfg, clients, m, series, env, ch, started)
+	rep.PoolSessions = pool.size()
+	return rep, nil
+}
+
+// stopEngines stops every client engine on a worker pool: each Stop
+// drains queues with a bounded deadline, and thousands of sequential
+// drains would turn teardown into the longest phase of the run.
+func stopEngines(clients []*client) {
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c *client) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.eng.Stop()
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"sort"
+	"time"
+)
+
+// chaos drives one scenario's inject/heal schedule against the fleet and
+// records the event times the envelope checks anchor on.
+type chaos struct {
+	cfg   *config
+	fleet *fleet
+
+	injectedAt time.Time
+	healedAt   time.Time
+	done       chan struct{}
+}
+
+func newChaos(cfg *config, f *fleet) *chaos {
+	return &chaos{cfg: cfg, fleet: f, done: make(chan struct{})}
+}
+
+// victim returns the hub the fault targets. Hub 0 stays healthy: it is
+// the reshard join's query target and the anchor a degraded fleet heals
+// around.
+func (ch *chaos) victim() *hubProc { return ch.fleet.hubs[len(ch.fleet.hubs)-1] }
+
+// schedule runs the scenario on its own timer goroutine; close of done
+// means both inject and heal have happened (validate guarantees they fit
+// inside the write window).
+func (ch *chaos) schedule() {
+	go func() {
+		defer close(ch.done)
+		if ch.cfg.scenario == "steady" {
+			return
+		}
+		time.Sleep(ch.cfg.chaosAt)
+		ch.injectedAt = time.Now()
+		ch.inject()
+		time.Sleep(ch.cfg.healAfter)
+		ch.heal()
+		ch.healedAt = time.Now()
+	}()
+}
+
+func (ch *chaos) inject() {
+	switch ch.cfg.scenario {
+	case "reshard":
+		log.Printf("chaos: joining a 4th hub to the live ring (reshard under writers)")
+		if _, err := ch.fleet.addJoiner(); err != nil {
+			log.Printf("chaos: join failed: %v", err)
+		}
+	case "crash":
+		v := ch.victim()
+		log.Printf("chaos: SIGKILL hub %d (%s)", v.idx, v.adv)
+		if err := ch.fleet.crash(v); err != nil {
+			log.Printf("chaos: crash failed: %v", err)
+		}
+	case "slow":
+		v := ch.victim()
+		log.Printf("chaos: injecting %v one-way latency at hub %d", ch.cfg.chaosLatency, v.idx)
+		v.proxy.SetLatency(ch.cfg.chaosLatency)
+	case "partition":
+		v := ch.victim()
+		log.Printf("chaos: partitioning hub %d (%s) from clients and mesh", v.idx, v.adv)
+		v.proxy.Partition()
+	}
+}
+
+func (ch *chaos) heal() {
+	switch ch.cfg.scenario {
+	case "reshard":
+		if j := ch.fleet.joiner; j != nil {
+			log.Printf("chaos: hub %d leaving the ring (resign + handoff under writers)", j.idx)
+			if err := ch.fleet.leave(j, 60*time.Second); err != nil {
+				log.Printf("chaos: leave failed: %v", err)
+			}
+		}
+	case "crash":
+		v := ch.victim()
+		log.Printf("chaos: restarting hub %d on %s", v.idx, v.addr)
+		if err := ch.fleet.restart(v); err != nil {
+			log.Printf("chaos: restart failed: %v", err)
+		}
+	case "slow":
+		ch.victim().proxy.SetLatency(0)
+		log.Printf("chaos: latency cleared at hub %d", ch.victim().idx)
+	case "partition":
+		ch.victim().proxy.Heal()
+		log.Printf("chaos: partition healed at hub %d", ch.victim().idx)
+	}
+}
+
+// envelope is the post-run verdict the chaos scenarios (and the steady
+// SLO) are judged by.
+type envelope struct {
+	NoLostOps       bool
+	Converged       bool
+	QuiesceSeconds  float64
+	RecoveredWithin time.Duration // -1: never recovered inside the write window
+	RecoveryP99Max  time.Duration // the threshold recovery was judged against
+	Details         []string
+}
+
+// checkEnvelopes waits for the fleet of replicas to quiesce, then asserts
+// the no-lost-ops and convergence envelopes, and (for chaos runs) the p99
+// recovery envelope against the per-second timeline.
+func checkEnvelopes(cfg *config, clients []*client, m *metrics, ch *chaos) envelope {
+	env := envelope{RecoveredWithin: -1}
+
+	groups := make(map[string][]*client)
+	for _, c := range clients {
+		groups[c.doc] = append(groups[c.doc], c)
+	}
+
+	// Quiesce: every replica of every document has applied exactly the
+	// ops every sibling broadcast. This is simultaneously the no-lost-ops
+	// check — clock.Get(site) below the sender's broadcast count means an
+	// operation never arrived, and equality for every (replica, site)
+	// pair means anti-entropy repaired everything the fault dropped.
+	deadline := time.Now().Add(cfg.quiesceTimeout)
+	quiesceStart := time.Now()
+	var lastMismatches []string
+	for {
+		lastMismatches = lastMismatches[:0]
+		for doc, group := range groups {
+			for _, c := range group {
+				vc := c.eng.Clock()
+				if vc == nil {
+					lastMismatches = append(lastMismatches, fmt.Sprintf("doc %s: client %d engine stopped early", doc, c.id))
+					continue
+				}
+				for _, sib := range group {
+					want := sib.sent.Load()
+					if got := vc.Get(sib.site); got != want {
+						lastMismatches = append(lastMismatches,
+							fmt.Sprintf("doc %s: client %d sees %d/%d ops from site %d", doc, c.id, got, want, sib.site))
+					}
+				}
+			}
+		}
+		if len(lastMismatches) == 0 {
+			env.NoLostOps = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	env.QuiesceSeconds = time.Since(quiesceStart).Seconds()
+	if !env.NoLostOps {
+		sort.Strings(lastMismatches)
+		if len(lastMismatches) > 10 {
+			lastMismatches = append(lastMismatches[:10],
+				fmt.Sprintf("... and %d more", len(lastMismatches)-10))
+		}
+		env.Details = append(env.Details,
+			fmt.Sprintf("ops still missing after %v quiesce:", cfg.quiesceTimeout))
+		env.Details = append(env.Details, lastMismatches...)
+	}
+
+	// Convergence: identical content across each document's replicas.
+	// Compared by hash so 2,000 full documents are not held at once.
+	env.Converged = true
+	for doc, group := range groups {
+		var ref uint64
+		for i, c := range group {
+			h := fnv.New64a()
+			h.Write([]byte(c.replica.ContentString()))
+			sum := h.Sum64()
+			if i == 0 {
+				ref = sum
+			} else if sum != ref {
+				env.Converged = false
+				env.Details = append(env.Details,
+					fmt.Sprintf("doc %s: client %d content diverges from client %d (len %d vs %d)",
+						doc, c.id, group[0].id, c.replica.Len(), group[0].replica.Len()))
+				break
+			}
+		}
+	}
+
+	// p99 recovery: after heal, a per-second window's p99 must drop back
+	// under the recovery threshold (3x the pre-chaos baseline, floored at
+	// 250ms) before the write window ends and within -recover-within.
+	if cfg.scenario != "steady" && !ch.healedAt.IsZero() {
+		base := m.timeline
+		healIdx := base.WindowAt(ch.healedAt)
+		chaosIdx := base.WindowAt(ch.injectedAt)
+		endIdx := base.WindowAt(base.Start().Add(cfg.duration))
+
+		baseline := baselineP99(m, chaosIdx)
+		threshold := 3 * baseline
+		if threshold < 250*time.Millisecond {
+			threshold = 250 * time.Millisecond
+		}
+		env.RecoveryP99Max = threshold
+		for i := healIdx; i <= endIdx && i < base.Len(); i++ {
+			w := base.Window(i)
+			if w.Count() < 20 {
+				continue // too few samples to call a p99
+			}
+			if w.Quantile(0.99) <= threshold {
+				recoveredAt := base.Start().Add(time.Duration(i+1) * base.Width())
+				env.RecoveredWithin = recoveredAt.Sub(ch.healedAt)
+				if env.RecoveredWithin < 0 {
+					env.RecoveredWithin = 0
+				}
+				break
+			}
+		}
+		if env.RecoveredWithin < 0 {
+			env.Details = append(env.Details,
+				fmt.Sprintf("p99 never returned under %v between heal and the end of the write window", threshold))
+		} else if env.RecoveredWithin > cfg.recoverWithin {
+			env.Details = append(env.Details,
+				fmt.Sprintf("p99 recovered in %v, over the -recover-within budget of %v", env.RecoveredWithin, cfg.recoverWithin))
+		}
+	}
+	return env
+}
+
+// baselineP99 merges the whole windows that finished before the chaos
+// injection and returns their pooled p99 — the "normal" the recovery
+// threshold is relative to.
+func baselineP99(m *metrics, chaosIdx int) time.Duration {
+	merged := m.timeline.Window(0).Snapshot()
+	for i := 1; i < chaosIdx; i++ {
+		merged.Merge(m.timeline.Window(i))
+	}
+	if merged.Count() == 0 {
+		return 0
+	}
+	return merged.Quantile(0.99)
+}
+
+// passed reduces the envelope to the scenario's verdict: chaos runs need
+// all three checks, steady runs need convergence (and the SLO, asserted
+// by the caller).
+func (env *envelope) passed(cfg *config) bool {
+	ok := env.NoLostOps && env.Converged
+	if cfg.scenario != "steady" {
+		ok = ok && env.RecoveredWithin >= 0 && env.RecoveredWithin <= cfg.recoverWithin
+	}
+	return ok
+}

@@ -41,6 +41,7 @@
 //	treedoc-serve -addr :9707 -log /var/lib/treedoc -docs default,notes,wiki
 //	treedoc-serve -addr :9707 -self hub1:9707 -peers hub1:9707,hub2:9707
 //	treedoc-serve -addr :9708 -self hub3:9708 -join hub1:9707 -log /var/lib/treedoc -leave
+//	treedoc-serve -addr :9707 -stats 127.0.0.1:9780   # hub counters at /debug/vars
 //
 // Wire a replica to it:
 //
@@ -52,9 +53,12 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"hash/fnv"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -263,6 +267,7 @@ func main() {
 	snapThreshold := flag.Int("snap-threshold", 8192, "archivist: digest gap that triggers snapshot catch-up")
 	flattenEvery := flag.Duration("flatten-every", 0, "archivist: period between cold-subtree flatten proposals per document (0 disables; requires -log)")
 	flattenCold := flag.Int("flatten-cold", 2, "archivist: revisions a subtree must be quiet before it is proposed")
+	statsAddr := flag.String("stats", "", "HTTP listen address for the expvar stats endpoint (/debug/vars serves hub counters as JSON; empty disables)")
 	flag.Parse()
 
 	if *flattenEvery > 0 && *logDir == "" {
@@ -319,6 +324,27 @@ func main() {
 		am.cfg.self = am.cfg.hubAddr
 	}
 	close(am.ready)
+
+	// Stats endpoint: the stdlib expvar handler over a dedicated listener
+	// (never the relay port), publishing Hub.Stats under "treedoc.hub".
+	// GET /debug/vars returns one JSON object; see docs/OPERATIONS.md for
+	// reading the counters.
+	if *statsAddr != "" {
+		expvar.Publish("treedoc.hub", expvar.Func(func() any { return hub.Stats() }))
+		sln, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			log.Fatalf("treedoc-serve: stats listener: %v", err)
+		}
+		log.Printf("stats endpoint on http://%s/debug/vars", sln.Addr())
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.Serve(sln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("treedoc-serve: stats server: %v", err)
+			}
+		}()
+	}
 
 	// Joining a live ring: fetch the current membership from any member,
 	// mint the next epoch with this hub added, and adopt it —

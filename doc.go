@@ -71,8 +71,10 @@
 // from full queues, slow consumers or late joiners, and coordinates
 // flatten through the same commitment protocol the simulator runs. Links
 // are in-process channel pairs (NewChanPair) or length-prefixed TCP
-// framing (Dial), typically relayed by the cmd/treedoc-serve hub (whose
-// archivist can double as a flatten janitor with -flatten-every).
+// framing (Dial; DialDoc names a document, and a Session from DialSession
+// multiplexes several documents' links over one connection — see
+// ExampleDialSession), typically relayed by the cmd/treedoc-serve hub
+// (whose archivist can double as a flatten janitor with -flatten-every).
 // Convergence under genuine parallelism is exercised by the race and soak
 // tests in internal/transport; docs/ARCHITECTURE.md specifies the wire
 // and on-disk formats.

@@ -146,6 +146,58 @@ func ExampleEngine_ProposeFlatten() {
 	// 0 0
 }
 
+// One process can replicate many documents over a single hub
+// connection: a Session multiplexes per-document links, each feeding
+// its own engine+replica pair. This is the fan-in shape cmd/treedoc-load
+// drives at scale — thousands of client sessions sharing a bounded dial
+// pool against a sharded hub fleet.
+func ExampleDialSession() {
+	hub, _ := treedoc.ListenHub("127.0.0.1:0")
+	defer hub.Close()
+	addr := hub.Addr().String()
+
+	// Two processes' worth of clients, each editing both documents
+	// through one TCP connection.
+	type replica struct {
+		buf *treedoc.TextBuffer
+		eng *treedoc.Engine
+	}
+	fleet := make(map[string][]replica) // doc -> its replicas
+	for i, sess := range []*treedoc.Session{treedoc.DialSession(addr), treedoc.DialSession(addr)} {
+		defer sess.Close()
+		for _, doc := range []string{"notes", "wiki"} {
+			site := treedoc.SiteID(2*i + len(doc)%2 + 1) // unique per (session, doc)
+			buf, _ := treedoc.NewTextBuffer(treedoc.WithSite(site))
+			eng, _ := treedoc.NewEngine(site, buf, treedoc.WithSyncInterval(20*time.Millisecond))
+			defer eng.Stop()
+			link, _ := sess.Attach(doc)
+			eng.Connect(link)
+			fleet[doc] = append(fleet[doc], replica{buf, eng})
+		}
+	}
+
+	// The first replica of each document writes; the hub relays within
+	// each document's group only.
+	for doc, group := range fleet {
+		ops, _ := group[0].buf.Append(doc + " content")
+		_ = group[0].eng.Broadcast(ops...)
+	}
+	waitUntil(func() bool {
+		for _, group := range fleet {
+			if group[1].buf.String() != group[0].buf.String() {
+				return false
+			}
+		}
+		return true
+	})
+
+	fmt.Println(fleet["notes"][1].buf.String())
+	fmt.Println(fleet["wiki"][1].buf.String())
+	// Output:
+	// notes content
+	// wiki content
+}
+
 // Snapshots persist a replica, including the allocation state it needs to
 // keep minting fresh identifiers after a restart.
 func ExampleOpen() {

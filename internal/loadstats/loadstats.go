@@ -1,0 +1,275 @@
+// Package loadstats provides the measurement layer of cmd/treedoc-load:
+// a lock-free HDR-style latency histogram and a windowed timeline built
+// from it. The load harness records one sample per operation on its
+// stamp→deliver path — the wall-clock span between a writer generating an
+// edit and another replica applying it — from thousands of concurrent
+// goroutines, so recording must be wait-free (a single atomic add) and
+// never allocate.
+//
+// The histogram is log-linear in the HdrHistogram style: values are
+// bucketed by power-of-two magnitude, each magnitude subdivided into 32
+// linear sub-buckets, giving a worst-case relative quantile error of
+// 1/32 ≈ 3.1% across the full uint64 nanosecond range with a fixed
+// ~16 KiB footprint. Histograms merge by bucketwise addition, which is
+// exact: merging per-worker histograms and recording into one shared
+// histogram yield identical quantiles.
+//
+// Timeline slices a run into fixed-width windows (one histogram each) so
+// the harness can ask "when did p99 recover after the chaos event?"
+// rather than only reporting end-of-run aggregates.
+package loadstats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits is the linear subdivision of each power-of-two magnitude:
+	// 2^subBits sub-buckets per magnitude bound the relative error of a
+	// reported quantile at 2^-subBits.
+	subBits = 5
+	// subCount is the number of sub-buckets per magnitude.
+	subCount = 1 << subBits
+	// groups is the number of log magnitudes above the exact range: values
+	// below subCount are bucketed exactly, and every wider magnitude
+	// (exponents subBits..63) gets subCount linear sub-buckets.
+	groups = 64 - subBits
+	// numBuckets is the histogram's total bucket count.
+	numBuckets = subCount + groups*subCount
+)
+
+// Hist is a fixed-size concurrent latency histogram. Record is wait-free
+// (one atomic add plus min/max CAS loops) and allocation-free; readers
+// (Count, Quantile, Merge, Snapshot) may run concurrently with writers
+// and observe a consistent-enough view: bucket counts are each atomically
+// read, so a concurrent quantile is a valid quantile of *some* interleaving
+// of the recorded samples.
+//
+// The zero value is not ready for use; call New.
+type Hist struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds; wraps only after ~584 years of summed latency
+	min    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// New returns an empty histogram.
+func New() *Hist {
+	h := &Hist{}
+	h.min.Store(^uint64(0))
+	return h
+}
+
+// bucket maps a nanosecond value to its bucket index. Values below
+// subCount are exact; above, the index is the exponent group plus the top
+// subBits bits after the leading one.
+func bucket(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // v in [2^exp, 2^(exp+1)), exp >= subBits
+	sub := (v >> (uint(exp) - subBits)) & (subCount - 1)
+	return (exp-subBits+1)*subCount + int(sub)
+}
+
+// bucketHigh returns the highest value mapping to bucket i — the value
+// Quantile reports for samples in that bucket (matching HdrHistogram's
+// highest-equivalent-value convention, so a reported quantile never
+// understates the recorded sample by more than the bucket width).
+func bucketHigh(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	g := i/subCount - 1 // 0-based group above the exact range
+	sub := uint64(i % subCount)
+	exp := uint(g) + subBits
+	low := uint64(1)<<exp | sub<<(exp-subBits)
+	return low + 1<<(exp-subBits) - 1
+}
+
+// Record adds one latency sample. Negative durations (a clock step mid
+// run) clamp to zero rather than poisoning the distribution.
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[bucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of the recorded samples (0 when
+// empty). Unlike the quantiles it is exact, not bucketed.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded samples:
+// the bucketed value below which at least q of the samples fall, within
+// the histogram's ~3% relative error. Empty histograms return 0; q<=0
+// returns Min and q>=1 returns Max (both exact).
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			v := bucketHigh(i)
+			// Highest-equivalent-value can overstate past the true max in
+			// the top occupied bucket; the exact max is the tighter bound.
+			if mx := h.max.Load(); v > mx {
+				v = mx
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max() // racing writers advanced count past the buckets read
+}
+
+// Merge adds every sample recorded in o into h. Merging is exact — the
+// result is indistinguishable from having recorded o's samples into h —
+// and safe to run concurrently with writers on either histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if c := o.count.Load(); c > 0 {
+		h.count.Add(c)
+		h.sum.Add(o.sum.Load())
+		for {
+			om, cur := o.min.Load(), h.min.Load()
+			if om >= cur || h.min.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+		for {
+			om, cur := o.max.Load(), h.max.Load()
+			if om <= cur || h.max.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+	}
+}
+
+// Snapshot returns an independent copy of the histogram's current state.
+func (h *Hist) Snapshot() *Hist {
+	s := New()
+	s.Merge(h)
+	return s
+}
+
+// Timeline slices a run into fixed-width windows, one histogram per
+// window, so quantiles can be read per second (or any width) instead of
+// only end-of-run. Recording is lock-free; samples past the preallocated
+// horizon land in the final window rather than being dropped, so totals
+// across windows always match the run's sample count.
+type Timeline struct {
+	start time.Time
+	width time.Duration
+	wins  []*Hist
+}
+
+// NewTimeline creates a timeline of n windows of the given width,
+// starting now.
+func NewTimeline(width time.Duration, n int) *Timeline {
+	if width <= 0 {
+		width = time.Second
+	}
+	if n < 1 {
+		n = 1
+	}
+	t := &Timeline{start: time.Now(), width: width, wins: make([]*Hist, n)}
+	for i := range t.wins {
+		t.wins[i] = New()
+	}
+	return t
+}
+
+// Record adds a sample to the window containing time at.
+func (t *Timeline) Record(at time.Time, d time.Duration) {
+	i := int(at.Sub(t.start) / t.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.wins) {
+		i = len(t.wins) - 1
+	}
+	t.wins[i].Record(d)
+}
+
+// Len returns the number of windows.
+func (t *Timeline) Len() int { return len(t.wins) }
+
+// Width returns the window width.
+func (t *Timeline) Width() time.Duration { return t.width }
+
+// Start returns the timeline's epoch (window 0 begins here).
+func (t *Timeline) Start() time.Time { return t.start }
+
+// Window returns the histogram for window i.
+func (t *Timeline) Window(i int) *Hist { return t.wins[i] }
+
+// WindowAt returns the index of the window containing time at, clamped
+// to the timeline's range.
+func (t *Timeline) WindowAt(at time.Time) int {
+	i := int(at.Sub(t.start) / t.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.wins) {
+		i = len(t.wins) - 1
+	}
+	return i
+}

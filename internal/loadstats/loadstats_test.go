@@ -1,0 +1,235 @@
+package loadstats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the plain sorted-slice quantile the histogram is checked
+// against.
+func refQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// within asserts the histogram quantile is inside the log-linear error
+// envelope of the reference: the bucket containing ref spans at most
+// ref/32 (plus one for integer rounding), and highest-equivalent-value
+// reporting can only overstate.
+func within(t *testing.T, name string, got, ref time.Duration) {
+	t.Helper()
+	tol := time.Duration(float64(ref)/16) + 2
+	if got < ref-tol || got > ref+tol {
+		t.Errorf("%s: got %v, reference %v (tolerance %v)", name, got, ref, tol)
+	}
+}
+
+func TestQuantileAgainstSortedReference(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) time.Duration{
+		// Uniform microseconds-to-milliseconds.
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(int64(5 * time.Millisecond)))
+		},
+		// Long-tailed: mostly fast with a slow tail, the shape a relay
+		// fleet actually produces.
+		"longtail": func(r *rand.Rand) time.Duration {
+			d := time.Duration(r.Int63n(int64(2 * time.Millisecond)))
+			if r.Intn(100) == 0 {
+				d += time.Duration(r.Int63n(int64(800 * time.Millisecond)))
+			}
+			return d
+		},
+		// Tiny values exercise the exact sub-subCount range.
+		"tiny": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(40))
+		},
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			h := New()
+			samples := make([]time.Duration, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				d := gen(r)
+				samples = append(samples, d)
+				h.Record(d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if h.Count() != 20000 {
+				t.Fatalf("count = %d, want 20000", h.Count())
+			}
+			if h.Min() != samples[0] {
+				t.Errorf("min = %v, want %v", h.Min(), samples[0])
+			}
+			if h.Max() != samples[len(samples)-1] {
+				t.Errorf("max = %v, want %v", h.Max(), samples[len(samples)-1])
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				within(t, name, h.Quantile(q), refQuantile(samples, q))
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := New()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram should report zeros")
+	}
+	h.Record(7 * time.Millisecond)
+	if got := h.Quantile(0.5); got < 7*time.Millisecond || got > 7*time.Millisecond+7*time.Millisecond/32+1 {
+		t.Errorf("single-sample median = %v", got)
+	}
+	if h.Quantile(0) != 7*time.Millisecond {
+		t.Errorf("q=0 should be exact min, got %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 7*time.Millisecond {
+		t.Errorf("q=1 should be exact max, got %v", h.Quantile(1))
+	}
+	h.Record(-time.Second) // clock step: clamps to zero, never corrupts
+	if h.Count() != 2 || h.Min() != 0 {
+		t.Errorf("negative sample: count=%d min=%v", h.Count(), h.Min())
+	}
+}
+
+// TestMergeExact verifies merging per-worker histograms is
+// indistinguishable from recording into one shared histogram.
+func TestMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	shared := New()
+	parts := []*Hist{New(), New(), New()}
+	for i := 0; i < 30000; i++ {
+		d := time.Duration(r.Int63n(int64(200 * time.Millisecond)))
+		shared.Record(d)
+		parts[i%len(parts)].Record(d)
+	}
+	merged := New()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != shared.Count() {
+		t.Fatalf("merged count %d != shared %d", merged.Count(), shared.Count())
+	}
+	if merged.Min() != shared.Min() || merged.Max() != shared.Max() || merged.Mean() != shared.Mean() {
+		t.Errorf("merged min/max/mean %v/%v/%v != shared %v/%v/%v",
+			merged.Min(), merged.Max(), merged.Mean(), shared.Min(), shared.Max(), shared.Mean())
+	}
+	for q := 0.01; q < 1; q += 0.07 {
+		if m, s := merged.Quantile(q), shared.Quantile(q); m != s {
+			t.Errorf("q=%.2f: merged %v != shared %v", q, m, s)
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := merged.Count()
+	merged.Merge(New())
+	merged.Merge(nil)
+	if merged.Count() != before {
+		t.Errorf("empty merge changed count")
+	}
+}
+
+// TestConcurrentRecord drives Record and readers from many goroutines;
+// under -race this is the lock-freedom proof, and the final count must be
+// exact regardless.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: quantiles must stay valid mid-flight
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Quantile(0.99)
+			_ = h.Snapshot()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(r.Int63n(int64(50 * time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	for h.Count() < workers*perWorker {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var sum uint64
+	for i := 0; i < numBuckets; i++ {
+		sum += h.counts[i].Load()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's reported value must map back into that bucket, and
+	// bucket indexes must be monotone in the value.
+	for i := 0; i < numBuckets; i++ {
+		v := bucketHigh(i)
+		if got := bucket(v); got != i {
+			t.Fatalf("bucket(bucketHigh(%d)=%d) = %d", i, v, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<20 + 12345, 1 << 40, ^uint64(0)} {
+		b := bucket(v)
+		if b < prev {
+			t.Fatalf("bucket(%d) = %d not monotone (prev %d)", v, b, prev)
+		}
+		if b >= numBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, b)
+		}
+		prev = b
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(10*time.Millisecond, 5)
+	base := tl.Start()
+	tl.Record(base, time.Millisecond)
+	tl.Record(base.Add(25*time.Millisecond), 2*time.Millisecond)
+	tl.Record(base.Add(49*time.Millisecond), 3*time.Millisecond)
+	tl.Record(base.Add(time.Hour), 4*time.Millisecond)    // past horizon: last window
+	tl.Record(base.Add(-time.Second), 5*time.Millisecond) // before start: first window
+	if tl.Len() != 5 || tl.Width() != 10*time.Millisecond {
+		t.Fatalf("len=%d width=%v", tl.Len(), tl.Width())
+	}
+	var total uint64
+	for i := 0; i < tl.Len(); i++ {
+		total += tl.Window(i).Count()
+	}
+	if total != 5 {
+		t.Fatalf("samples across windows = %d, want 5", total)
+	}
+	if tl.Window(0).Count() != 2 || tl.Window(2).Count() != 1 || tl.Window(4).Count() != 2 {
+		t.Errorf("window distribution: %d/%d/%d", tl.Window(0).Count(), tl.Window(2).Count(), tl.Window(4).Count())
+	}
+	if got := tl.WindowAt(base.Add(25 * time.Millisecond)); got != 2 {
+		t.Errorf("WindowAt = %d, want 2", got)
+	}
+}

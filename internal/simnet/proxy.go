@@ -1,0 +1,195 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is the real-TCP counterpart of Network: a transparent byte proxy
+// in front of one listener that can inject latency and partitions into
+// live connections. Where Network shapes traffic inside a single
+// deterministic process, Proxy shapes traffic between real processes —
+// cmd/treedoc-load puts one in front of each hub so chaos scenarios can
+// partition a hub from its clients and mesh peers (every dial to the
+// hub's advertised address traverses the proxy) and heal it again without
+// the hub cooperating or even noticing.
+//
+// Semantics differ from Network deliberately: a partitioned Network holds
+// messages for delivery after healing, modelling disconnected operation,
+// while a partitioned Proxy severs TCP connections and refuses new ones —
+// the failure a real operator sees. Recovery after Heal is the transport
+// layer's job (reconnect, anti-entropy catch-up), which is exactly what
+// the chaos envelopes verify.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu      sync.Mutex
+	latency time.Duration         // guarded by mu: per-direction added delay
+	cut     bool                  // guarded by mu: true while partitioned
+	conns   map[net.Conn]struct{} // guarded by mu: open accepted conns, severed on Partition
+	closed  bool                  // guarded by mu
+	wg      sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to target.
+// Close it to release the port.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("simnet: proxy listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the address to advertise in
+// place of the target's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target returns the address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// SetLatency sets the added one-way delay applied to each direction of
+// every connection (so round trips gain roughly 2d). Zero removes it.
+// Takes effect immediately, including on established connections. The
+// delay is applied per read chunk, serialising the stream — a model of a
+// slow link rather than a long fat one, which also makes it double as the
+// slow-client backpressure knob.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	p.latency = d
+}
+
+// Partition severs every established connection through the proxy and
+// makes new dials fail until Heal. The target itself keeps running; only
+// its advertised address goes dark.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = true
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// Heal re-admits new connections after a Partition. Connections severed
+// by the partition stay dead; the dialing side must reconnect.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = false
+}
+
+// Close stops the proxy, severing all connections and releasing the port.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.cut || p.closed {
+			p.mu.Unlock()
+			c.Close() // RST-ish fast failure: the dialer sees a dead address
+			continue
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(c)
+	}
+}
+
+// serve dials the target and shuttles bytes both ways until either side
+// closes or a Partition severs the pair.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.cut || p.closed {
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pipe(upstream, client) }()
+	go func() { defer wg.Done(); p.pipe(client, upstream) }()
+	wg.Wait()
+
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, upstream)
+	p.mu.Unlock()
+	client.Close()
+	upstream.Close()
+}
+
+// pipe copies src to dst, delaying each chunk by the current latency.
+// Closing either end (including a Partition closing both) unblocks the
+// Read or Write and ends the loop; the paired pipe ends via the closes in
+// serve's epilogue.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			d := p.latency
+			p.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				dst.Close()
+				src.Close()
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				dst.Close()
+			} else if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite() // propagate half-close so in-flight replies drain
+			} else {
+				dst.Close()
+			}
+			return
+		}
+	}
+}

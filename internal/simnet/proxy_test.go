@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back, returning its
+// address and a stop function.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo:%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, conn net.Conn, msg string) (string, error) {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	return strings.TrimSpace(line), err
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p, err := NewProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(t, conn, "hello")
+	if err != nil || got != "echo:hello" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, err := NewProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	const d = 50 * time.Millisecond
+	p.SetLatency(d)
+	start := time.Now()
+	if _, err := roundTrip(t, conn, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// One-way delay each direction: the echo round trip gains >= 2d.
+	if took := time.Since(start); took < 2*d {
+		t.Errorf("latency round trip took %v, want >= %v", took, 2*d)
+	}
+
+	p.SetLatency(0)
+	start = time.Now()
+	if _, err := roundTrip(t, conn, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > d {
+		t.Errorf("cleared latency round trip took %v", took)
+	}
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	p, err := NewProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Partition()
+	// Established connection is severed: the next round trip fails.
+	if got, err := roundTrip(t, conn, "cut"); err == nil {
+		t.Fatalf("round trip through partition succeeded: %q", got)
+	}
+	// New dials fail fast (either refused or immediately closed).
+	if c2, err := net.Dial("tcp", p.Addr()); err == nil {
+		if got, err := roundTrip(t, c2, "cut2"); err == nil {
+			t.Fatalf("new conn through partition succeeded: %q", got)
+		}
+		c2.Close()
+	}
+
+	p.Heal()
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	got, err := roundTrip(t, c3, "healed")
+	if err != nil || got != "echo:healed" {
+		t.Fatalf("post-heal round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	p, err := NewProxy(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

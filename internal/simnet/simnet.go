@@ -8,6 +8,19 @@
 // Messages between partitioned sites are held and delivered after healing,
 // modelling the paper's disconnected-operation setting rather than loss:
 // "Eventually, every site executes every action" (Section 1).
+//
+// Two fault injectors live here, one per plane:
+//
+//   - Network: the in-process discrete-event simulator above, for
+//     deterministic unit tests and benchmarks (Partition/Heal hold and
+//     release messages; latency is a seeded uniform draw on a virtual
+//     clock).
+//   - Proxy: a real-TCP byte proxy for multi-process harnesses
+//     (cmd/treedoc-load), fronting a live listener so chaos scenarios can
+//     sever and delay actual connections. Unlike Network it models the
+//     operator-visible failure: partitions kill connections instead of
+//     buffering messages, and recovery relies on the transport's own
+//     reconnect and anti-entropy.
 package simnet
 
 import (

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the open-loop counterpart of the revision-based generator:
+// where Generate replays whole edit sessions (the paper's repository
+// histories), a Stream emits one editor action at a time, shaped like live
+// typing, for cmd/treedoc-load's concurrent client fleet. Each action is a
+// splice against the client's current view; the knobs (Mix) control the
+// behavioural mix — typist bursts at a local cursor, long-range cursor
+// jumps, paste storms, deletions — and DocPicker controls how a fleet of
+// clients skews across documents (uniform vs hot-doc Zipf).
+
+// Edit is one editor action against a document of atoms: at atom index
+// Pos, delete Del atoms, then insert the Ins atoms. It is the streaming
+// sibling of a diff edit script entry, shaped for Doc.InsertAt/DeleteAt.
+type Edit struct {
+	Pos int
+	Del int
+	Ins []string
+}
+
+// Mix parameterises a Stream's behavioural blend. The zero value is not
+// useful; start from DefaultMix and override.
+type Mix struct {
+	// TypistRun is the mean length of a typing burst: consecutive
+	// single-atom inserts at an advancing cursor before the next
+	// behavioural decision.
+	TypistRun int
+	// JumpProb is the probability, per action, that the cursor abandons
+	// its locality and jumps to a uniformly random position (a click or a
+	// search). Between jumps the cursor wanders only a few atoms per
+	// action — the paper's hot-region clustering.
+	JumpProb float64
+	// PasteProb is the probability that an insert action is a paste storm
+	// of PasteLen atoms instead of a single-atom keystroke.
+	PasteProb float64
+	// PasteLen is the mean paste length in atoms.
+	PasteLen int
+	// DeleteProb is the probability that an action deletes (backspace or
+	// a selected-range delete of up to DeleteRun atoms) instead of
+	// inserting.
+	DeleteProb float64
+	// DeleteRun is the maximum atoms removed by one delete action.
+	DeleteRun int
+	// AtomBytes is the mean inserted atom length in bytes (before the
+	// harness's latency stamp prefix).
+	AtomBytes int
+}
+
+// DefaultMix is a balanced interactive-editing blend: mostly typing
+// bursts with local cursor motion, an occasional jump, 2% paste storms
+// and a realistic delete share.
+func DefaultMix() Mix {
+	return Mix{
+		TypistRun:  8,
+		JumpProb:   0.05,
+		PasteProb:  0.02,
+		PasteLen:   24,
+		DeleteProb: 0.15,
+		DeleteRun:  4,
+		AtomBytes:  24,
+	}
+}
+
+// Validate reports a Mix whose knobs are out of range.
+func (m Mix) Validate() error {
+	if m.TypistRun < 1 || m.PasteLen < 1 || m.DeleteRun < 1 || m.AtomBytes < 1 {
+		return fmt.Errorf("trace: mix runs and sizes must be >= 1: %+v", m)
+	}
+	for _, p := range []float64{m.JumpProb, m.PasteProb, m.DeleteProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("trace: mix probabilities must be in [0,1]: %+v", m)
+		}
+	}
+	if m.PasteProb+m.DeleteProb > 1 {
+		return fmt.Errorf("trace: PasteProb+DeleteProb must leave room for typing: %+v", m)
+	}
+	return nil
+}
+
+// Stream generates an infinite sequence of edits for one client. Streams
+// are deterministic: the same (Mix, seed) pair replays the same actions
+// against the same document-length observations. Not safe for concurrent
+// use — each client owns its stream.
+type Stream struct {
+	mix    Mix
+	rng    *rand.Rand
+	cursor int
+	burst  int // remaining actions in the current typing burst
+	next   int // atom content counter
+	tag    string
+}
+
+// NewStream creates a deterministic edit stream. The tag namespaces the
+// generated atom content so two clients' inserts are distinguishable in a
+// converged document.
+func NewStream(m Mix, seed int64, tag string) (*Stream, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stream{mix: m, rng: rand.New(rand.NewSource(seed)), tag: tag}, nil
+}
+
+// atom synthesizes one atom of roughly AtomBytes bytes.
+func (s *Stream) atom() string {
+	s.next++
+	a := fmt.Sprintf("%s-%07d", s.tag, s.next)
+	want := s.mix.AtomBytes/2 + s.rng.Intn(s.mix.AtomBytes)
+	for len(a) < want {
+		a += "abcdefgh"[:min(8, want-len(a))]
+	}
+	return a
+}
+
+// place clamps and wanders the cursor for the next action against a
+// document currently docLen atoms long.
+func (s *Stream) place(docLen int) {
+	if docLen <= 0 {
+		s.cursor = 0
+		return
+	}
+	if s.cursor > docLen {
+		s.cursor = docLen
+	}
+	if s.rng.Float64() < s.mix.JumpProb {
+		s.cursor = s.rng.Intn(docLen + 1)
+		s.burst = 0
+		return
+	}
+	// Local wander: stay within a few atoms of the current position.
+	s.cursor += s.rng.Intn(5) - 2
+	if s.cursor < 0 {
+		s.cursor = 0
+	}
+	if s.cursor > docLen {
+		s.cursor = docLen
+	}
+}
+
+// Next produces the next action against a document of docLen atoms. The
+// returned edit is always valid for that length: Pos+Del <= docLen.
+func (s *Stream) Next(docLen int) Edit {
+	s.place(docLen)
+	r := s.rng.Float64()
+	switch {
+	case r < s.mix.DeleteProb && docLen > 0:
+		del := 1 + s.rng.Intn(s.mix.DeleteRun)
+		if s.cursor >= docLen {
+			s.cursor = docLen - 1
+		}
+		if s.cursor+del > docLen {
+			del = docLen - s.cursor
+		}
+		s.burst = 0
+		return Edit{Pos: s.cursor, Del: del}
+	case r < s.mix.DeleteProb+s.mix.PasteProb:
+		n := 1 + s.mix.PasteLen/2 + s.rng.Intn(s.mix.PasteLen)
+		ins := make([]string, n)
+		for i := range ins {
+			ins[i] = s.atom()
+		}
+		pos := s.cursor
+		s.cursor += n
+		s.burst = 0
+		return Edit{Pos: pos, Ins: ins}
+	default:
+		// Typing burst: single-atom inserts at an advancing cursor. The
+		// burst length decision is made when a burst starts; while one is
+		// running the cursor does not wander (place still clamps it).
+		if s.burst <= 0 {
+			s.burst = 1 + s.rng.Intn(2*s.mix.TypistRun)
+		}
+		s.burst--
+		pos := s.cursor
+		s.cursor++
+		return Edit{Pos: pos, Ins: []string{s.atom()}}
+	}
+}
+
+// DocPicker assigns a fleet of clients to documents. With skew 0 the
+// assignment is uniform; with skew s > 1 it is Zipf-distributed with
+// exponent s, concentrating clients on a few hot documents — the shape
+// that stresses one shard's fan-out while the rest idle. Picks are
+// deterministic under a fixed seed. Not safe for concurrent use.
+type DocPicker struct {
+	docs []string
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewDocPicker builds a picker over docs. skew 0 means uniform; skew > 1
+// is the Zipf exponent (1.1–2.0 are realistic hot-doc shapes).
+func NewDocPicker(docs []string, skew float64, seed int64) (*DocPicker, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("trace: doc picker needs at least one document")
+	}
+	if skew != 0 && skew <= 1 {
+		return nil, fmt.Errorf("trace: zipf skew must be 0 (uniform) or > 1, got %v", skew)
+	}
+	p := &DocPicker{docs: docs, rng: rand.New(rand.NewSource(seed))}
+	if skew > 1 {
+		p.zipf = rand.NewZipf(p.rng, skew, 1, uint64(len(docs)-1))
+	}
+	return p, nil
+}
+
+// Pick returns the next document assignment.
+func (p *DocPicker) Pick() string {
+	if p.zipf == nil {
+		return p.docs[p.rng.Intn(len(p.docs))]
+	}
+	return p.docs[p.zipf.Uint64()]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// applyEdit maintains a doc length under a stream's edits so the stream
+// observes realistic lengths (Next is driven with the evolving length,
+// as the load harness drives it with the live Doc's length).
+func applyEdit(docLen int, e Edit) int {
+	return docLen - e.Del + len(e.Ins)
+}
+
+// TestMixDistributions drives streams for many actions and checks the
+// realized action mix against the configured probabilities.
+func TestMixDistributions(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  Mix
+	}{
+		{"default", DefaultMix()},
+		{"paste-heavy", Mix{TypistRun: 4, JumpProb: 0.1, PasteProb: 0.2, PasteLen: 10, DeleteProb: 0.1, DeleteRun: 2, AtomBytes: 8}},
+		{"delete-heavy", Mix{TypistRun: 6, JumpProb: 0.02, PasteProb: 0.01, PasteLen: 40, DeleteProb: 0.4, DeleteRun: 8, AtomBytes: 16}},
+		{"pure-typist", Mix{TypistRun: 12, JumpProb: 0, PasteProb: 0, PasteLen: 1, DeleteProb: 0, DeleteRun: 1, AtomBytes: 12}},
+	}
+	const actions = 60000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewStream(tc.mix, 1, "c0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var deletes, pastes, singles int
+			var pasteAtoms int
+			docLen := 0
+			for i := 0; i < actions; i++ {
+				e := s.Next(docLen)
+				if e.Pos < 0 || e.Pos+e.Del > docLen {
+					t.Fatalf("action %d: edit %+v invalid for docLen %d", i, e, docLen)
+				}
+				switch {
+				case e.Del > 0:
+					deletes++
+				case len(e.Ins) > 1:
+					pastes++
+					pasteAtoms += len(e.Ins)
+				case len(e.Ins) == 1:
+					singles++
+				default:
+					t.Fatalf("action %d: empty edit %+v", i, e)
+				}
+				docLen = applyEdit(docLen, e)
+			}
+			// Delete share tracks DeleteProb. The realized share runs a
+			// touch below the probability because deletes are skipped on an
+			// empty document; 15% relative plus 1 point absolute covers
+			// both sampling noise and that early-run dilution.
+			checkShare := func(name string, got int, want float64) {
+				t.Helper()
+				share := float64(got) / actions
+				tol := 0.15*want + 0.01
+				if math.Abs(share-want) > tol {
+					t.Errorf("%s share = %.4f, want %.4f ± %.4f", name, share, want, tol)
+				}
+			}
+			checkShare("delete", deletes, tc.mix.DeleteProb)
+			checkShare("paste", pastes, tc.mix.PasteProb)
+			checkShare("single-insert", singles, 1-tc.mix.DeleteProb-tc.mix.PasteProb)
+			if pastes > 0 {
+				mean := float64(pasteAtoms) / float64(pastes)
+				// Paste length is 1 + PasteLen/2 + Intn(PasteLen): mean
+				// ≈ PasteLen + 0.5.
+				want := float64(tc.mix.PasteLen) + 0.5
+				if math.Abs(mean-want) > 0.25*want+1 {
+					t.Errorf("mean paste length = %.1f, want ≈ %.1f", mean, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMixAtomSize checks generated atoms land near the configured mean.
+func TestMixAtomSize(t *testing.T) {
+	m := DefaultMix()
+	s, err := NewStream(m, 3, "size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, n int
+	docLen := 0
+	for i := 0; i < 20000; i++ {
+		e := s.Next(docLen)
+		for _, a := range e.Ins {
+			total += len(a)
+			n++
+		}
+		docLen = applyEdit(docLen, e)
+	}
+	if n == 0 {
+		t.Fatal("no atoms generated")
+	}
+	mean := float64(total) / float64(n)
+	// Atom length is max(tag+counter, AtomBytes/2 + Intn(AtomBytes)): the
+	// fixed prefix ("size-0000001", 12 bytes) floors the draw, so the mean
+	// sits at or a bit above the nominal AtomBytes (= 24 here).
+	if mean < float64(m.AtomBytes)*0.75 || mean > float64(m.AtomBytes)*1.5 {
+		t.Errorf("mean atom bytes = %.1f, want near %d", mean, m.AtomBytes)
+	}
+}
+
+// TestStreamDeterministic proves two streams with the same (mix, seed,
+// tag) replay identical edits, and a different seed diverges.
+func TestStreamDeterministic(t *testing.T) {
+	m := DefaultMix()
+	a, _ := NewStream(m, 99, "x")
+	b, _ := NewStream(m, 99, "x")
+	c, _ := NewStream(m, 100, "x")
+	docA, docB, docC := 0, 0, 0
+	diverged := false
+	for i := 0; i < 2000; i++ {
+		ea, eb, ec := a.Next(docA), b.Next(docB), c.Next(docC)
+		if !reflect.DeepEqual(ea, eb) {
+			t.Fatalf("action %d: same seed diverged: %+v vs %+v", i, ea, eb)
+		}
+		if !reflect.DeepEqual(ea, ec) {
+			diverged = true
+		}
+		docA, docB, docC = applyEdit(docA, ea), applyEdit(docB, eb), applyEdit(docC, ec)
+	}
+	if !diverged {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	bad := []Mix{
+		{}, // zero value: runs are 0
+		func() Mix { m := DefaultMix(); m.JumpProb = 1.5; return m }(),
+		func() Mix { m := DefaultMix(); m.DeleteProb = -0.1; return m }(),
+		func() Mix { m := DefaultMix(); m.PasteProb = 0.6; m.DeleteProb = 0.6; return m }(),
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid mix %+v", i, m)
+		}
+		if _, err := NewStream(m, 1, "t"); err == nil {
+			t.Errorf("case %d: NewStream accepted invalid mix", i)
+		}
+	}
+	if err := DefaultMix().Validate(); err != nil {
+		t.Errorf("DefaultMix invalid: %v", err)
+	}
+}
+
+// TestDocPicker checks the skew knob: uniform mode spreads picks evenly,
+// Zipf mode concentrates them on the hottest doc, and both are
+// deterministic under a fixed seed.
+func TestDocPicker(t *testing.T) {
+	docs := make([]string, 16)
+	for i := range docs {
+		docs[i] = string(rune('a' + i))
+	}
+	const picks = 40000
+
+	count := func(p *DocPicker) map[string]int {
+		c := make(map[string]int)
+		for i := 0; i < picks; i++ {
+			c[p.Pick()]++
+		}
+		return c
+	}
+
+	uni, err := NewDocPicker(docs, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu := count(uni)
+	exp := picks / len(docs)
+	for _, d := range docs {
+		if cu[d] < exp/2 || cu[d] > exp*2 {
+			t.Errorf("uniform: doc %q got %d picks, expected near %d", d, cu[d], exp)
+		}
+	}
+
+	hot, err := NewDocPicker(docs, 1.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := count(hot)
+	// Zipf rank 0 is the first doc; with s=1.5 over 16 docs it should draw
+	// well over double the uniform share.
+	if ch[docs[0]] < exp*2 {
+		t.Errorf("zipf: hottest doc got %d picks, expected > %d", ch[docs[0]], exp*2)
+	}
+
+	// Determinism: same seed, same sequence.
+	p1, _ := NewDocPicker(docs, 1.5, 11)
+	p2, _ := NewDocPicker(docs, 1.5, 11)
+	for i := 0; i < 1000; i++ {
+		if a, b := p1.Pick(), p2.Pick(); a != b {
+			t.Fatalf("pick %d: %q != %q under same seed", i, a, b)
+		}
+	}
+
+	if _, err := NewDocPicker(nil, 0, 1); err == nil {
+		t.Error("empty docs accepted")
+	}
+	if _, err := NewDocPicker(docs, 0.5, 1); err == nil {
+		t.Error("invalid skew 0.5 accepted")
+	}
+}

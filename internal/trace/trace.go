@@ -15,6 +15,22 @@
 // include vandalism episodes ("large portions of text are repeatedly
 // defaced, then restored"), and edits cluster in hot regions so the flatten
 // heuristics have cold subtrees to find.
+//
+// Two generators share the calibrated behaviour:
+//
+//   - Generate (generate.go) produces whole replayable histories — a Trace
+//     of revisions — from a Profile. This is the paper-evaluation path:
+//     profiles for each published workload live in Profiles.
+//   - Stream (mix.go) emits one live editor action at a time from a Mix of
+//     behavioural knobs (typing-burst length, cursor-jump probability,
+//     paste-storm frequency/size, delete share, atom size). This is the
+//     open-loop load path used by cmd/treedoc-load, where thousands of
+//     concurrent clients each own a Stream. DocPicker assigns those
+//     clients to documents, either uniformly or Zipf-skewed toward hot
+//     documents.
+//
+// Both are deterministic under a fixed seed, so a load run or an
+// evaluation figure is reproducible from its flag line alone.
 package trace
 
 import (

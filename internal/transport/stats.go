@@ -1,0 +1,50 @@
+package transport
+
+// HubStats is a point-in-time aggregate of every counter a Hub exposes,
+// shaped for machine export: cmd/treedoc-serve and cmd/treedoc-load
+// publish it as an expvar (JSON over /debug/vars), and the load harness
+// snapshots it before/after chaos events to assert envelopes ("frozen
+// drops stopped growing", "forwards went to zero after heal"). All
+// counters are cumulative since hub start; rates are the consumer's job.
+type HubStats struct {
+	// Clients is the number of currently connected client conns (all
+	// documents plus legacy and mesh conns).
+	Clients int
+	// Docs is the number of documents with a live relay group.
+	Docs int
+	// RingEpoch is the live sharding ring's epoch (0 when unsharded).
+	RingEpoch uint64
+	// Relays, Drops and Unrouted are Hub.Relays/Drops/Unrouted.
+	Relays, Drops, Unrouted uint64
+	// Forwards is Hub.Forwards (hub-to-hub envelopes sent for non-owned
+	// documents).
+	Forwards uint64
+	// FrozenDrops, HandoffsOut and HandoffsIn are the live-resharding
+	// counters (see Hub.FrozenDrops and friends).
+	FrozenDrops, HandoffsOut, HandoffsIn uint64
+	// PerDoc is Hub.DocStats: per-document clients/relays/drops.
+	PerDoc map[string]DocStats
+}
+
+// Stats collects a consistent-enough snapshot of the hub's counters. The
+// atomic counters are each read once; the per-document map is taken under
+// the hub lock. Safe to call at any frequency — it allocates only the
+// PerDoc map.
+func (h *Hub) Stats() HubStats {
+	s := HubStats{
+		RingEpoch:   h.RingEpoch(),
+		Relays:      h.Relays(),
+		Drops:       h.Drops(),
+		Unrouted:    h.Unrouted(),
+		Forwards:    h.Forwards(),
+		FrozenDrops: h.FrozenDrops(),
+		HandoffsOut: h.HandoffsOut(),
+		HandoffsIn:  h.HandoffsIn(),
+		PerDoc:      h.DocStats(),
+	}
+	h.mu.Lock()
+	s.Clients = len(h.conns)
+	s.Docs = len(h.shards)
+	h.mu.Unlock()
+	return s
+}

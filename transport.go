@@ -90,6 +90,12 @@ type HubOption = transport.HubOption
 // Hub.DocStats).
 type HubDocStats = transport.DocStats
 
+// HubStats is a point-in-time aggregate of every Hub counter, shaped for
+// machine export (see Hub.Stats): cmd/treedoc-serve serves it as an
+// expvar under -stats, and cmd/treedoc-load snapshots it into
+// load-report.json.
+type HubStats = transport.HubStats
+
 // Session multiplexes several document-scoped links over shared hub
 // connections, following shard redirects transparently.
 type Session = transport.Session
