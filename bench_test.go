@@ -17,8 +17,11 @@ import (
 	"testing"
 
 	"github.com/treedoc/treedoc/internal/bench"
+	"github.com/treedoc/treedoc/internal/causal"
 	"github.com/treedoc/treedoc/internal/ident"
 	"github.com/treedoc/treedoc/internal/trace"
+	"github.com/treedoc/treedoc/internal/transport"
+	"github.com/treedoc/treedoc/internal/vclock"
 )
 
 func mustTrace(b *testing.B, name string) *trace.Trace {
@@ -500,5 +503,88 @@ func BenchmarkSliceWalk(b *testing.B) {
 			b.Fatalf("slice length %d, want %d", len(s), size)
 		}
 		b.SetBytes(size)
+	}
+}
+
+// BenchmarkSyncDigest guards the delta anti-entropy index: answering a
+// peer's digest is a per-site binary search over run offsets plus
+// contiguous suffix slices, so its cost tracks the answer size (a fixed
+// 64-op lag here), not the retained-log length. The sub-benchmarks grow
+// the log 128x at constant lag; near-flat ns/op across them is the
+// sublinearity claim — the linear scan this replaced grew 128x with it.
+func BenchmarkSyncDigest(b *testing.B) {
+	const (
+		sites = 8
+		lag   = 64 // ops the requesting peer is behind, spread over all sites
+	)
+	for _, retained := range []int{1 << 10, 1 << 14, 1 << 17} {
+		b.Run(fmt.Sprintf("retained=%d", retained), func(b *testing.B) {
+			var log transport.RetainedLog
+			seqs := make(map[ident.SiteID]uint64, sites)
+			for i := 0; i < retained; i++ {
+				// Round-robin writers: the worst case for the run index,
+				// since every append interleaves and opens a new run.
+				site := ident.SiteID(i%sites + 1)
+				seqs[site]++
+				ts := vclock.New()
+				ts[site] = seqs[site]
+				log.Append(causal.Message{From: site, TS: ts})
+			}
+			// The peer's digest covers everything but the log's tail.
+			clock := vclock.New()
+			for s, q := range seqs {
+				clock[s] = q - lag/sites
+			}
+			var dst []causal.Message
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = log.AppendMissing(dst[:0], clock)
+				if len(dst) != lag {
+					b.Fatalf("digest answer carried %d ops, want %d", len(dst), lag)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSyncBatchCodec measures the kindSyncBatch round-trip at session
+// scale: one frame carrying 64 per-document digests (8-site vector clocks
+// each), encoded and decoded per iteration — the per-link per-tick wire
+// cost of batched multi-document sync.
+func BenchmarkSyncBatchCodec(b *testing.B) {
+	const (
+		entries = 64
+		sites   = 8
+	)
+	batch := make([]transport.SyncBatchEntry, entries)
+	for i := range batch {
+		vc := vclock.New()
+		for s := 1; s <= sites; s++ {
+			vc[ident.SiteID(s)] = uint64(1000 + i*sites + s)
+		}
+		batch[i] = transport.SyncBatchEntry{
+			Doc:   fmt.Sprintf("doc-%04d", i),
+			From:  ident.SiteID(i%sites + 1),
+			Clock: vc,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := transport.EncodeSyncBatch(batch, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		decoded, err := transport.DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, ok := decoded.(*transport.SyncBatchFrame)
+		if !ok {
+			b.Fatalf("round-trip returned %T, want *transport.SyncBatchFrame", decoded)
+		}
+		if len(sb.Entries) != entries {
+			b.Fatalf("round-trip carried %d entries, want %d", len(sb.Entries), entries)
+		}
+		b.SetBytes(int64(len(frame)))
 	}
 }

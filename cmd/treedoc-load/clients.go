@@ -135,6 +135,15 @@ func watchLink(l transport.Link) *watchedLink {
 
 func (w *watchedLink) note() { w.once.Do(func() { close(w.dead) }) }
 
+// RoutesReplay forwards the wrapped link's directed-answer capability:
+// embedding the Link interface hides the concrete link's methods, and
+// without this the engine would fall back to broadcast answers — the
+// exact hot-doc amplification the load harness exists to measure.
+func (w *watchedLink) RoutesReplay() bool {
+	rr, ok := w.Link.(transport.ReplayRouter)
+	return ok && rr.RoutesReplay()
+}
+
 func (w *watchedLink) Recv() ([]byte, error) {
 	f, err := w.Link.Recv()
 	if err != nil {

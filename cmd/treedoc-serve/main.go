@@ -331,6 +331,17 @@ func main() {
 	// reading the counters.
 	if *statsAddr != "" {
 		expvar.Publish("treedoc.hub", expvar.Func(func() any { return hub.Stats() }))
+		// One EngineStats per live archivist document: the digest
+		// suppression and replay counters live on the engine, not the hub.
+		expvar.Publish("treedoc.engines", expvar.Func(func() any {
+			am.mu.Lock()
+			defer am.mu.Unlock()
+			out := make(map[string]treedoc.EngineStats, len(am.m))
+			for doc, a := range am.m {
+				out[doc] = a.eng.Stats()
+			}
+			return out
+		}))
 		sln, err := net.Listen("tcp", *statsAddr)
 		if err != nil {
 			log.Fatalf("treedoc-serve: stats listener: %v", err)

@@ -141,7 +141,7 @@ func (r *snapReplica) check() error {
 // msgLogLen reads the actor-owned retained-message count.
 func msgLogLen(e *Engine) int {
 	ch := make(chan int, 1)
-	if !e.ctl(func() { ch <- len(e.msgLog) }) {
+	if !e.ctl(func() { ch <- e.retained.Len() }) {
 		return -1
 	}
 	select {
@@ -485,7 +485,7 @@ func TestLateJoinerSnapshotCatchup(t *testing.T) {
 			st := make(chan string, 1)
 			ea.ctl(func() {
 				st <- fmt.Sprintf("clock=%v snapVC=%v truncVC=%v sinceSnap=%d msgLog=%d segs=%d",
-					e1sum(ea.buf.Clock()), e1sum(ea.snapVC), e1sum(ea.truncVC), ea.sinceSnap, len(ea.msgLog), ea.log.Segments())
+					e1sum(ea.buf.Clock()), e1sum(ea.snapVC), e1sum(ea.truncVC), ea.sinceSnap, ea.retained.Len(), ea.log.Segments())
 			})
 			t.Fatalf("log segments hold %d bytes — compaction did not prune\n err=%v\n %s\n files=%v",
 				sz, ea.Err(), <-st, segs)

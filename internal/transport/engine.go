@@ -99,6 +99,21 @@ const (
 	// dropped chunk) must not pin buffer memory forever. The snapshot is
 	// re-offered by the sender's own snapResendAfter pacing.
 	snapAssemblyTTL = 15 * time.Second
+	// keepaliveTicks is the digest-suppression escape hatch: a peer whose
+	// digests have been suppressed this many sync intervals in a row gets
+	// one anyway, so a frame lost after the state went quiet is still
+	// healed within a bounded number of ticks.
+	keepaliveTicks = 10
+	// gapGraceTicks is how many sync intervals a frontier gap must
+	// persist before it triggers a digest. A gap against the link's heard
+	// frontier usually closes on its own — the missing operations are in
+	// flight on the relay path — and digesting into it would draw a
+	// retransmission of frames about to arrive anyway.
+	gapGraceTicks = 2
+	// replayCacheCap bounds the per-tick encoded-replay cache: distinct
+	// missing ranges per tick beyond this are encoded per request, which
+	// only costs the pre-index behaviour.
+	replayCacheCap = 32
 )
 
 // Option configures an Engine.
@@ -256,21 +271,34 @@ type Engine struct {
 	flattensApplied   atomic.Uint64
 	flattensCommitted atomic.Uint64
 	flattensAborted   atomic.Uint64
+	digestsSent       atomic.Uint64
+	digestsSuppressed atomic.Uint64
+	repliesSquelched  atomic.Uint64
+	replayOps         atomic.Uint64
+	replayBytes       atomic.Uint64
 
 	// Actor-owned state: touched only from run(). The trailing
 	// "actor-owned" markers are load-bearing — treedoc-vet's actoronly
 	// analyzer rejects any access outside the actor loop's call tree.
-	buf    *causal.Buffer   // actor-owned
-	msgLog []causal.Message // actor-owned
-	batch  []causal.Message // actor-owned
-	peers  []*peer          // actor-owned
-	log    *oplog.Log       // actor-owned
+	buf      *causal.Buffer   // actor-owned
+	retained RetainedLog      // actor-owned
+	batch    []causal.Message // actor-owned
+	peers    []*peer          // actor-owned
+	log      *oplog.Log       // actor-owned
+	// replayCache holds this tick's encoded digest answers keyed by the
+	// missing span set, so one distinct missing range is encoded once and
+	// fanned out to every peer requesting it. Cleared each sync tick and
+	// on truncation (truncation shifts span offsets).
+	replayCache map[string]*replayEntry // actor-owned
+	spanScratch []span                  // actor-owned
+	keyScratch  []byte                  // actor-owned
+	missScratch []causal.Message        // actor-owned
 	// logBroken latches after the first append failure: see record.
 	logBroken bool // actor-owned
 	// snapData/snapVC are the serving barrier: the latest snapshot and the
 	// version vector of exactly what it contains. truncVC is the
 	// truncation floor — the previous barrier — below which messages have
-	// been dropped from msgLog and the sealed log segments. Keeping one
+	// been dropped from the retained log and the sealed log segments. Keeping one
 	// generation of slack between the two means a live peer slightly
 	// behind the newest barrier is still served operations; only a digest
 	// below the floor (whose missing ops no longer exist as messages)
@@ -393,7 +421,7 @@ func (e *Engine) openAndReplay() error {
 		clock = version
 		e.snapData, e.snapVC = data, snapClock.Clone()
 		// Nothing below the stored snapshot survives a restart, so the
-		// msgLog floor starts at the snapshot clock — and so does the
+		// retained-log floor starts at the snapshot clock — and so does the
 		// flatten vote's evaluation floor: edits below it no longer exist
 		// as records, so proposals must observe at least this much.
 		e.truncVC = snapClock.Clone()
@@ -422,7 +450,7 @@ func (e *Engine) openAndReplay() error {
 			e.setErr(fmt.Errorf("transport: replay s%d#%d: %w", site, seq, err))
 		}
 		clock.Merge(m.TS)
-		e.msgLog = append(e.msgLog, m)
+		e.retained.Append(m)
 		if e.fl != nil {
 			// Rebuild the vote bookkeeping exactly as the live path does: a
 			// replayed flatten resets the edit log and anchors the flatten
@@ -442,7 +470,7 @@ func (e *Engine) openAndReplay() error {
 	}
 	e.buf.Advance(clock)
 	e.log = l
-	e.sinceSnap = len(e.msgLog)
+	e.sinceSnap = e.retained.Len()
 	return nil
 }
 
@@ -488,6 +516,28 @@ func (e *Engine) FlattensCommitted() uint64 { return e.flattensCommitted.Load() 
 // once the region quiesces.
 func (e *Engine) FlattensAborted() uint64 { return e.flattensAborted.Load() }
 
+// DigestsSent counts anti-entropy digests sent to peers.
+func (e *Engine) DigestsSent() uint64 { return e.digestsSent.Load() }
+
+// DigestsSuppressed counts sync ticks on which a peer's digest was
+// skipped because there was no persistent gap to pull against and the
+// keepalive had not elapsed. A high ratio of suppressed to sent is the
+// healthy state, hot or idle; see docs/ARCHITECTURE.md §13.
+func (e *Engine) DigestsSuppressed() uint64 { return e.digestsSuppressed.Load() }
+
+// RepliesSquelched counts digests left unanswered because an answer
+// covering the requester's frontier had already been sent on the same
+// link in the same sync tick (the relay fans that answer to the whole
+// group, so a second copy would be pure duplication).
+func (e *Engine) RepliesSquelched() uint64 { return e.repliesSquelched.Load() }
+
+// ReplayOps counts retained operations queued in answer to peers'
+// digests (each op counted once per peer it was queued to).
+func (e *Engine) ReplayOps() uint64 { return e.replayOps.Load() }
+
+// ReplayBytes counts the frame bytes queued in answer to peers' digests.
+func (e *Engine) ReplayBytes() uint64 { return e.replayBytes.Load() }
+
 // Broadcast stamps local operations and queues them for delivery to every
 // peer. Ops must be passed in generation order; per-replica local edits
 // must be serialised by the caller (one writer goroutine, or a lock around
@@ -526,14 +576,20 @@ func (e *Engine) Connect(link Link) {
 		return
 	}
 	p := &peer{eng: e, link: link, out: make(chan []byte, e.queueDepth), gone: make(chan struct{}), wdone: make(chan struct{})}
+	if rr, ok := link.(ReplayRouter); ok {
+		p.routes = rr.RoutesReplay()
+	}
 	e.wg.Add(3)
 	go p.writer()
 	go p.reader()
 	go p.closer()
 	e.ctl(func() {
 		e.peers = append(e.peers, p)
-		if f, err := EncodeSyncReq(e.site, e.buf.Clock()); err == nil {
+		clock := e.buf.Clock()
+		if f, err := EncodeSyncReq(e.site, clock); err == nil {
 			p.trySend(f)
+			p.lastSyncAt = time.Now()
+			e.digestsSent.Add(1)
 		}
 	})
 }
@@ -560,11 +616,7 @@ func (e *Engine) HandoffState() (snap []byte, version vclock.VC, suffix []causal
 		if e.snapData != nil {
 			st.snap, st.version = e.snapData, e.snapVC.Clone()
 		}
-		for _, m := range e.msgLog {
-			if m.TS.Get(m.From) > st.version.Get(m.From) {
-				st.suffix = append(st.suffix, m)
-			}
-		}
+		st.suffix = e.retained.AppendMissing(nil, st.version)
 		ch <- st
 	}) {
 		return nil, nil, nil, ErrStopped
@@ -644,8 +696,8 @@ func (e *Engine) ctl(fn func()) bool {
 	}
 }
 
-// run is the actor loop: the only goroutine touching buf, msgLog, batch,
-// peers, the durable log and the compaction barrier.
+// run is the actor loop: the only goroutine touching buf, the retained
+// log, batch, peers, the durable log and the compaction barrier.
 //
 //treedoc:actorloop
 func (e *Engine) run() {
@@ -674,6 +726,11 @@ func (e *Engine) run() {
 			e.flush()
 			e.maybeCompact()
 			e.promoteFloor()
+			// The encoded-replay cache lives one tick: peers sharing a
+			// frontier cluster their digests within a round, and a stale
+			// cache would pin frame memory for ranges nobody asks for again.
+			clear(e.replayCache)
+			e.retained.Settle()
 			e.syncAll()
 			e.snapReqSent = false
 		case <-e.done:
@@ -755,7 +812,7 @@ func (e *Engine) handle(cmd command) {
 // replica further in the past, which anti-entropy heals. Err reports the
 // lost durability.
 func (e *Engine) record(m causal.Message) {
-	e.msgLog = append(e.msgLog, m)
+	e.retained.Append(m)
 	e.sinceSnap++
 	if e.log == nil || e.logBroken {
 		return
@@ -862,6 +919,27 @@ func vcEqual(a, b vclock.VC) bool {
 	return a.Dominates(b) && b.Dominates(a)
 }
 
+// vcMin returns the pointwise minimum of a replay floor and a digest
+// clock: the frontier below which every retained message has been offered
+// on the link this tick. A nil floor adopts the clock. Sites missing from
+// either side are already served from zero, so they stay absent.
+func vcMin(floor, clock vclock.VC) vclock.VC {
+	if floor == nil {
+		return clock
+	}
+	out := vclock.New()
+	for s, v := range floor {
+		if cv := clock.Get(s); cv > 0 {
+			if cv < v {
+				out[s] = cv
+			} else {
+				out[s] = v
+			}
+		}
+	}
+	return out
+}
+
 // handleSyncReq answers an anti-entropy digest. A requester below the
 // compaction barrier — or further behind than the snapshot threshold —
 // receives the barrier snapshot followed by the retained suffix; anyone
@@ -874,6 +952,7 @@ func (e *Engine) handleSyncReq(req *SyncReqFrame, from *peer) {
 	if from == nil || from.dead() || req.From == e.site {
 		return
 	}
+	from.noteHeard(req.Clock)
 	// The digest cuts both ways: if it shows this engine is the one far
 	// behind, ask that peer for a snapshot instead of waiting out a long
 	// op replay (at most one request per sync tick).
@@ -884,19 +963,33 @@ func (e *Engine) handleSyncReq(req *SyncReqFrame, from *peer) {
 			e.snapReqSent = true
 		}
 	}
+	// One answer per frontier per tick — but only on broadcast links:
+	// through a legacy relay, a hot document's cohort digests in lockstep
+	// and every answer fans out to the whole group, so a digest at or
+	// above a floor already answered this tick is covered by that answer
+	// in flight. On a replay-routing link each answer reaches its
+	// requester alone; squelching there would starve co-requesters, not
+	// deduplicate them.
+	if !from.routes {
+		if from.replayFloor != nil && req.Clock.Dominates(from.replayFloor) {
+			e.repliesSquelched.Add(1)
+			return
+		}
+		from.replayFloor = vcMin(from.replayFloor, req.Clock)
+	}
 	if e.truncVC != nil && !req.Clock.Dominates(e.truncVC) {
 		// Below the truncation floor: some ops the requester is missing no
 		// longer exist as messages. Snapshot, then the retained suffix.
-		e.sendSnapshot(from)
-		e.sendMissing(from, req.Clock)
+		e.sendSnapshot(from, req.From)
+		e.sendMissing(from, req.Clock, req.From)
 		return
 	}
 	if e.snapThreshold > 0 && gap(e.buf.Clock(), req.Clock) >= uint64(e.snapThreshold) && e.ensureBarrier() {
-		e.sendSnapshot(from)
-		e.sendMissing(from, req.Clock)
+		e.sendSnapshot(from, req.From)
+		e.sendMissing(from, req.Clock, req.From)
 		return
 	}
-	e.sendMissing(from, req.Clock)
+	e.sendMissing(from, req.Clock, req.From)
 }
 
 // handleSnapReq answers an explicit snapshot request: barrier snapshot
@@ -905,10 +998,11 @@ func (e *Engine) handleSnapReq(req *SnapReqFrame, from *peer) {
 	if from == nil || from.dead() || req.From == e.site {
 		return
 	}
+	from.noteHeard(req.Clock)
 	if e.ensureBarrier() {
-		e.sendSnapshot(from)
+		e.sendSnapshot(from, req.From)
 	}
-	e.sendMissing(from, req.Clock)
+	e.sendMissing(from, req.Clock, req.From)
 }
 
 // handleSnap installs a snapshot catch-up frame: if its version dominates
@@ -971,30 +1065,18 @@ func (e *Engine) adoptBarrier(data []byte, version, floor vclock.VC) {
 	e.barrierAt = time.Now()
 	if floor != nil {
 		e.truncVC = floor.Clone()
-		e.truncateMsgLog(floor)
+		e.truncateRetained(floor)
 		e.pruneEditLog(floor)
 	}
-	e.sinceSnap = 0
-	for _, m := range e.msgLog {
-		if m.TS.Get(m.From) > version.Get(m.From) {
-			e.sinceSnap++
-		}
-	}
+	e.sinceSnap = e.retained.CountAbove(version)
 }
 
-// truncateMsgLog drops retained messages the floor covers, releasing the
-// tail for GC.
-func (e *Engine) truncateMsgLog(floor vclock.VC) {
-	kept := e.msgLog[:0]
-	for _, m := range e.msgLog {
-		if m.TS.Get(m.From) > floor.Get(m.From) {
-			kept = append(kept, m)
-		}
-	}
-	for i := len(kept); i < len(e.msgLog); i++ {
-		e.msgLog[i] = causal.Message{}
-	}
-	e.msgLog = kept
+// truncateRetained drops retained messages the floor covers and
+// invalidates the encoded-replay cache: truncation shifts every span
+// offset, so cached frames would replay the wrong messages.
+func (e *Engine) truncateRetained(floor vclock.VC) {
+	e.retained.Truncate(floor)
+	clear(e.replayCache)
 }
 
 // promoteFloor raises the truncation floor to the serving barrier once
@@ -1014,7 +1096,7 @@ func (e *Engine) promoteFloor() {
 			e.setErr(err)
 		}
 	}
-	e.truncateMsgLog(e.truncVC)
+	e.truncateRetained(e.truncVC)
 	e.pruneEditLog(e.truncVC)
 }
 
@@ -1081,7 +1163,7 @@ func (e *Engine) ensureBarrier() bool {
 // at most once per snapResendAfter: repeated digests from a catching-up
 // peer must not draw a snapshot per tick, but an offer lost to a full
 // queue is eventually repeated.
-func (e *Engine) sendSnapshot(to *peer) {
+func (e *Engine) sendSnapshot(to *peer, dst ident.SiteID) {
 	if e.snapData == nil || to.dead() {
 		return
 	}
@@ -1089,15 +1171,15 @@ func (e *Engine) sendSnapshot(to *peer) {
 		return
 	}
 	if len(e.snapData) > snapChunkThreshold {
-		e.sendSnapshotChunked(to)
+		e.sendSnapshotChunked(to, dst)
 	} else {
 		frame, err := EncodeSnapReply(e.site, e.snapVC, e.snapData)
 		if err != nil {
 			// Near-threshold snapshot whose headers (a wide version vector)
 			// pushed the frame over the limit: chunk it instead.
-			e.sendSnapshotChunked(to)
+			e.sendSnapshotChunked(to, dst)
 		} else {
-			to.trySend(frame)
+			to.trySend(directed(to, dst, frame))
 		}
 	}
 	to.lastSnapVC, to.lastSnapAt = e.snapVC, time.Now()
@@ -1113,7 +1195,7 @@ func (e *Engine) sendSnapshot(to *peer) {
 // chunk is encoded at a time. At most one sequence runs per peer; the
 // snapshot slice is immutable once adopted, so the goroutine reads it
 // safely after the actor has moved on.
-func (e *Engine) sendSnapshotChunked(to *peer) {
+func (e *Engine) sendSnapshotChunked(to *peer, dst ident.SiteID) {
 	if !to.chunking.CompareAndSwap(false, true) {
 		return // a sequence is already in flight to this peer
 	}
@@ -1133,6 +1215,7 @@ func (e *Engine) sendSnapshotChunked(to *peer) {
 				e.wireErrs.Add(1)
 				return
 			}
+			frame = directed(to, dst, frame)
 			select {
 			case to.out <- frame:
 			case <-to.gone:
@@ -1144,24 +1227,82 @@ func (e *Engine) sendSnapshotChunked(to *peer) {
 	}()
 }
 
+// replayEntry is one cached digest answer: the encoded frames for a
+// distinct missing span set, plus the op and byte totals they carry so
+// fan-out sends count without re-measuring. Frames are immutable once
+// encoded, so sharing them across peers is safe.
+type replayEntry struct {
+	frames     [][]byte
+	ops, bytes uint64
+}
+
 // sendMissing queues every retained message the clock does not cover,
-// chunked into frames. The log is synced first: retransmissions may carry
-// locally stamped operations that no flush has synced yet.
-func (e *Engine) sendMissing(to *peer, clock vclock.VC) {
+// chunked into frames. The missing set comes from the retained log's
+// per-site index — a binary search plus contiguous suffix slices per
+// site, never a scan of the whole log — and the encoded frames are
+// cached per tick keyed by the span set, so a cohort of peers sharing
+// one frontier (the hot-document shape) draws one encode and a fan-out
+// of the same frames. The log is synced first: retransmissions may
+// carry locally stamped operations that no flush has synced yet.
+func (e *Engine) sendMissing(to *peer, clock vclock.VC, dst ident.SiteID) {
+	// The settle horizon keeps the newest tick-and-a-bit of the log out of
+	// the answer: those frames are presumed still in flight on the relay
+	// path, and a requester racing them re-digests if any were truly lost.
+	spans := e.retained.missingSpans(e.spanScratch[:0], clock, e.retained.SettledLen())
+	e.spanScratch = spans[:0]
+	if len(spans) == 0 {
+		return
+	}
 	e.syncLog()
-	var missing []causal.Message
-	for _, m := range e.msgLog {
-		if m.TS.Get(m.From) > clock.Get(m.From) {
-			missing = append(missing, m)
+	e.keyScratch = spanKey(e.keyScratch[:0], spans)
+	ent, ok := e.replayCache[string(e.keyScratch)]
+	if !ok {
+		ent = e.encodeSpans(spans)
+		if e.replayCache == nil {
+			e.replayCache = make(map[string]*replayEntry)
+		}
+		if len(e.replayCache) < replayCacheCap {
+			e.replayCache[string(e.keyScratch)] = ent
 		}
 	}
-	for len(missing) > 0 {
-		n := len(missing)
+	for _, f := range ent.frames {
+		to.trySend(directed(to, dst, f))
+	}
+	e.replayOps.Add(ent.ops)
+	e.replayBytes.Add(ent.bytes)
+}
+
+// directed addresses one answer frame to its requester when the link
+// routes replays (the cached broadcast encoding stays shared; the wrap is
+// a per-send copy). On a plain link — or if the wrap fails, which cannot
+// happen for frames this engine encoded — the frame broadcasts as-is.
+func directed(to *peer, dst ident.SiteID, frame []byte) []byte {
+	if !to.routes || dst == 0 {
+		return frame
+	}
+	if f, err := EncodeReplay(dst, frame); err == nil {
+		return f
+	}
+	return frame
+}
+
+// encodeSpans assembles one digest answer: gather the spans' messages and
+// frame them in syncChunk slices.
+func (e *Engine) encodeSpans(spans []span) *replayEntry {
+	missing := e.missScratch[:0]
+	msgs := e.retained.Msgs()
+	for _, sp := range spans {
+		missing = append(missing, msgs[sp.start:sp.start+sp.n]...)
+	}
+	ent := &replayEntry{}
+	rest := missing
+	for len(rest) > 0 {
+		n := len(rest)
 		if n > syncChunk {
 			n = syncChunk
 		}
-		chunk := missing[:n]
-		missing = missing[n:]
+		chunk := rest[:n]
+		rest = rest[n:]
 		frame, err := EncodeOps(chunk)
 		if err != nil {
 			// Oversized chunk (large atoms): fall back to one frame per op,
@@ -1173,12 +1314,21 @@ func (e *Engine) sendMissing(to *peer, clock vclock.VC) {
 					e.wireErrs.Add(1)
 					continue
 				}
-				to.trySend(f)
+				ent.frames = append(ent.frames, f)
+				ent.ops++
+				ent.bytes += uint64(len(f))
 			}
 			continue
 		}
-		to.trySend(frame)
+		ent.frames = append(ent.frames, frame)
+		ent.ops += uint64(n)
+		ent.bytes += uint64(len(frame))
 	}
+	// Drop the gathered message references (each pins an identifier path)
+	// but keep the grown capacity for the next digest answered.
+	clear(missing)
+	e.missScratch = missing[:0]
+	return ent
 }
 
 // flush syncs the durable log (so no peer can see a stamp that is not on
@@ -1235,17 +1385,66 @@ func (e *Engine) fanout(frame []byte) {
 	}
 }
 
-// syncAll sends the anti-entropy digest to every live peer.
+// syncAll treats the digest as a pull request, not a heartbeat: a peer
+// link gets one when its heard frontier has announced operations we lack
+// for longer than the gap grace (a real loss, not an in-flight delivery),
+// or when the keepalive elapses. Everything else — our own writes, replay
+// bursts we are absorbing, idle ticks — is suppressed, so a hot document
+// sheds the per-tick digest storm and an idle one goes silent. The
+// keepalive digest still goes out every keepaliveTicks intervals: it is
+// both the advertisement that lets a peer discover a loss it cannot see
+// (their clock covers their heard frontier too) and the bound on how long
+// a gap digest lost in transit stays unrepaired.
+//
+// Suppression never stalls convergence: every replica keepalives, a heard
+// keepalive reopens the gap path on whoever is behind, and handleSyncReq
+// answers regardless of the answering side's send-side state.
 func (e *Engine) syncAll() {
 	if len(e.peers) == 0 {
 		return
 	}
-	frame, err := EncodeSyncReq(e.site, e.buf.Clock())
-	if err != nil {
-		e.wireErrs.Add(1)
-		return
+	clock := e.buf.Clock()
+	now := time.Now()
+	keepalive := time.Duration(keepaliveTicks) * e.syncEvery
+	grace := time.Duration(gapGraceTicks) * e.syncEvery
+	var frame []byte
+	for _, p := range e.peers {
+		// The replay floor lives one tick, like the encoded-replay cache:
+		// answers sent last tick are with the relay by now, so a fresh
+		// round of digests deserves fresh answers.
+		p.replayFloor = nil
+		if p.dead() {
+			continue
+		}
+		gap := p.heardVC != nil && !clock.Dominates(p.heardVC)
+		if !gap {
+			p.gapSince = time.Time{}
+			if now.Sub(p.lastSyncAt) < keepalive {
+				e.digestsSuppressed.Add(1)
+				continue
+			}
+		} else {
+			if p.gapSince.IsZero() {
+				p.gapSince = now
+			}
+			if now.Sub(p.gapSince) < grace && now.Sub(p.lastSyncAt) < keepalive {
+				e.digestsSuppressed.Add(1)
+				continue
+			}
+			p.gapSince = time.Time{}
+		}
+		if frame == nil {
+			var err error
+			frame, err = EncodeSyncReq(e.site, clock)
+			if err != nil {
+				e.wireErrs.Add(1)
+				return
+			}
+		}
+		p.trySend(frame)
+		p.lastSyncAt = now
+		e.digestsSent.Add(1)
 	}
-	e.fanout(frame)
 }
 
 // peer is one attached link: a bounded outbound queue drained by a writer
@@ -1263,9 +1462,43 @@ type peer struct {
 	// lastSnapVC/lastSnapAt rate-limit snapshot offers (actor-owned).
 	lastSnapVC vclock.VC
 	lastSnapAt time.Time
+	// lastSyncAt is when this link last received our digest; with no gap
+	// to pull against, the next one waits out the keepalive (actor-owned).
+	lastSyncAt time.Time
+	// gapSince marks when the link's heard frontier first ran ahead of
+	// our clock; a gap must outlive gapGraceTicks before it draws a
+	// digest, filtering gaps that close via in-flight ops (actor-owned).
+	gapSince time.Time
+	// replayFloor is the lowest digest clock answered on this link in the
+	// current tick (pointwise minimum). A later digest at or above the
+	// floor is squelched: the earlier answer, fanned out by the relay,
+	// already covers it. Only broadcast links keep a floor — see routes.
+	// Cleared each tick (actor-owned).
+	replayFloor vclock.VC
+	// routes is set before the peer goes live when the link's far end can
+	// deliver a directed kindReplay to its addressed site (ReplayRouter);
+	// answers on such links are addressed per requester, and the replay
+	// floor does not apply — an answer reaching one requester covers no
+	// one else. Immutable after Connect.
+	routes bool
+	// heardVC is the merged frontier of every digest received on this
+	// link. A hub link relays digests from many sites, so the merge is the
+	// link's collective frontier; merging only ever widens it, which makes
+	// suppression conservative — any site announcing something we lack
+	// reopens our sends (actor-owned).
+	heardVC vclock.VC
 	// chunking guards the single in-flight chunked-snapshot sequence to
 	// this peer (set by the actor, cleared by the sender goroutine).
 	chunking atomic.Bool
+}
+
+// noteHeard folds a received digest clock into the link's announced
+// frontier (called from the actor's digest handlers only).
+func (p *peer) noteHeard(clock vclock.VC) {
+	if p.heardVC == nil {
+		p.heardVC = vclock.New()
+	}
+	p.heardVC.Merge(clock)
 }
 
 // fail marks the peer dead, which stops its writer and makes closer tear
@@ -1357,6 +1590,15 @@ func (p *peer) reader() {
 		if err != nil {
 			p.eng.wireErrs.Add(1)
 			continue
+		}
+		if rf, ok := decoded.(*ReplayFrame); ok {
+			// A directed answer: the address only mattered to the routing
+			// relay — replay is idempotent, so a stale route heals a
+			// different replica harmlessly. Process the payload.
+			if decoded, err = DecodeFrame(rf.Inner); err != nil {
+				p.eng.wireErrs.Add(1)
+				continue
+			}
 		}
 		var cmd command
 		switch f := decoded.(type) {

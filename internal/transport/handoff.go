@@ -662,6 +662,13 @@ type hubPeer struct {
 	mu        sync.Mutex
 	docs      map[string]bool // documents subscribed at the peer (forward mode)
 	connected bool
+	// Digest batching across the mesh, mirroring sessConn's client-side
+	// window: forwarded kindSyncReq frames accumulate under batchMu and
+	// leave as one forwarded-flagged kindSyncBatch frame per window.
+	batchMu    sync.Mutex
+	pending    []SyncBatchEntry
+	pendingIdx map[string]int
+	batchArmed bool
 	// enqueued/written count frames accepted into out and frames the
 	// writer flushed to the socket: flush() waits for the gap to close, so
 	// a handoff stream (and a resigning hub about to exit) knows its
@@ -693,6 +700,80 @@ func (p *hubPeer) trySend(frame []byte) bool {
 	default:
 		p.enqueued.Add(^uint64(0))
 		return false
+	}
+}
+
+// queueDigest holds one forwarded document digest for the mesh batching
+// window, reporting false (forward it yourself) when the frame does not
+// parse as a digest. A fresher digest for a document already pending
+// replaces it; the first digest of a window arms the flush timer.
+func (p *hubPeer) queueDigest(doc string, inner []byte) bool {
+	decoded, err := DecodeFrame(inner)
+	if err != nil {
+		return false
+	}
+	sr, ok := decoded.(*SyncReqFrame)
+	if !ok {
+		return false
+	}
+	p.batchMu.Lock()
+	if i, ok := p.pendingIdx[doc]; ok {
+		p.pending[i] = SyncBatchEntry{Doc: doc, From: sr.From, Clock: sr.Clock}
+	} else {
+		if p.pendingIdx == nil {
+			p.pendingIdx = make(map[string]int)
+		}
+		p.pendingIdx[doc] = len(p.pending)
+		p.pending = append(p.pending, SyncBatchEntry{Doc: doc, From: sr.From, Clock: sr.Clock})
+	}
+	armed := p.batchArmed
+	p.batchArmed = true
+	p.batchMu.Unlock()
+	if !armed {
+		time.AfterFunc(syncBatchWindow, p.flushDigests)
+	}
+	return true
+}
+
+// flushDigests forwards the window's accumulated digests as
+// forwarded-flagged kindSyncBatch frames (the receiver relays them to
+// its local clients only, so mesh loop freedom holds exactly as for
+// kindForward). A single-document window still goes out batched: the
+// mesh peer is always a hub from this repository, so there is no legacy
+// receiver to stay wire-identical for. A dead peer drops the window —
+// the next sync round re-queues fresh digests — and an unencodable batch
+// falls back to per-document kindForward envelopes.
+func (p *hubPeer) flushDigests() {
+	p.batchMu.Lock()
+	entries := p.pending
+	p.pending = nil
+	clear(p.pendingIdx)
+	p.batchArmed = false
+	p.batchMu.Unlock()
+	if len(entries) == 0 || p.dead() {
+		return
+	}
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > maxSyncBatch {
+			n = maxSyncBatch
+		}
+		chunk := entries[:n]
+		entries = entries[n:]
+		frame, err := EncodeSyncBatch(chunk, true)
+		if err != nil {
+			for _, e := range chunk {
+				if inner, err := EncodeSyncReq(e.From, e.Clock); err == nil {
+					if fwd, err := EncodeForward(e.Doc, inner); err == nil && p.trySend(fwd) {
+						p.hub.forwards.Add(1)
+					}
+				}
+			}
+			continue
+		}
+		if p.trySend(frame) {
+			p.hub.forwards.Add(uint64(len(chunk)))
+		}
 	}
 }
 

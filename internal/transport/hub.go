@@ -83,6 +83,16 @@ type Hub struct {
 	relays   atomic.Uint64
 	unrouted atomic.Uint64
 	forwards atomic.Uint64
+	// syncBatchFrames/syncBatchEntries count received kindSyncBatch frames
+	// and the per-document digests they carried; the ratio is the batching
+	// win (one frame standing in for N envelopes).
+	syncBatchFrames  atomic.Uint64
+	syncBatchEntries atomic.Uint64
+	// replayRoutes counts directed anti-entropy answers delivered to their
+	// addressed requester alone; replayFallbacks counts answers whose
+	// target was unknown or dead and fell back to the group broadcast.
+	replayRoutes    atomic.Uint64
+	replayFallbacks atomic.Uint64
 	// frozenDrops counts frames dropped because their document was frozen
 	// mid-handoff; client anti-entropy heals them through the new owner.
 	frozenDrops atomic.Uint64
@@ -105,6 +115,16 @@ type docShard struct {
 	snap   atomic.Pointer[[]*hubConn]
 	relays atomic.Uint64
 	drops  atomic.Uint64
+	// digestRR is the rotation cursor for sampled anti-entropy relays
+	// (see fanoutDigest).
+	digestRR atomic.Uint64
+	// sites maps a requesting site id to the connection that last sent an
+	// anti-entropy pull for it, learned as pulls pass through the relay:
+	// directed kindReplay answers route back along the reverse path. An
+	// entry goes stale when its client reconnects; the next pull (at most
+	// one grace period later) re-learns it, and routeReplay falls back to
+	// broadcast for unknown or dead targets in the meantime.
+	sites sync.Map // ident.SiteID → *hubConn
 	// frozen is set for the streaming window of an outbound handoff:
 	// inbound frames are dropped (counted) rather than relayed, so the
 	// state stream is a consistent cut; anti-entropy heals the window.
@@ -347,6 +367,21 @@ func (h *Hub) Forwards() uint64 { return h.forwards.Load() }
 // FrozenDrops counts frames dropped because their document was frozen for
 // the streaming window of an outbound handoff (healed by anti-entropy).
 func (h *Hub) FrozenDrops() uint64 { return h.frozenDrops.Load() }
+
+// ReplayRoutes counts directed anti-entropy answers (kindReplay)
+// delivered to their addressed requester alone instead of the group.
+func (h *Hub) ReplayRoutes() uint64 { return h.replayRoutes.Load() }
+
+// ReplayFallbacks counts directed answers whose addressed requester was
+// unknown or dead, delivered by group broadcast instead.
+func (h *Hub) ReplayFallbacks() uint64 { return h.replayFallbacks.Load() }
+
+// SyncBatchFrames counts batched multi-document digest frames received.
+func (h *Hub) SyncBatchFrames() uint64 { return h.syncBatchFrames.Load() }
+
+// SyncBatchEntries counts the per-document digests received inside
+// batched frames; divided by SyncBatchFrames it is the mean batch width.
+func (h *Hub) SyncBatchEntries() uint64 { return h.syncBatchEntries.Load() }
 
 // HandoffsOut counts documents this hub streamed to a new owner.
 func (h *Hub) HandoffsOut() uint64 { return h.handoffsOut.Load() }
@@ -646,9 +681,48 @@ func (h *Hub) relay(from *hubConn, doc string, inner, env []byte) {
 			}
 			return
 		}
+		if inner[0] == kindSyncReq && p.queueDigest(doc, inner) {
+			// Digests crossing the mesh batch per peer link, exactly as
+			// session clients batch per connection: one forwarded-flagged
+			// kindSyncBatch frame per link per window instead of one
+			// kindForward envelope per document.
+			return
+		}
 		fwd, err := EncodeForward(doc, inner)
 		if err == nil && p.trySend(fwd) {
 			h.forwards.Add(1)
+		}
+	}
+}
+
+// handleSyncBatch splits a batched multi-document digest into the
+// per-document relay path: each entry is re-framed as the kindSyncReq it
+// stands for and relayed to its document's group, where attached engines
+// answer exactly as they would a legacy digest. A forwarded batch — one
+// that already crossed the hub-to-hub mesh — is relayed to local clients
+// only, mirroring kindForward's loop freedom (and, as there, a batch for
+// documents this hub does not own draws one ring correction so a stale
+// forwarder catches up).
+func (h *Hub) handleSyncBatch(from *hubConn, sb *SyncBatchFrame) {
+	h.syncBatchFrames.Add(1)
+	h.syncBatchEntries.Add(uint64(len(sb.Entries)))
+	corrected := false
+	for _, e := range sb.Entries {
+		inner, err := EncodeSyncReq(e.From, e.Clock)
+		if err != nil {
+			h.unrouted.Add(1)
+			continue
+		}
+		if sb.Forwarded {
+			if !corrected {
+				if _, owned := h.DocOwner(e.Doc); !owned {
+					h.sendRingCorrection(from)
+					corrected = true
+				}
+			}
+			h.relayLocal(from, e.Doc, inner, nil)
+		} else {
+			h.relay(from, e.Doc, inner, nil)
 		}
 	}
 }
@@ -673,39 +747,129 @@ func (h *Hub) relayLocal(from *hubConn, doc string, inner, env []byte) {
 }
 
 // fanoutShard delivers one frame to every connection in the shard except
-// from.
+// from. Anti-entropy frames take narrower paths instead: a pull (digest
+// or snapshot request) is delivered to a rotating sample of the group —
+// on a hot document, relaying every member's digest to every other
+// member is a quadratic storm in which each copy solicits the same
+// retransmission, and the rotation guarantees a requester unlucky in one
+// round is heard by different members in the next — and a directed
+// answer (kindReplay) is routed to its addressed requester alone, along
+// the reverse path the pull taught.
 func (h *Hub) fanoutShard(s *docShard, from *hubConn, doc string, inner, env []byte) {
 	conns := s.snap.Load()
 	if conns == nil {
 		return
 	}
+	if inner[0] == kindReplay {
+		h.routeReplay(s, from, doc, inner, env, *conns)
+		return
+	}
+	if inner[0] == kindSyncReq || inner[0] == kindSnapReq {
+		// A passing pull teaches the reverse route its answers take.
+		if from != nil {
+			if site, ok := peekDigestFrom(inner); ok {
+				s.sites.Store(site, from)
+			}
+		}
+		if len(*conns) > digestRelayFanout+1 {
+			h.fanoutDigest(s, from, doc, inner, env, *conns)
+			return
+		}
+	}
 	for _, c := range *conns {
 		if c == from {
 			continue
 		}
-		f := inner
-		if c.aware.Load() {
-			if env == nil {
-				var err error
-				if env, err = EncodeDocFrame(doc, inner); err != nil {
-					// Unwrappable inner frame (cannot happen for wire-read
-					// frames, which already passed the size limits); skip
-					// doc-aware receivers rather than mis-deliver.
-					continue
+		env = h.deliverFrame(s, c, doc, inner, env)
+	}
+}
+
+// digestRelayFanout is how many group members a relayed anti-entropy pull
+// reaches. Two gives one spare answer against a dead or equally-behind
+// sample; groups at or below fanout+1 members skip sampling entirely.
+const digestRelayFanout = 2
+
+// fanoutDigest delivers one pull frame to digestRelayFanout members,
+// starting at the shard's rotation cursor. The cursor advances by the
+// fanout per pull, so consecutive pulls sweep disjoint windows of the
+// group and every member is sampled within one rotation.
+func (h *Hub) fanoutDigest(s *docShard, from *hubConn, doc string, inner, env []byte, conns []*hubConn) {
+	start := int(s.digestRR.Add(digestRelayFanout) % uint64(len(conns)))
+	sent := 0
+	for off := 0; off < len(conns) && sent < digestRelayFanout; off++ {
+		c := conns[(start+off)%len(conns)]
+		if c == from {
+			continue
+		}
+		env = h.deliverFrame(s, c, doc, inner, env)
+		sent++
+	}
+}
+
+// routeReplay delivers a directed anti-entropy answer to the one
+// connection that last pulled for the addressed site, instead of the
+// whole group — on a hot document, broadcasting every answer multiplies
+// its bytes by the group size for members who never asked. An aware
+// target receives the wrapper intact (a mesh hop routes it onward by the
+// same rule; the requester's engine unwraps); a legacy target receives
+// the bare inner frame, so directed replay needs no receiver support.
+// An unknown, dead or self target falls back to broadcasting the inner
+// frame — exactly what an unwrapped answer would have done.
+func (h *Hub) routeReplay(s *docShard, from *hubConn, doc string, inner, env []byte, conns []*hubConn) {
+	to, payload, err := SplitReplay(inner)
+	if err != nil {
+		h.unrouted.Add(1)
+		return
+	}
+	if v, ok := s.sites.Load(to); ok {
+		if c := v.(*hubConn); c != from && !c.isGone() {
+			if env == nil && c.aware.Load() {
+				env, err = EncodeDocFrame(doc, inner)
+				if err != nil {
+					env = nil
 				}
 			}
-			f = env
-		}
-		select {
-		case c.out <- f:
-			s.relays.Add(1)
-			h.relays.Add(1)
-		default:
-			s.drops.Add(1)
-			h.drops.Add(1)
-			h.warnDrop(c, s)
+			h.deliverFrame(s, c, doc, payload, env)
+			h.replayRoutes.Add(1)
+			return
 		}
 	}
+	h.replayFallbacks.Add(1)
+	var penv []byte
+	for _, c := range conns {
+		if c == from {
+			continue
+		}
+		penv = h.deliverFrame(s, c, doc, payload, penv)
+	}
+}
+
+// deliverFrame queues one frame for a shard member, choosing the
+// doc-scoped envelope for aware receivers (built lazily, returned so the
+// caller reuses it across the group). An unwrappable inner frame (cannot
+// happen for wire-read frames, which already passed the size limits)
+// skips doc-aware receivers rather than mis-deliver.
+func (h *Hub) deliverFrame(s *docShard, c *hubConn, doc string, inner, env []byte) []byte {
+	f := inner
+	if c.aware.Load() {
+		if env == nil {
+			var err error
+			if env, err = EncodeDocFrame(doc, inner); err != nil {
+				return nil
+			}
+		}
+		f = env
+	}
+	select {
+	case c.out <- f:
+		s.relays.Add(1)
+		h.relays.Add(1)
+	default:
+		s.drops.Add(1)
+		h.drops.Add(1)
+		h.warnDrop(c, s)
+	}
+	return env
 }
 
 // warnDrop logs a slow-client drop with client and document identity, at
@@ -768,6 +932,15 @@ func (c *hubConn) shut() {
 	c.conn.Close()
 }
 
+func (c *hubConn) isGone() bool {
+	select {
+	case <-c.gone:
+		return true
+	default:
+		return false
+	}
+}
+
 func (c *hubConn) reader() {
 	defer c.hub.wg.Done()
 	defer c.hub.drop(c)
@@ -817,6 +990,13 @@ func (c *hubConn) reader() {
 				continue
 			}
 			c.hub.handleForward(c, doc, inner)
+		case kindSyncBatch:
+			decoded, err := DecodeFrame(frame)
+			if err != nil {
+				c.hub.unrouted.Add(1)
+				continue
+			}
+			c.hub.handleSyncBatch(c, decoded.(*SyncBatchFrame))
 		case kindHandoffBegin:
 			decoded, err := DecodeFrame(frame)
 			if err != nil {

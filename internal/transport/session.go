@@ -21,6 +21,13 @@ const (
 	// longer chain means the ring views disagree and the client must fail
 	// loudly rather than bounce forever.
 	maxRedirectHops = 4
+	// syncBatchWindow is how long a shared link accumulates per-document
+	// digests before flushing them as one kindSyncBatch frame. The engines
+	// behind a session tick independently, so without a window each tick
+	// would still leave one frame per document; a window an order of
+	// magnitude under the default sync interval collects a whole round
+	// while adding latency only to a path that is already periodic.
+	syncBatchWindow = 25 * time.Millisecond
 )
 
 // Session multiplexes one or more document-scoped links over shared hub
@@ -313,6 +320,15 @@ type sessConn struct {
 	waiters map[string][]chan HelloEntry
 	err     error
 
+	// Digest batching: kindSyncReq frames from the documents sharing this
+	// connection accumulate under batchMu for syncBatchWindow, then leave
+	// as one kindSyncBatch frame instead of one envelope per document. A
+	// fresher digest for a document already pending replaces it in place.
+	batchMu    sync.Mutex
+	pending    []SyncBatchEntry
+	pendingIdx map[string]int
+	batchArmed bool
+
 	dead     chan struct{}
 	deadOnce sync.Once
 }
@@ -392,6 +408,95 @@ func (sc *sessConn) attach(doc string, forward bool) (HelloEntry, error) {
 		default:
 		}
 		return HelloEntry{}, fmt.Errorf("transport: attach %q to %s timed out", doc, sc.addr)
+	}
+}
+
+// queueDigest holds one document's anti-entropy digest for the batching
+// window, reporting false (send it yourself) when the frame does not
+// parse as a digest. The first digest of a window arms the flush timer.
+func (sc *sessConn) queueDigest(doc string, frame []byte) bool {
+	decoded, err := DecodeFrame(frame)
+	if err != nil {
+		return false
+	}
+	sr, ok := decoded.(*SyncReqFrame)
+	if !ok {
+		return false
+	}
+	sc.batchMu.Lock()
+	if i, ok := sc.pendingIdx[doc]; ok {
+		sc.pending[i] = SyncBatchEntry{Doc: doc, From: sr.From, Clock: sr.Clock}
+	} else {
+		if sc.pendingIdx == nil {
+			sc.pendingIdx = make(map[string]int)
+		}
+		sc.pendingIdx[doc] = len(sc.pending)
+		sc.pending = append(sc.pending, SyncBatchEntry{Doc: doc, From: sr.From, Clock: sr.Clock})
+	}
+	armed := sc.batchArmed
+	sc.batchArmed = true
+	sc.batchMu.Unlock()
+	if !armed {
+		time.AfterFunc(syncBatchWindow, sc.flushDigests)
+	}
+	return true
+}
+
+// flushDigests sends the window's accumulated digests: one batch frame
+// normally, the legacy per-document envelope when only a single document
+// spoke (wire-identical to a pre-batch client), and the same envelope as
+// a per-entry fallback when a batch will not encode. A dead connection
+// drops the window — the engines' next sync tick re-queues fresh digests.
+func (sc *sessConn) flushDigests() {
+	sc.batchMu.Lock()
+	entries := sc.pending
+	sc.pending = nil
+	clear(sc.pendingIdx)
+	sc.batchArmed = false
+	sc.batchMu.Unlock()
+	if len(entries) == 0 || sc.isDead() {
+		return
+	}
+	if len(entries) == 1 {
+		sc.sendLegacyDigest(entries[0])
+		return
+	}
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > maxSyncBatch {
+			n = maxSyncBatch
+		}
+		chunk := entries[:n]
+		entries = entries[n:]
+		frame, err := EncodeSyncBatch(chunk, false)
+		if err != nil {
+			// Oversized batch (wide clocks): fall back per document so one
+			// fat window cannot starve the rest.
+			for _, e := range chunk {
+				sc.sendLegacyDigest(e)
+			}
+			continue
+		}
+		if err := sc.link.Send(frame); err != nil {
+			sc.fail(err)
+			return
+		}
+	}
+}
+
+// sendLegacyDigest sends one digest the pre-batch way: a kindSyncReq
+// frame in the document envelope.
+func (sc *sessConn) sendLegacyDigest(e SyncBatchEntry) {
+	inner, err := EncodeSyncReq(e.From, e.Clock)
+	if err != nil {
+		return
+	}
+	env, err := EncodeDocFrame(e.Doc, inner)
+	if err != nil {
+		return
+	}
+	if err := sc.link.Send(env); err != nil {
+		sc.fail(err)
 	}
 }
 
@@ -549,6 +654,13 @@ func (dl *docLink) conn() *sessConn {
 	return dl.sc
 }
 
+// RoutesReplay marks this link replay-routing (see ReplayRouter): a
+// docLink exists only after a kindHello handshake succeeded, and a hub
+// that answers the handshake routes directed kindReplay answers — the
+// capability shipped alongside the batched digests the same handshake
+// gates.
+func (dl *docLink) RoutesReplay() bool { return true }
+
 func (dl *docLink) closed() bool {
 	select {
 	case <-dl.done:
@@ -592,14 +704,19 @@ func (dl *docLink) push(frame []byte) {
 }
 
 // Send wraps one frame in the document envelope and writes it to the
-// current connection. If the connection fails mid-migration, the send is
-// retried once on the new one; a frame lost in the window is healed by
-// anti-entropy.
+// current connection. Anti-entropy digests take the batching path
+// instead: they are held for syncBatchWindow and leave as one
+// kindSyncBatch frame per connection, not one envelope per document. If
+// the connection fails mid-migration, the send is retried once on the
+// new one; a frame lost in the window is healed by anti-entropy.
 func (dl *docLink) Send(frame []byte) error {
 	select {
 	case <-dl.done:
 		return fmt.Errorf("transport: doc link closed")
 	default:
+	}
+	if len(frame) > 0 && frame[0] == kindSyncReq && dl.conn().queueDigest(dl.doc, frame) {
+		return nil
 	}
 	env, err := EncodeDocFrame(dl.doc, frame)
 	if err != nil {

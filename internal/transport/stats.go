@@ -22,6 +22,15 @@ type HubStats struct {
 	// FrozenDrops, HandoffsOut and HandoffsIn are the live-resharding
 	// counters (see Hub.FrozenDrops and friends).
 	FrozenDrops, HandoffsOut, HandoffsIn uint64
+	// SyncBatchFrames and SyncBatchEntries are the delta anti-entropy
+	// counters: batched multi-document digest frames received, and the
+	// per-document digests they carried (see Hub.SyncBatchFrames).
+	SyncBatchFrames, SyncBatchEntries uint64
+	// ReplayRoutes and ReplayFallbacks are the directed-answer counters:
+	// kindReplay frames delivered to their addressed requester alone, and
+	// those broadcast because the target was unknown or dead (see
+	// Hub.ReplayRoutes).
+	ReplayRoutes, ReplayFallbacks uint64
 	// PerDoc is Hub.DocStats: per-document clients/relays/drops.
 	PerDoc map[string]DocStats
 }
@@ -32,19 +41,65 @@ type HubStats struct {
 // PerDoc map.
 func (h *Hub) Stats() HubStats {
 	s := HubStats{
-		RingEpoch:   h.RingEpoch(),
-		Relays:      h.Relays(),
-		Drops:       h.Drops(),
-		Unrouted:    h.Unrouted(),
-		Forwards:    h.Forwards(),
-		FrozenDrops: h.FrozenDrops(),
-		HandoffsOut: h.HandoffsOut(),
-		HandoffsIn:  h.HandoffsIn(),
-		PerDoc:      h.DocStats(),
+		RingEpoch:        h.RingEpoch(),
+		Relays:           h.Relays(),
+		Drops:            h.Drops(),
+		Unrouted:         h.Unrouted(),
+		Forwards:         h.Forwards(),
+		FrozenDrops:      h.FrozenDrops(),
+		HandoffsOut:      h.HandoffsOut(),
+		HandoffsIn:       h.HandoffsIn(),
+		SyncBatchFrames:  h.SyncBatchFrames(),
+		SyncBatchEntries: h.SyncBatchEntries(),
+		ReplayRoutes:     h.ReplayRoutes(),
+		ReplayFallbacks:  h.ReplayFallbacks(),
+		PerDoc:           h.DocStats(),
 	}
 	h.mu.Lock()
 	s.Clients = len(h.conns)
 	s.Docs = len(h.shards)
 	h.mu.Unlock()
 	return s
+}
+
+// EngineStats is a point-in-time aggregate of one engine's counters,
+// shaped for machine export the same way as HubStats: cmd/treedoc-serve
+// publishes one per archivist document. The digest counters are the
+// delta anti-entropy telemetry — a high Suppressed:Sent ratio is the
+// healthy idle state, and ReplayOps/ReplayBytes say what digest answers
+// actually cost on the wire.
+type EngineStats struct {
+	// Drops, WireErrs, Pruned and Applied are the engine's delivery
+	// counters (see Engine.Drops and friends).
+	Drops, WireErrs, Pruned, Applied uint64
+	// SnapshotsSent and SnapshotsInstalled are the snapshot catch-up
+	// counters.
+	SnapshotsSent, SnapshotsInstalled uint64
+	// DigestsSent and DigestsSuppressed are the digest-suppression
+	// counters (see Engine.DigestsSuppressed); RepliesSquelched counts
+	// digest answers skipped because an in-flight answer on the same link
+	// already covered the requester (see Engine.RepliesSquelched).
+	DigestsSent, DigestsSuppressed, RepliesSquelched uint64
+	// ReplayOps and ReplayBytes are the retransmission counters: retained
+	// operations (and the frame bytes carrying them) queued in answer to
+	// peers' digests.
+	ReplayOps, ReplayBytes uint64
+}
+
+// Stats collects a snapshot of the engine's counters; each atomic is
+// read once and nothing is locked, so it is safe at any frequency.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Drops:              e.Drops(),
+		WireErrs:           e.WireErrs(),
+		Pruned:             e.Pruned(),
+		Applied:            e.Applied(),
+		SnapshotsSent:      e.SnapshotsSent(),
+		SnapshotsInstalled: e.SnapshotsInstalled(),
+		DigestsSent:        e.DigestsSent(),
+		DigestsSuppressed:  e.DigestsSuppressed(),
+		RepliesSquelched:   e.RepliesSquelched(),
+		ReplayOps:          e.ReplayOps(),
+		ReplayBytes:        e.ReplayBytes(),
+	}
 }

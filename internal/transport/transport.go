@@ -53,3 +53,13 @@ type Link interface {
 	// Close tears the link down, unblocking pending Send and Recv calls.
 	Close() error
 }
+
+// ReplayRouter is implemented by links whose far end can route a directed
+// kindReplay frame to its addressed requester — a Session link through a
+// doc-aware hub. Engines answer anti-entropy pulls on such links with
+// addressed frames, so a hot document's answers cost one delivery each
+// instead of one per group member; on plain links answers broadcast
+// exactly as before.
+type ReplayRouter interface {
+	RoutesReplay() bool
+}

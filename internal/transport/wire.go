@@ -108,6 +108,30 @@ const (
 	// kindHandoffDone closes a handoff: the state streamed completely and
 	// the old owner is about to re-point its clients.
 	kindHandoffDone = 0x11
+	// kindSyncBatch carries one anti-entropy digest per document — a
+	// count-prefixed list of (doc, site, clock) entries — so a Session or
+	// mesh peer sends one frame per link per sync tick instead of one
+	// enveloped kindSyncReq per attached document. A hub splits the batch
+	// into per-document relay groups and answers through the existing
+	// per-doc path; engines never see the batch form. A batch may carry a
+	// trailing forwarded flag: it already crossed the hub-to-hub mesh and
+	// must only be relayed locally, mirroring kindForward's loop freedom.
+	kindSyncBatch = 0x12
+	// kindReplay is a directed anti-entropy answer: the requester's site id
+	// followed by one complete answer frame (kindOps, kindSnap or
+	// kindSnapChunk). Through a relay hub a broadcast answer costs the whole
+	// group one copy each — quadratic on a hot document, where hundreds of
+	// concurrent answers each fan to hundreds of members — so an engine
+	// whose link routes replays (see ReplayRouter) addresses each answer
+	// instead. The hub delivers the frame to the one connection that last
+	// sent a pull for that site (learned as pulls pass through the relay),
+	// stripping the wrapper for legacy receivers so directed replay needs no
+	// receiver support; an unknown or dead target falls back to the
+	// broadcast the wrapper replaced. An engine receiving the wrapper
+	// processes the inner frame regardless of the addressed site: replay is
+	// idempotent, so a stale route can only heal the wrong replica, never
+	// corrupt one.
+	kindReplay = 0x13
 )
 
 // Wire limits. Frames above the per-kind size limit are refused on read
@@ -140,6 +164,13 @@ const (
 	docFrameOverhead = 1 + 2 + MaxDocIDLen
 	// maxRingNodes bounds the membership in one ring announce frame.
 	maxRingNodes = 1 << 10
+	// maxSyncBatch bounds the digests in one kindSyncBatch frame — the
+	// same ceiling as the documents one connection may attach to.
+	maxSyncBatch = maxHelloDocs
+	// replayOverhead is the worst-case kindReplay header: kind byte plus the
+	// addressed site id uvarint. A replay may wrap any answer kind up to
+	// kindSnap, so its ceiling is the snapshot ceiling plus this overhead.
+	replayOverhead = 1 + 10
 )
 
 // DefaultDoc is the document legacy (pre-envelope) clients are attached
@@ -152,8 +183,10 @@ func frameSizeLimit(kind byte) int {
 	switch kind {
 	case kindSnap, kindSnapChunk:
 		return MaxSnapFrameSize
+	case kindReplay:
+		return MaxSnapFrameSize + replayOverhead
 	case kindDocFrame, kindForward, kindHandoffState:
-		return MaxSnapFrameSize + docFrameOverhead
+		return MaxSnapFrameSize + replayOverhead + docFrameOverhead
 	default:
 		return MaxFrameSize
 	}
@@ -274,6 +307,30 @@ type HandoffDoneFrame struct {
 // HelloRespFrame is a decoded kindHelloResp frame.
 type HelloRespFrame struct {
 	Entries []HelloEntry
+}
+
+// ReplayFrame is a decoded kindReplay frame: a directed anti-entropy
+// answer addressed to site To. Inner aliases the frame's backing array.
+type ReplayFrame struct {
+	To    ident.SiteID
+	Inner []byte
+}
+
+// SyncBatchEntry is one document's anti-entropy digest inside a
+// kindSyncBatch frame: site From's delivered clock for document Doc.
+type SyncBatchEntry struct {
+	Doc   string
+	From  ident.SiteID
+	Clock vclock.VC
+}
+
+// SyncBatchFrame is a decoded kindSyncBatch frame: the digests a link
+// accumulated across its attached documents this sync tick. Forwarded
+// marks a batch that already crossed the hub-to-hub mesh; the receiver
+// splits it into local relay groups only and never forwards it onward.
+type SyncBatchFrame struct {
+	Entries   []SyncBatchEntry
+	Forwarded bool
 }
 
 // DetachFrame is a decoded kindDetach frame: the documents a client is
@@ -450,6 +507,70 @@ func EncodeSnapReq(from ident.SiteID, clock vclock.VC) ([]byte, error) {
 		return nil, fmt.Errorf("transport: snap request frame of %d bytes exceeds limit", len(buf))
 	}
 	return buf, nil
+}
+
+// EncodeReplay wraps one complete answer frame with the requester's site
+// id, addressing it through replay-routing relays (see kindReplay).
+func EncodeReplay(to ident.SiteID, inner []byte) ([]byte, error) {
+	if len(inner) == 0 {
+		return nil, fmt.Errorf("transport: empty replay inner frame")
+	}
+	if isEnvelopeKind(inner[0]) || inner[0] == kindReplay {
+		return nil, fmt.Errorf("transport: replay cannot wrap frame kind %#x", inner[0])
+	}
+	if len(inner) > frameSizeLimit(inner[0]) {
+		return nil, fmt.Errorf("transport: replay inner frame of %d bytes exceeds limit", len(inner))
+	}
+	buf := make([]byte, 0, replayOverhead+len(inner))
+	buf = append(buf, kindReplay)
+	buf = binary.AppendUvarint(buf, uint64(to))
+	return append(buf, inner...), nil
+}
+
+// SplitReplay splits a directed answer into the addressed site and the
+// inner frame (aliasing the frame's backing array), validating the inner
+// kind and size without decoding its body — the hub routes replays
+// without paying for a decode.
+func SplitReplay(frame []byte) (ident.SiteID, []byte, error) {
+	if len(frame) == 0 || frame[0] != kindReplay {
+		return 0, nil, fmt.Errorf("transport: not a replay frame")
+	}
+	if len(frame) > frameSizeLimit(kindReplay) {
+		return 0, nil, fmt.Errorf("transport: replay frame of %d bytes exceeds limit", len(frame))
+	}
+	to, off := binary.Uvarint(frame[1:])
+	if off <= 0 {
+		return 0, nil, fmt.Errorf("transport: truncated replay site id")
+	}
+	if to == 0 || ident.SiteID(to) > ident.MaxSiteID {
+		return 0, nil, fmt.Errorf("transport: replay site id %d out of range", to)
+	}
+	inner := frame[1+off:]
+	if len(inner) == 0 {
+		return 0, nil, fmt.Errorf("transport: empty replay inner frame")
+	}
+	if isEnvelopeKind(inner[0]) || inner[0] == kindReplay {
+		return 0, nil, fmt.Errorf("transport: replay cannot wrap frame kind %#x", inner[0])
+	}
+	if len(inner) > frameSizeLimit(inner[0]) {
+		return 0, nil, fmt.Errorf("transport: replay inner frame of %d bytes exceeds limit", len(inner))
+	}
+	return ident.SiteID(to), inner, nil
+}
+
+// peekDigestFrom reads the requesting site id off the front of a
+// kindSyncReq or kindSnapReq frame without decoding its clock: the hub
+// learns site→connection reverse routes from passing pulls, and must do
+// so at relay cost, not decode cost.
+func peekDigestFrom(frame []byte) (ident.SiteID, bool) {
+	if len(frame) < 2 {
+		return 0, false
+	}
+	v, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return 0, false
+	}
+	return ident.SiteID(v), true
 }
 
 // EncodeSnapReply encodes a snapshot catch-up frame: the sender's replica
@@ -689,6 +810,39 @@ func EncodeHelloForward(docs []string) ([]byte, error) {
 // EncodeDetach encodes the unsubscribe frame.
 func EncodeDetach(docs []string) ([]byte, error) {
 	return encodeDocList(kindDetach, docs)
+}
+
+// syncBatchFlagForwarded marks a batched digest frame that already
+// crossed the hub-to-hub mesh: the receiver answers it locally only.
+const syncBatchFlagForwarded = 0x01
+
+// EncodeSyncBatch encodes one batched multi-document digest frame. As
+// with the hello flags byte, a zero flags value is encoded by omission so
+// the encoding stays canonical.
+func EncodeSyncBatch(entries []SyncBatchEntry, forwarded bool) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > maxSyncBatch {
+		return nil, fmt.Errorf("transport: %d batched digests out of range", len(entries))
+	}
+	buf := []byte{kindSyncBatch}
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		if err := ValidateDocID(e.Doc); err != nil {
+			return nil, err
+		}
+		if e.From == 0 || e.From > ident.MaxSiteID {
+			return nil, fmt.Errorf("transport: batched digest sender %d out of range", e.From)
+		}
+		buf = appendDoc(buf, e.Doc)
+		buf = binary.AppendUvarint(buf, uint64(e.From))
+		buf = appendVC(buf, e.Clock)
+	}
+	if forwarded {
+		buf = append(buf, syncBatchFlagForwarded)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, fmt.Errorf("transport: sync batch frame of %d bytes exceeds limit", len(buf))
+	}
+	return buf, nil
 }
 
 // maxRedirectAddr bounds a redirect address in a hello response.
@@ -1089,6 +1243,57 @@ func DecodeFrame(frame []byte) (any, error) {
 			return &HandoffBeginFrame{Doc: doc, Epoch: epoch}, nil
 		}
 		return &HandoffDoneFrame{Doc: doc, Epoch: epoch}, nil
+	case kindSyncBatch:
+		n, off := binary.Uvarint(body)
+		if off <= 0 {
+			return nil, fmt.Errorf("transport: truncated sync batch count")
+		}
+		if n == 0 || n > maxSyncBatch {
+			return nil, fmt.Errorf("transport: sync batch count %d out of range", n)
+		}
+		if n > uint64(len(body)-off) {
+			return nil, fmt.Errorf("transport: sync batch count %d exceeds frame", n)
+		}
+		entries := make([]SyncBatchEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			doc, k, err := decodeDoc(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			from, k, err := decodeSite(body[off:], "batched digest sender")
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			vc, k, err := decodeVC(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += k
+			entries = append(entries, SyncBatchEntry{Doc: doc, From: from, Clock: vc})
+		}
+		forwarded := false
+		if off == len(body)-1 {
+			if body[off] != syncBatchFlagForwarded {
+				// Zero flags must be encoded by omission, and unknown bits
+				// are refused — both keep the encoding canonical for the
+				// fuzzer.
+				return nil, fmt.Errorf("transport: sync batch flags byte %#x out of range", body[off])
+			}
+			forwarded = true
+			off++
+		}
+		if off != len(body) {
+			return nil, fmt.Errorf("transport: %d trailing bytes after sync batch frame", len(body)-off)
+		}
+		return &SyncBatchFrame{Entries: entries, Forwarded: forwarded}, nil
+	case kindReplay:
+		to, inner, err := SplitReplay(frame)
+		if err != nil {
+			return nil, err
+		}
+		return &ReplayFrame{To: to, Inner: inner}, nil
 	case kindHello:
 		docs, flags, err := decodeDocList(body, true)
 		if err != nil {

@@ -96,6 +96,12 @@ type HubDocStats = transport.DocStats
 // load-report.json.
 type HubStats = transport.HubStats
 
+// EngineStats is a point-in-time aggregate of one Engine's counters,
+// including the delta anti-entropy telemetry (digests sent/suppressed,
+// replay ops/bytes); cmd/treedoc-serve publishes one per archivist
+// document under the "treedoc.engines" expvar (see Engine.Stats).
+type EngineStats = transport.EngineStats
+
 // Session multiplexes several document-scoped links over shared hub
 // connections, following shard redirects transparently.
 type Session = transport.Session
